@@ -1,0 +1,107 @@
+//! Executor micro-benchmarks: the operators the TPC-H workloads spend
+//! their time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbvirt_engine::{
+    run_plan, AggExpr, AggFunc, CpuCosts, Database, Expr, JoinType, PhysicalPlan, SortKey, TableId,
+};
+use dbvirt_storage::{BufferPool, DataType, Datum, Field, Schema, Tuple};
+use std::hint::black_box;
+
+fn build_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    let t = db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("g", DataType::Str),
+        ]),
+    );
+    db.insert_rows(
+        t,
+        (0..rows).map(|i| {
+            Tuple::new(vec![
+                Datum::Int(i),
+                Datum::Int((i * 48_271) % rows),
+                Datum::str(["x", "y", "z"][(i % 3) as usize]),
+            ])
+        }),
+    )
+    .unwrap();
+    db.analyze_all().unwrap();
+    db
+}
+
+fn execute(db: &mut Database, plan: &PhysicalPlan) -> usize {
+    let mut pool = BufferPool::new(8192);
+    run_plan(db, &mut pool, plan, 8 << 20, CpuCosts::default())
+        .unwrap()
+        .rows
+        .len()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut db = build_db(50_000);
+    let t = TableId(0);
+    let scan = || {
+        Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            filter: None,
+        })
+    };
+
+    c.bench_function("exec/seq_scan_50k", |b| {
+        let plan = PhysicalPlan::SeqScan {
+            table: t,
+            filter: None,
+        };
+        b.iter(|| black_box(execute(&mut db, &plan)));
+    });
+
+    c.bench_function("exec/filtered_scan_50k", |b| {
+        let plan = PhysicalPlan::SeqScan {
+            table: t,
+            filter: Some(Expr::and(
+                Expr::lt(Expr::col(1), Expr::int(10_000)),
+                Expr::eq(Expr::col(2), Expr::str("x")),
+            )),
+        };
+        b.iter(|| black_box(execute(&mut db, &plan)));
+    });
+
+    c.bench_function("exec/hash_join_50k_x_50k_keys", |b| {
+        let plan = PhysicalPlan::HashJoin {
+            left: scan(),
+            right: scan(),
+            left_keys: vec![0],
+            right_keys: vec![1],
+            join_type: JoinType::Semi,
+        };
+        b.iter(|| black_box(execute(&mut db, &plan)));
+    });
+
+    c.bench_function("exec/hash_agg_3_groups", |b| {
+        let plan = PhysicalPlan::HashAgg {
+            input: scan(),
+            group_by: vec![2],
+            aggs: vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(0), "s"),
+                AggExpr::new(AggFunc::Avg, Expr::col(1), "m"),
+            ],
+        };
+        b.iter(|| black_box(execute(&mut db, &plan)));
+    });
+
+    c.bench_function("exec/sort_50k", |b| {
+        let plan = PhysicalPlan::Sort {
+            input: scan(),
+            keys: vec![SortKey::desc(1), SortKey::asc(0)],
+        };
+        b.iter(|| black_box(execute(&mut db, &plan)));
+    });
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

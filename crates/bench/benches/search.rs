@@ -1,0 +1,72 @@
+//! Search-algorithm benchmarks over a synthetic (instant) cost model, so
+//! the numbers isolate enumeration overhead — the EXT-SEARCH experiment
+//! covers solution *quality* with the real calibrated model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbvirt_core::search::{run_search, SearchAlgorithm, SearchConfig};
+use dbvirt_core::{CoreError, CostModel, DesignProblem, WorkloadSpec};
+use dbvirt_engine::Database;
+use dbvirt_optimizer::LogicalPlan;
+use dbvirt_storage::{DataType, Datum, Field, Schema, Tuple};
+use dbvirt_vmm::{MachineSpec, ResourceVector};
+use std::hint::black_box;
+
+/// Convex synthetic model: `w_c / cpu + w_m / mem` per workload.
+struct Synthetic {
+    weights: Vec<(f64, f64)>,
+}
+
+impl CostModel for Synthetic {
+    fn cost(
+        &self,
+        _problem: &DesignProblem<'_>,
+        w_idx: usize,
+        shares: ResourceVector,
+    ) -> Result<f64, CoreError> {
+        let (wc, wm) = self.weights[w_idx];
+        Ok(wc / shares.cpu().fraction() + wm / shares.memory().fraction())
+    }
+}
+
+fn dummy_db() -> Database {
+    let mut db = Database::new();
+    let t = db.create_table("t", Schema::new(vec![Field::new("a", DataType::Int)]));
+    db.insert_rows(t, (0..10).map(|i| Tuple::new(vec![Datum::Int(i)])))
+        .unwrap();
+    db.analyze_all().unwrap();
+    db
+}
+
+fn bench_search(c: &mut Criterion) {
+    let db = dummy_db();
+    let t = db.table_id("t").unwrap();
+
+    for n in [2usize, 3, 4] {
+        let workloads: Vec<WorkloadSpec<'_>> = (0..n)
+            .map(|i| WorkloadSpec::new(format!("w{i}"), &db, vec![LogicalPlan::scan(t)]))
+            .collect();
+        let problem = DesignProblem::new(MachineSpec::paper_testbed(), workloads).unwrap();
+        let model = Synthetic {
+            weights: (0..n)
+                .map(|i| (1.0 + i as f64, 4.0 - i as f64 * 0.8))
+                .collect(),
+        };
+        let config = SearchConfig::for_workloads(8, n);
+
+        for alg in [
+            SearchAlgorithm::Exhaustive,
+            SearchAlgorithm::Greedy,
+            SearchAlgorithm::DynamicProgramming,
+        ] {
+            c.bench_function(&format!("search/{}_{n}workloads", alg.name()), |b| {
+                b.iter(|| {
+                    let rec = run_search(alg, &problem, &model, config).unwrap();
+                    black_box(rec.total_cost);
+                });
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 5 — effect of the CPU split on total execution time of two
+//! co-scheduled workloads.
+//!
+//! Paper: "we construct two workloads, one consisting of 3 copies of Q4
+//! and the other consisting of 9 copies of Q13 … so that the execution
+//! times of the two workloads are close to each other when they are each
+//! given equal shares of the CPU. [Giving 75% of the CPU to Q13] improves
+//! the performance of Q13 by 30% without hurting the performance of Q4."
+//!
+//! Each workload runs against its own database instance (the paper's
+//! formulation: "a sequence of SQL statements against a separate
+//! database"), in its own VM, concurrently under the capped credit
+//! scheduler.
+
+use dbvirt_bench::{experiment_machine, fmt_pct, measure_query_warm, print_table};
+use dbvirt_core::measure::measure_concurrent_seconds;
+use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
+use dbvirt_vmm::sched::SchedMode;
+use dbvirt_vmm::{AllocationMatrix, ResourceVector};
+
+fn main() {
+    let machine = experiment_machine();
+    println!(
+        "Generating two TPC-H databases (SF {:.3}) ...",
+        TpchConfig::experiment().scale
+    );
+    let mut t1 = TpchDb::generate(TpchConfig::experiment()).expect("tpch generation");
+    let mut t2 = TpchDb::generate(TpchConfig::experiment()).expect("tpch generation");
+
+    // Balance the workloads at the default split, as the paper does: fix
+    // 3 copies of Q4 and choose the Q13 multiplicity so the two workloads
+    // take about the same time at 50/50.
+    let half = ResourceVector::from_fractions(0.5, 0.5, 0.5).expect("shares");
+    let q4_plan = TpchQuery::Q4.plan(&t1);
+    let q13_plan = TpchQuery::Q13.plan(&t2);
+    let q4_secs = measure_query_warm(&mut t1.db, &q4_plan, machine, half).expect("Q4 measurement");
+    let q13_secs =
+        measure_query_warm(&mut t2.db, &q13_plan, machine, half).expect("Q13 measurement");
+    let n_q4 = 3usize;
+    let n_q13 = ((n_q4 as f64 * q4_secs / q13_secs).round() as usize).max(1);
+    println!(
+        "Balanced workloads at 50/50: Q4 ~{q4_secs:.3}s, Q13 ~{q13_secs:.3}s -> W1 = {n_q4}xQ4, W2 = {n_q13}xQ13 \
+         (paper used 3xQ4 vs 9xQ13 on its testbed)"
+    );
+
+    let w1 = Workload::compose(&t1, &[(TpchQuery::Q4, n_q4)]);
+    let w2 = Workload::compose(&t2, &[(TpchQuery::Q13, n_q13)]);
+
+    let default_alloc = AllocationMatrix::equal_split(2).expect("equal split");
+    let skewed_alloc = AllocationMatrix::new(vec![
+        ResourceVector::from_fractions(0.25, 0.5, 0.5).expect("shares"),
+        ResourceVector::from_fractions(0.75, 0.5, 0.5).expect("shares"),
+    ])
+    .expect("skewed allocation");
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (label, alloc) in [
+        ("default 50/50", &default_alloc),
+        ("75% CPU to Q13", &skewed_alloc),
+    ] {
+        let times = measure_concurrent_seconds(
+            &mut [&mut t1.db, &mut t2.db],
+            &[&w1.queries, &w2.queries],
+            machine,
+            alloc,
+            SchedMode::Capped,
+        )
+        .expect("co-scheduled measurement");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}s", times[0]),
+            format!("{:.3}s", times[1]),
+        ]);
+        results.push(times);
+    }
+
+    print_table(
+        "Figure 5: co-scheduled workload completion times",
+        &[
+            "allocation",
+            &format!("W1 ({})", w1.name),
+            &format!("W2 ({})", w2.name),
+        ],
+        &rows,
+    );
+
+    let q13_improvement = 1.0 - results[1][1] / results[0][1];
+    let q4_change = results[1][0] / results[0][0] - 1.0;
+    println!(
+        "\nShape check: W2 (Q13) improves by {} at the 75/25 split; W1 (Q4) changes by {} \
+         (paper: ~30% improvement for Q13 'without hurting' Q4).",
+        fmt_pct(q13_improvement),
+        fmt_pct(q4_change)
+    );
+}

@@ -1,0 +1,316 @@
+//! The calibration grid: `P(R)` precomputed over allocation space.
+//!
+//! The paper notes that `P` depends only on the machine and `R`, so it can
+//! be calibrated off-line over a grid of allocations and reused for every
+//! database and workload. This module implements that grid, its bilinear
+//! interpolation for off-grid allocations (the paper's "reduce the number
+//! of calibration experiments" next step), and a serde-based cache so a
+//! machine is calibrated once.
+//!
+//! Axes are CPU share × memory share, matching the knobs the paper's
+//! experiments vary; the disk share is a fixed policy per grid (the 2007
+//! Xen testbed could not throttle disk independently).
+
+use crate::runner::calibrate_with;
+use crate::{CalError, ProbeDb};
+use dbvirt_optimizer::OptimizerParams;
+use dbvirt_vmm::{MachineSpec, ResourceVector, VmmError};
+use serde::{Deserialize, Serialize};
+
+/// A calibrated `P(R)` surface over CPU × memory shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationGrid {
+    machine: MachineSpec,
+    cpu_points: Vec<f64>,
+    mem_points: Vec<f64>,
+    disk_share: f64,
+    /// `entries[ci][mi]` is the calibration at `(cpu_points[ci],
+    /// mem_points[mi])`.
+    entries: Vec<Vec<OptimizerParams>>,
+}
+
+fn validate_axis(points: &[f64], axis: &'static str) -> Result<(), CalError> {
+    if points.is_empty() {
+        return Err(CalError::CacheIo {
+            reason: format!("{axis} axis is empty"),
+        });
+    }
+    let sorted = points.windows(2).all(|w| w[0] < w[1]);
+    let in_range = points.iter().all(|&p| p > 0.0 && p <= 1.0);
+    if !sorted || !in_range {
+        return Err(CalError::CacheIo {
+            reason: format!("{axis} axis must be strictly increasing within (0, 1]"),
+        });
+    }
+    Ok(())
+}
+
+/// Locates `v` on an axis: returns `(lower index, interpolation weight)`.
+fn bracket(points: &[f64], v: f64, axis: &'static str) -> Result<(usize, f64), CalError> {
+    let eps = 1e-9;
+    if v < points[0] - eps || v > points[points.len() - 1] + eps {
+        return Err(CalError::OutOfGrid { value: v, axis });
+    }
+    if points.len() == 1 {
+        return Ok((0, 0.0));
+    }
+    let hi = points
+        .partition_point(|&p| p < v)
+        .min(points.len() - 1)
+        .max(1);
+    let lo = hi - 1;
+    let t = ((v - points[lo]) / (points[hi] - points[lo])).clamp(0.0, 1.0);
+    Ok((lo, t))
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+fn lerp_params(a: &OptimizerParams, b: &OptimizerParams, t: f64) -> OptimizerParams {
+    OptimizerParams {
+        unit_seconds: lerp(a.unit_seconds, b.unit_seconds, t),
+        seq_page_cost: 1.0,
+        random_page_cost: lerp(a.random_page_cost, b.random_page_cost, t),
+        cpu_tuple_cost: lerp(a.cpu_tuple_cost, b.cpu_tuple_cost, t),
+        cpu_index_tuple_cost: lerp(a.cpu_index_tuple_cost, b.cpu_index_tuple_cost, t),
+        cpu_operator_cost: lerp(a.cpu_operator_cost, b.cpu_operator_cost, t),
+        effective_cache_size_pages: lerp(
+            a.effective_cache_size_pages,
+            b.effective_cache_size_pages,
+            t,
+        ),
+        work_mem_bytes: lerp(a.work_mem_bytes, b.work_mem_bytes, t),
+    }
+}
+
+impl CalibrationGrid {
+    /// Calibrates a grid, running the grid points in parallel (each worker
+    /// builds its own probe database).
+    pub fn calibrate(
+        machine: MachineSpec,
+        cpu_points: Vec<f64>,
+        mem_points: Vec<f64>,
+        disk_share: f64,
+    ) -> Result<CalibrationGrid, CalError> {
+        validate_axis(&cpu_points, "cpu")?;
+        validate_axis(&mem_points, "memory")?;
+        if !(disk_share > 0.0 && disk_share <= 1.0) {
+            return Err(CalError::CacheIo {
+                reason: format!("disk share {disk_share} out of range"),
+            });
+        }
+
+        let combos: Vec<(usize, usize)> = (0..cpu_points.len())
+            .flat_map(|c| (0..mem_points.len()).map(move |m| (c, m)))
+            .collect();
+
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(combos.len())
+            .max(1);
+        let results: Vec<Result<(usize, usize, OptimizerParams), CalError>> =
+            crossbeam::thread::scope(|scope| {
+                let chunks: Vec<Vec<(usize, usize)>> = combos
+                    .chunks(combos.len().div_ceil(n_workers))
+                    .map(<[(usize, usize)]>::to_vec)
+                    .collect();
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        let cpu_points = &cpu_points;
+                        let mem_points = &mem_points;
+                        scope.spawn(move |_| {
+                            let mut pdb = ProbeDb::build().map_err(|e| CalError::ProbeFailed {
+                                probe: "<probe-db>".to_string(),
+                                reason: e.to_string(),
+                            })?;
+                            let mut out = Vec::new();
+                            for (c, m) in chunk {
+                                let shares = ResourceVector::from_fractions(
+                                    cpu_points[c],
+                                    mem_points[m],
+                                    disk_share,
+                                )
+                                .map_err(|e: VmmError| CalError::ProbeFailed {
+                                    probe: "<shares>".to_string(),
+                                    reason: e.to_string(),
+                                })?;
+                                let cal = calibrate_with(&mut pdb, machine, shares)?;
+                                out.push((c, m, cal.params));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| match h.join().expect("worker panicked") {
+                        Ok(v) => v.into_iter().map(Ok).collect::<Vec<_>>(),
+                        Err(e) => vec![Err(e)],
+                    })
+                    .collect()
+            })
+            .expect("calibration scope panicked");
+
+        let default = OptimizerParams::postgres_defaults();
+        let mut entries = vec![vec![default; mem_points.len()]; cpu_points.len()];
+        for r in results {
+            let (c, m, p) = r?;
+            entries[c][m] = p;
+        }
+        Ok(CalibrationGrid {
+            machine,
+            cpu_points,
+            mem_points,
+            disk_share,
+            entries,
+        })
+    }
+
+    /// The machine this grid was calibrated on.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The fixed disk share used for calibration.
+    pub fn disk_share(&self) -> f64 {
+        self.disk_share
+    }
+
+    /// Grid axes.
+    pub fn axes(&self) -> (&[f64], &[f64]) {
+        (&self.cpu_points, &self.mem_points)
+    }
+
+    /// Number of calibrated grid points.
+    pub fn num_points(&self) -> usize {
+        self.cpu_points.len() * self.mem_points.len()
+    }
+
+    /// The calibrated `P` for allocation `shares`, with bilinear
+    /// interpolation between grid points. The disk share of `shares` is
+    /// accepted if it matches the grid's policy (within 1e-6); otherwise
+    /// an [`CalError::OutOfGrid`] is returned.
+    pub fn params_for(&self, shares: ResourceVector) -> Result<OptimizerParams, CalError> {
+        if (shares.disk().fraction() - self.disk_share).abs() > 1e-6 {
+            return Err(CalError::OutOfGrid {
+                value: shares.disk().fraction(),
+                axis: "disk",
+            });
+        }
+        let (ci, ct) = bracket(&self.cpu_points, shares.cpu().fraction(), "cpu")?;
+        let (mi, mt) = bracket(&self.mem_points, shares.memory().fraction(), "memory")?;
+        let ci2 = (ci + 1).min(self.cpu_points.len() - 1);
+        let mi2 = (mi + 1).min(self.mem_points.len() - 1);
+        let low = lerp_params(&self.entries[ci][mi], &self.entries[ci][mi2], mt);
+        let high = lerp_params(&self.entries[ci2][mi], &self.entries[ci2][mi2], mt);
+        Ok(lerp_params(&low, &high, ct))
+    }
+
+    /// The exact calibrated parameters at a grid point (no interpolation).
+    pub fn at_point(&self, cpu_idx: usize, mem_idx: usize) -> &OptimizerParams {
+        &self.entries[cpu_idx][mem_idx]
+    }
+
+    /// Serializes the grid to JSON.
+    pub fn to_json(&self) -> Result<String, CalError> {
+        serde_json::to_string_pretty(self).map_err(|e| CalError::CacheIo {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Deserializes a grid from JSON.
+    pub fn from_json(json: &str) -> Result<CalibrationGrid, CalError> {
+        serde_json::from_str(json).map_err(|e| CalError::CacheIo {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Saves the grid to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), CalError> {
+        std::fs::write(path, self.to_json()?).map_err(|e| CalError::CacheIo {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Loads a grid from a file.
+    pub fn load(path: &std::path::Path) -> Result<CalibrationGrid, CalError> {
+        let json = std::fs::read_to_string(path).map_err(|e| CalError::CacheIo {
+            reason: e.to_string(),
+        })?;
+        CalibrationGrid::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> CalibrationGrid {
+        CalibrationGrid::calibrate(
+            MachineSpec::paper_testbed(),
+            vec![0.25, 0.5, 0.75],
+            vec![0.25, 0.75],
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_points_and_interpolation() {
+        let grid = small_grid();
+        assert_eq!(grid.num_points(), 6);
+        // Exact at a grid point.
+        let at = grid
+            .params_for(ResourceVector::from_fractions(0.5, 0.25, 0.5).unwrap())
+            .unwrap();
+        assert!((at.cpu_tuple_cost - grid.at_point(1, 0).cpu_tuple_cost).abs() < 1e-12);
+        // Between points: bounded by the corners, monotone in CPU.
+        let mid = grid
+            .params_for(ResourceVector::from_fractions(0.375, 0.25, 0.5).unwrap())
+            .unwrap();
+        let lo = grid.at_point(0, 0).cpu_tuple_cost;
+        let hi = grid.at_point(1, 0).cpu_tuple_cost;
+        assert!(mid.cpu_tuple_cost <= lo.max(hi) && mid.cpu_tuple_cost >= lo.min(hi));
+    }
+
+    #[test]
+    fn cpu_tuple_cost_decreases_with_cpu_share() {
+        let grid = small_grid();
+        let c25 = grid.at_point(0, 0).cpu_tuple_cost;
+        let c50 = grid.at_point(1, 0).cpu_tuple_cost;
+        let c75 = grid.at_point(2, 0).cpu_tuple_cost;
+        assert!(c25 > c50 && c50 > c75, "{c25} > {c50} > {c75} expected");
+    }
+
+    #[test]
+    fn out_of_grid_is_an_error() {
+        let grid = small_grid();
+        let err = grid
+            .params_for(ResourceVector::from_fractions(0.9, 0.5, 0.5).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CalError::OutOfGrid { axis: "cpu", .. }));
+        let err = grid
+            .params_for(ResourceVector::from_fractions(0.5, 0.5, 0.9).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CalError::OutOfGrid { axis: "disk", .. }));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let grid = small_grid();
+        let json = grid.to_json().unwrap();
+        let back = CalibrationGrid::from_json(&json).unwrap();
+        assert_eq!(grid, back);
+    }
+
+    #[test]
+    fn invalid_axes_are_rejected() {
+        let m = MachineSpec::tiny();
+        assert!(CalibrationGrid::calibrate(m, vec![], vec![0.5], 0.5).is_err());
+        assert!(CalibrationGrid::calibrate(m, vec![0.5, 0.25], vec![0.5], 0.5).is_err());
+        assert!(CalibrationGrid::calibrate(m, vec![0.5], vec![0.5], 0.0).is_err());
+    }
+}

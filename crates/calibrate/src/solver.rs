@@ -1,0 +1,196 @@
+//! Dense linear algebra for calibration: Gaussian elimination and linear
+//! least squares via normal equations.
+//!
+//! The systems here are tiny (five to six unknowns, a dozen probes), so a
+//! straightforward partial-pivoting implementation is both sufficient and
+//! dependency-free.
+
+use crate::CalError;
+
+/// Solves the square system `a · x = b` in place (Gaussian elimination with
+/// partial pivoting). `a` is row-major `n × n`.
+pub fn solve_square(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, CalError> {
+    let n = b.len();
+    assert!(
+        a.len() == n && a.iter().all(|row| row.len() == n),
+        "shape mismatch"
+    );
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(CalError::SingularSystem);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // Split the borrow: the pivot row is read-only here.
+            let (pivot_row_slice, target) = {
+                let (head, tail) = a.split_at_mut(row);
+                (&head[col], &mut tail[0])
+            };
+            for (t, p) in target[col..n].iter_mut().zip(&pivot_row_slice[col..n]) {
+                *t -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Solves the overdetermined system `a · x ≈ b` in the least-squares sense
+/// via the normal equations `aᵀa · x = aᵀb`. `a` is row-major `m × n` with
+/// `m ≥ n`.
+pub fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CalError> {
+    let m = a.len();
+    assert_eq!(m, b.len(), "row count mismatch");
+    assert!(m > 0, "empty system");
+    let n = a[0].len();
+    assert!(a.iter().all(|row| row.len() == n), "ragged matrix");
+    assert!(m >= n, "underdetermined system ({m} rows, {n} unknowns)");
+
+    let mut ata = vec![vec![0.0; n]; n];
+    let mut atb = vec![0.0; n];
+    for row in 0..m {
+        for i in 0..n {
+            atb[i] += a[row][i] * b[row];
+            for j in 0..n {
+                ata[i][j] += a[row][i] * a[row][j];
+            }
+        }
+    }
+    solve_square(ata, atb)
+}
+
+/// Root-mean-square residual of a candidate solution (used in tests and
+/// calibration diagnostics).
+pub fn rms_residual(a: &[Vec<f64>], b: &[f64], x: &[f64]) -> f64 {
+    let m = a.len() as f64;
+    let ss: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let pred: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+            (pred - bi).powi(2)
+        })
+        .sum();
+    (ss / m).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_square_system() {
+        // x + 2y = 5; 3x - y = 1  => x = 1, y = 2.
+        let a = vec![vec![1.0, 2.0], vec![3.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let x = solve_square(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        let b = vec![3.0, 4.0];
+        let x = solve_square(a, b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_system_is_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![3.0, 6.0];
+        assert_eq!(solve_square(a, b), Err(CalError::SingularSystem));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined but consistent.
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let x_true = [3.0, -2.0];
+        let b: Vec<f64> = a
+            .iter()
+            .map(|r| r[0] * x_true[0] + r[1] * x_true[1])
+            .collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!(rms_residual(&a, &b, &x) < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_noisy_residual() {
+        // y = 2t + 1 with noise; fit [t, 1] -> [slope, intercept].
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let noise = [0.05, -0.04, 0.03, -0.02, 0.04, -0.05];
+        let a: Vec<Vec<f64>> = ts.iter().map(|&t| vec![t, 1.0]).collect();
+        let b: Vec<f64> = ts
+            .iter()
+            .zip(noise)
+            .map(|(&t, n)| 2.0 * t + 1.0 + n)
+            .collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 0.05, "slope {x:?}");
+        assert!((x[1] - 1.0).abs() < 0.1, "intercept {x:?}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip_random_well_conditioned(seed in 0u64..1000) {
+            // Build a diagonally dominant 4x4 system (guaranteed solvable)
+            // from a cheap deterministic generator.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 100.0 - 5.0
+            };
+            let n = 4;
+            let mut a = vec![vec![0.0; n]; n];
+            for (i, row) in a.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell = if i == j { 50.0 + next().abs() } else { next() };
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+            let b: Vec<f64> = a
+                .iter()
+                .map(|row| row.iter().zip(&x_true).map(|(aij, xj)| aij * xj).sum())
+                .collect();
+            let x = solve_square(a, b).unwrap();
+            for (got, want) in x.iter().zip(&x_true) {
+                proptest::prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The deployment policy: how a database instance is configured inside a
+//! virtual machine.
+//!
+//! Both sides of the paper's methodology need the *same* mapping from a
+//! VM's resources to database memory settings: the measuring side (which
+//! buffer pool does the executor run with?) and the modeling side (what
+//! `effective_cache_size` and `work_mem` should the optimizer assume?).
+//! Centralizing the mapping here keeps them consistent by construction,
+//! the way a DBA would configure `shared_buffers`/`work_mem` from the VM's
+//! memory size.
+
+use dbvirt_vmm::VirtualMachine;
+
+/// Fraction of VM memory granted to `work_mem` (per sort/hash).
+const WORK_MEM_FRACTION: f64 = 0.05;
+
+/// Minimum `work_mem`, in bytes. PostgreSQL installations of the paper's
+/// era ran with a few megabytes of sort/hash memory regardless of machine
+/// size; a 4 MiB floor keeps small simulated VMs from thrashing every
+/// hash join through spill files.
+const MIN_WORK_MEM: usize = 4 * 1024 * 1024;
+
+/// Database configuration derived from a VM's resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbVmConfig {
+    /// Buffer-pool capacity in pages.
+    pub buffer_pool_pages: usize,
+    /// `work_mem` in bytes.
+    pub work_mem_bytes: usize,
+    /// `effective_cache_size` in pages (equal to the buffer pool here,
+    /// since the simulator folds the OS cache into one tier).
+    pub effective_cache_pages: usize,
+}
+
+impl DbVmConfig {
+    /// Derives the database configuration for a VM.
+    pub fn for_vm(vm: &VirtualMachine) -> DbVmConfig {
+        let buffer_pool_pages = vm.buffer_pool_pages();
+        let work_mem_bytes =
+            ((vm.memory_bytes() as f64 * WORK_MEM_FRACTION) as usize).max(MIN_WORK_MEM);
+        DbVmConfig {
+            buffer_pool_pages,
+            work_mem_bytes,
+            effective_cache_pages: buffer_pool_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbvirt_vmm::{MachineSpec, ResourceVector};
+
+    fn vm(mem: f64) -> VirtualMachine {
+        VirtualMachine::new(
+            MachineSpec::paper_testbed(),
+            ResourceVector::from_fractions(0.5, mem, 0.5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_scales_with_memory_share() {
+        let small = DbVmConfig::for_vm(&vm(0.25));
+        let large = DbVmConfig::for_vm(&vm(0.75));
+        assert!(small.buffer_pool_pages < large.buffer_pool_pages);
+        assert!(small.work_mem_bytes < large.work_mem_bytes);
+        assert_eq!(small.effective_cache_pages, small.buffer_pool_pages);
+    }
+
+    #[test]
+    fn work_mem_has_floor() {
+        let tiny_vm = VirtualMachine::new(
+            MachineSpec::tiny(),
+            ResourceVector::from_fractions(0.5, 0.01, 0.5).unwrap(),
+        )
+        .unwrap();
+        let cfg = DbVmConfig::for_vm(&tiny_vm);
+        assert!(cfg.work_mem_bytes >= MIN_WORK_MEM);
+    }
+}

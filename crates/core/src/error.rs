@@ -1,0 +1,81 @@
+//! Error type for the virtualization design layer.
+
+use dbvirt_calibrate::CalError;
+use dbvirt_engine::EngineError;
+use dbvirt_optimizer::OptError;
+use dbvirt_vmm::VmmError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while modeling costs or searching for allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Calibration failed or an allocation fell outside the grid.
+    Calibration(CalError),
+    /// What-if optimization failed.
+    Optimizer(OptError),
+    /// A measured-oracle execution failed.
+    Engine(EngineError),
+    /// An allocation was infeasible.
+    Vmm(VmmError),
+    /// The problem definition was malformed.
+    BadProblem {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Calibration(e) => write!(f, "calibration: {e}"),
+            CoreError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            CoreError::Engine(e) => write!(f, "engine: {e}"),
+            CoreError::Vmm(e) => write!(f, "vmm: {e}"),
+            CoreError::BadProblem { reason } => write!(f, "bad problem: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<CalError> for CoreError {
+    fn from(e: CalError) -> CoreError {
+        CoreError::Calibration(e)
+    }
+}
+
+impl From<OptError> for CoreError {
+    fn from(e: OptError) -> CoreError {
+        CoreError::Optimizer(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> CoreError {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<VmmError> for CoreError {
+    fn from(e: VmmError) -> CoreError {
+        CoreError::Vmm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = CalError::SingularSystem.into();
+        assert!(e.to_string().contains("singular"));
+        let e: CoreError = OptError::BadPlan { reason: "x".into() }.into();
+        assert!(e.to_string().contains("optimizer"));
+        let e = CoreError::BadProblem {
+            reason: "no workloads".into(),
+        };
+        assert!(e.to_string().contains("no workloads"));
+    }
+}

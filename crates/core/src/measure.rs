@@ -1,0 +1,164 @@
+//! The measured oracle: actually run a workload under an allocation.
+//!
+//! The paper validates its estimates against *actual* execution times
+//! measured in Xen VMs. This module is the simulator equivalent: plan each
+//! query the way the deployed database would (default optimizer settings —
+//! a stock PostgreSQL does not know about its VM's allocation), execute it
+//! for real through the buffer pool, and convert the accumulated demand to
+//! simulated time under the VM's shares. It exists for validation and the
+//! experiment figures; the advisor itself never calls it.
+
+use crate::CoreError;
+use dbvirt_calibrate::DbVmConfig;
+use dbvirt_engine::{run_plan, CpuCosts, Database};
+use dbvirt_optimizer::{plan_query, LogicalPlan, OptimizerParams};
+use dbvirt_storage::BufferPool;
+use dbvirt_vmm::sched::{co_schedule, SchedMode, VmJob};
+use dbvirt_vmm::{AllocationMatrix, MachineSpec, ResourceDemand, ResourceVector, VirtualMachine};
+
+/// Plans (with stock optimizer settings, `work_mem` from the VM) and
+/// executes every query of a workload, returning each query's demand.
+pub fn workload_demands(
+    db: &mut Database,
+    queries: &[LogicalPlan],
+    machine: MachineSpec,
+    shares: ResourceVector,
+) -> Result<Vec<ResourceDemand>, CoreError> {
+    let vm = VirtualMachine::new(machine, shares)?;
+    let cfg = DbVmConfig::for_vm(&vm);
+    let params = OptimizerParams {
+        work_mem_bytes: cfg.work_mem_bytes as f64,
+        effective_cache_size_pages: cfg.effective_cache_pages as f64,
+        ..OptimizerParams::postgres_defaults()
+    };
+    // One pool for the whole workload: a cold start, then queries warm the
+    // cache for each other, as on a real consolidated server.
+    let mut pool = BufferPool::new(cfg.buffer_pool_pages);
+    let mut demands = Vec::with_capacity(queries.len());
+    for q in queries {
+        let planned = plan_query(db, q, &params)?;
+        let out = run_plan(
+            db,
+            &mut pool,
+            &planned.physical,
+            cfg.work_mem_bytes,
+            CpuCosts::default(),
+        )?;
+        demands.push(out.demand);
+    }
+    Ok(demands)
+}
+
+/// Measured seconds for a workload running **alone** in a VM at `shares`.
+pub fn measure_workload_seconds(
+    db: &mut Database,
+    queries: &[LogicalPlan],
+    machine: MachineSpec,
+    shares: ResourceVector,
+) -> Result<f64, CoreError> {
+    let vm = VirtualMachine::new(machine, shares)?;
+    let demands = workload_demands(db, queries, machine, shares)?;
+    Ok(demands.iter().map(|d| vm.demand_seconds(d)).sum())
+}
+
+/// Measured per-VM completion times when several workloads run
+/// **concurrently**, one VM each, under `allocation` (the paper's Figure 5
+/// setup). Workload `i` runs against `dbs[i]`.
+pub fn measure_concurrent_seconds(
+    dbs: &mut [&mut Database],
+    workloads: &[&[LogicalPlan]],
+    machine: MachineSpec,
+    allocation: &AllocationMatrix,
+    mode: SchedMode,
+) -> Result<Vec<f64>, CoreError> {
+    if dbs.len() != workloads.len() || dbs.len() != allocation.num_workloads() {
+        return Err(CoreError::BadProblem {
+            reason: "databases, workloads, and allocation rows must align".to_string(),
+        });
+    }
+    let mut jobs = Vec::with_capacity(workloads.len());
+    for (i, (db, queries)) in dbs.iter_mut().zip(workloads).enumerate() {
+        let demands = workload_demands(db, queries, machine, allocation.row(i))?;
+        jobs.push(VmJob::new(demands));
+    }
+    let outcomes = co_schedule(machine, allocation, &jobs, mode)?;
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.makespan().as_secs_f64())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbvirt_engine::Expr;
+    use dbvirt_storage::{DataType, Datum, Field, Schema, Tuple};
+
+    fn test_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::new(vec![Field::new("a", DataType::Int)]));
+        db.insert_rows(t, (0..rows).map(|i| Tuple::new(vec![Datum::Int(i)])))
+            .unwrap();
+        db.analyze_all().unwrap();
+        db
+    }
+
+    fn scan_all(db: &Database) -> LogicalPlan {
+        let t = db.table_id("t").unwrap();
+        LogicalPlan::scan_filtered(t, Expr::ge(Expr::col(0), Expr::int(0)))
+    }
+
+    #[test]
+    fn solo_measurement_scales_with_cpu_for_cpu_bound_work() {
+        let mut db = test_db(30_000);
+        let machine = MachineSpec::paper_testbed();
+        let q = scan_all(&db);
+        let slow = measure_workload_seconds(
+            &mut db,
+            std::slice::from_ref(&q),
+            machine,
+            ResourceVector::from_fractions(0.25, 0.5, 0.5).unwrap(),
+        )
+        .unwrap();
+        let fast = measure_workload_seconds(
+            &mut db,
+            &[q],
+            machine,
+            ResourceVector::from_fractions(0.75, 0.5, 0.5).unwrap(),
+        )
+        .unwrap();
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn concurrent_measurement_reports_per_vm_times() {
+        let mut db1 = test_db(10_000);
+        let mut db2 = test_db(10_000);
+        let machine = MachineSpec::paper_testbed();
+        let q1 = vec![scan_all(&db1)];
+        let q2 = vec![scan_all(&db2), scan_all(&db2)];
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let times = measure_concurrent_seconds(
+            &mut [&mut db1, &mut db2],
+            &[&q1, &q2],
+            machine,
+            &alloc,
+            SchedMode::Capped,
+        )
+        .unwrap();
+        assert_eq!(times.len(), 2);
+        assert!(times[1] > times[0], "two queries take longer than one");
+    }
+
+    #[test]
+    fn misaligned_concurrent_inputs_are_rejected() {
+        let mut db = test_db(100);
+        let machine = MachineSpec::tiny();
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let q = vec![scan_all(&db)];
+        let err =
+            measure_concurrent_seconds(&mut [&mut db], &[&q], machine, &alloc, SchedMode::Capped)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::BadProblem { .. }));
+    }
+}

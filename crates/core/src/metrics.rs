@@ -1,0 +1,80 @@
+//! Baselines and summary metrics for design experiments.
+
+use crate::{CoreError, CostModel, DesignProblem};
+use dbvirt_vmm::{AllocationMatrix, ResourceVector, Share};
+
+/// Predicted per-workload costs under the paper's default allocation
+/// (every resource divided equally).
+pub fn equal_split_costs(
+    problem: &DesignProblem<'_>,
+    model: &dyn CostModel,
+) -> Result<Vec<f64>, CoreError> {
+    let n = problem.num_workloads();
+    let share = Share::new(1.0 / n as f64)?;
+    (0..n)
+        .map(|w| model.cost(problem, w, ResourceVector::uniform(share)))
+        .collect()
+}
+
+/// Predicted per-workload costs under an arbitrary allocation.
+pub fn allocation_costs(
+    problem: &DesignProblem<'_>,
+    model: &dyn CostModel,
+    allocation: &AllocationMatrix,
+) -> Result<Vec<f64>, CoreError> {
+    (0..problem.num_workloads())
+        .map(|w| model.cost(problem, w, allocation.row(w)))
+        .collect()
+}
+
+/// `baseline / candidate` — how many times faster the candidate is
+/// (> 1 means the candidate wins).
+pub fn speedup(baseline: f64, candidate: f64) -> f64 {
+    if candidate <= 0.0 {
+        return f64::INFINITY;
+    }
+    baseline / candidate
+}
+
+/// Normalizes a series to one of its entries (the paper's Figures 4 and 5
+/// normalize to the default 50% allocation).
+pub fn normalize_to(series: &[f64], reference_idx: usize) -> Vec<f64> {
+    let reference = series[reference_idx];
+    series
+        .iter()
+        .map(|&v| {
+            if reference > 0.0 {
+                v / reference
+            } else {
+                f64::NAN
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::tests_support::{dummy_db, dummy_problem, SyntheticModel};
+
+    #[test]
+    fn equal_split_uses_uniform_shares() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        let model = SyntheticModel {
+            weights: vec![(1.0, 1.0), (2.0, 2.0)],
+        };
+        let costs = equal_split_costs(&problem, &model).unwrap();
+        // cost = w/(0.5) + w/(0.5) = 4w.
+        assert!((costs[0] - 4.0).abs() < 1e-12);
+        assert!((costs[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_normalize() {
+        assert!((speedup(2.0, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(speedup(1.0, 0.0), f64::INFINITY);
+        let norm = normalize_to(&[2.0, 4.0, 1.0], 0);
+        assert_eq!(norm, vec![1.0, 2.0, 0.5]);
+    }
+}

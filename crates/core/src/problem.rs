@@ -1,0 +1,104 @@
+//! The virtualization design problem statement.
+
+use crate::CoreError;
+use dbvirt_engine::Database;
+use dbvirt_optimizer::LogicalPlan;
+use dbvirt_vmm::MachineSpec;
+
+/// One workload: a name, the database it runs against, and its query
+/// sequence (the paper's `Wᵢ`, "a sequence of SQL statements against a
+/// separate database").
+#[derive(Debug)]
+pub struct WorkloadSpec<'a> {
+    /// Display name.
+    pub name: String,
+    /// The database the workload queries (what-if planning needs its
+    /// catalog and statistics only).
+    pub db: &'a Database,
+    /// The workload's queries.
+    pub queries: Vec<LogicalPlan>,
+    /// Service-level weight in the design objective (the paper's Section 7
+    /// "different service-level objectives" extension): the search
+    /// minimizes `Σᵢ weightᵢ · Cost(Wᵢ, Rᵢ)`. Default 1.0.
+    pub weight: f64,
+}
+
+impl<'a> WorkloadSpec<'a> {
+    /// Creates a workload spec with the default weight of 1.
+    pub fn new(
+        name: impl Into<String>,
+        db: &'a Database,
+        queries: Vec<LogicalPlan>,
+    ) -> WorkloadSpec<'a> {
+        WorkloadSpec {
+            name: name.into(),
+            db,
+            queries,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the service-level weight (must be positive and finite).
+    pub fn with_weight(mut self, weight: f64) -> WorkloadSpec<'a> {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "workload weight must be positive and finite, got {weight}"
+        );
+        self.weight = weight;
+        self
+    }
+}
+
+/// The design problem: `N` workloads to consolidate onto one machine.
+#[derive(Debug)]
+pub struct DesignProblem<'a> {
+    /// The physical machine.
+    pub machine: MachineSpec,
+    /// The workloads, one virtual machine each.
+    pub workloads: Vec<WorkloadSpec<'a>>,
+}
+
+impl<'a> DesignProblem<'a> {
+    /// Creates and validates a problem.
+    pub fn new(
+        machine: MachineSpec,
+        workloads: Vec<WorkloadSpec<'a>>,
+    ) -> Result<DesignProblem<'a>, CoreError> {
+        machine.validate()?;
+        if workloads.is_empty() {
+            return Err(CoreError::BadProblem {
+                reason: "a design problem needs at least one workload".to_string(),
+            });
+        }
+        if workloads.iter().any(|w| w.queries.is_empty()) {
+            return Err(CoreError::BadProblem {
+                reason: "every workload needs at least one query".to_string(),
+            });
+        }
+        Ok(DesignProblem { machine, workloads })
+    }
+
+    /// Number of workloads (`N`).
+    pub fn num_workloads(&self) -> usize {
+        self.workloads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_problems() {
+        let err = DesignProblem::new(MachineSpec::tiny(), vec![]).unwrap_err();
+        assert!(matches!(err, CoreError::BadProblem { .. }));
+
+        let db = Database::new();
+        let err = DesignProblem::new(
+            MachineSpec::tiny(),
+            vec![WorkloadSpec::new("w", &db, vec![])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadProblem { .. }));
+    }
+}

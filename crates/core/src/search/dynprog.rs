@@ -1,0 +1,85 @@
+//! Exact dynamic programming over separable workload costs.
+//!
+//! The total objective `Σᵢ Cost(Wᵢ, Rᵢ)` is separable: workload `i`'s cost
+//! depends only on its own `(cpu, mem)` units. So the optimum over a
+//! discretized simplex is a textbook resource-allocation DP — the
+//! "standard techniques such as dynamic programming" the paper expects to
+//! apply (Section 7):
+//!
+//! ```text
+//! f(i, c, m) = min over (cᵢ, mᵢ) of  cost_i(cᵢ, mᵢ) + f(i+1, c-cᵢ, m-mᵢ)
+//! ```
+//!
+//! with every workload receiving at least `min_units` of each resource
+//! and the last workload absorbing the remainder (allocations that waste
+//! units are dominated, since cost is non-increasing in resources).
+
+use super::{Evaluator, UnitAssignment};
+use crate::CoreError;
+use std::collections::HashMap;
+
+/// Memo table: `(workload, cpu units left, mem units left)` -> best
+/// remaining cost plus the chosen `(cpu, mem)` units at this level.
+type Memo = HashMap<(usize, u32, u32), (f64, (u32, u32))>;
+
+pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
+    let n = eval.problem.num_workloads();
+    let cfg = eval.config;
+    // memo[(i, c, m)] = (best cost of workloads i.., chosen (cᵢ, mᵢ)).
+    let mut memo: Memo = Memo::new();
+
+    fn solve(
+        eval: &Evaluator<'_, '_>,
+        memo: &mut Memo,
+        i: usize,
+        cpu_left: u32,
+        mem_left: u32,
+    ) -> Result<(f64, (u32, u32)), CoreError> {
+        let n = eval.problem.num_workloads();
+        let min = eval.config.min_units;
+        if let Some(&hit) = memo.get(&(i, cpu_left, mem_left)) {
+            return Ok(hit);
+        }
+        let result = if i == n - 1 {
+            // Last workload takes everything that remains.
+            let cost = eval.cost(i, cpu_left, mem_left)?;
+            (cost, (cpu_left, mem_left))
+        } else {
+            let reserve = min * (n - 1 - i) as u32;
+            let mut best: Option<(f64, (u32, u32))> = None;
+            let mut ci = min;
+            while ci + reserve <= cpu_left {
+                let mut mi = min;
+                while mi + reserve <= mem_left {
+                    let here = eval.cost(i, ci, mi)?;
+                    let (rest, _) = solve(eval, memo, i + 1, cpu_left - ci, mem_left - mi)?;
+                    let total = here + rest;
+                    let better = best.is_none_or(|(b, _)| total < b);
+                    if better {
+                        best = Some((total, (ci, mi)));
+                    }
+                    mi += 1;
+                }
+                ci += 1;
+            }
+            best.ok_or_else(|| CoreError::BadProblem {
+                reason: "no feasible allocation remains".to_string(),
+            })?
+        };
+        memo.insert((i, cpu_left, mem_left), result);
+        Ok(result)
+    }
+
+    solve(eval, &mut memo, 0, cfg.units, cfg.units)?;
+
+    // Reconstruct the assignment by replaying the memoized choices.
+    let mut assignment = Vec::with_capacity(n);
+    let (mut cpu_left, mut mem_left) = (cfg.units, cfg.units);
+    for i in 0..n {
+        let (_, (ci, mi)) = memo[&(i, cpu_left, mem_left)];
+        assignment.push((ci, mi));
+        cpu_left -= ci;
+        mem_left -= mi;
+    }
+    Ok(assignment)
+}

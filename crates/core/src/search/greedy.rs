@@ -1,0 +1,87 @@
+//! Greedy unit-transfer search.
+//!
+//! Start from the paper's default allocation (the equal split) and
+//! repeatedly apply the best single-unit transfer of CPU or memory from
+//! one workload to another, stopping when no transfer improves the total
+//! cost. This is exactly the manual reasoning in the paper's Section 6
+//! ("take CPU away from Q4 and give it to Q13"), automated.
+
+use super::{equal_assignment, Evaluator, UnitAssignment};
+use crate::CoreError;
+
+/// Which resource a transfer moves.
+#[derive(Clone, Copy)]
+enum Res {
+    Cpu,
+    Mem,
+}
+
+pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
+    let n = eval.problem.num_workloads();
+    let cfg = eval.config;
+    let mut current = equal_assignment(n, cfg.units);
+    let mut current_cost = eval.total(&current)?;
+
+    // Each accepted transfer strictly improves a bounded-below objective
+    // over a finite state space, so this terminates; the explicit cap is
+    // a defensive bound only.
+    let max_moves = (cfg.units as usize * n * 4).max(64);
+    for _ in 0..max_moves {
+        let mut best_move: Option<(f64, usize, usize, Res)> = None;
+        for donor in 0..n {
+            for recipient in 0..n {
+                if donor == recipient {
+                    continue;
+                }
+                for res in [Res::Cpu, Res::Mem] {
+                    let (dc, dm) = current[donor];
+                    let units_held = match res {
+                        Res::Cpu => dc,
+                        Res::Mem => dm,
+                    };
+                    if units_held <= cfg.min_units {
+                        continue;
+                    }
+                    // Only donor and recipient change; reuse the rest.
+                    let mut candidate = current.clone();
+                    match res {
+                        Res::Cpu => {
+                            candidate[donor].0 -= 1;
+                            candidate[recipient].0 += 1;
+                        }
+                        Res::Mem => {
+                            candidate[donor].1 -= 1;
+                            candidate[recipient].1 += 1;
+                        }
+                    }
+                    let delta = eval.cost(donor, candidate[donor].0, candidate[donor].1)?
+                        + eval.cost(recipient, candidate[recipient].0, candidate[recipient].1)?
+                        - eval.cost(donor, current[donor].0, current[donor].1)?
+                        - eval.cost(recipient, current[recipient].0, current[recipient].1)?;
+                    if delta < -1e-12 {
+                        let cost = current_cost + delta;
+                        let better = best_move.as_ref().is_none_or(|(b, ..)| cost < *b);
+                        if better {
+                            best_move = Some((cost, donor, recipient, res));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((cost, donor, recipient, res)) = best_move else {
+            break; // local optimum
+        };
+        match res {
+            Res::Cpu => {
+                current[donor].0 -= 1;
+                current[recipient].0 += 1;
+            }
+            Res::Mem => {
+                current[donor].1 -= 1;
+                current[recipient].1 += 1;
+            }
+        }
+        current_cost = cost;
+    }
+    Ok(current)
+}

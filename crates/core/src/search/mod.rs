@@ -1,0 +1,463 @@
+//! Combinatorial search over candidate allocations (paper, Section 3:
+//! "a search algorithm for enumerating candidate solutions" plus "a method
+//! for evaluating the cost of a candidate solution").
+//!
+//! Shares are discretized into `units` equal steps per resource; a
+//! candidate gives each workload an integer number of units of CPU and of
+//! memory (disk is a fixed per-VM policy, matching the paper's testbed,
+//! where Xen could not throttle disk independently). Three algorithms are
+//! provided:
+//!
+//! * [`SearchAlgorithm::Exhaustive`] — enumerate every composition
+//!   (ground truth, exponential in `N`);
+//! * [`SearchAlgorithm::Greedy`] — start from the equal split and
+//!   repeatedly move one unit between workloads while that improves total
+//!   cost;
+//! * [`SearchAlgorithm::DynamicProgramming`] — the paper's suggested
+//!   "standard technique": costs are separable across workloads, so an
+//!   exact DP over (workload, remaining cpu units, remaining memory
+//!   units) finds the optimum in polynomial time.
+//!
+//! Cost evaluations are cached per `(workload, cpu units, mem units)` —
+//! the what-if optimizer is cheap but not free, and the same cell recurs
+//! across candidates.
+
+mod dynprog;
+mod exhaustive;
+mod greedy;
+
+use crate::{CoreError, CostModel, DesignProblem};
+use dbvirt_vmm::{AllocationMatrix, ResourceVector};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Number of discrete units each resource is divided into.
+    pub units: u32,
+    /// Fixed disk share given to every VM (typically `1 / N`).
+    pub disk_share: f64,
+    /// Minimum units of each resource per workload (≥ 1 so every VM can
+    /// make progress).
+    pub min_units: u32,
+}
+
+impl SearchConfig {
+    /// A config with `units` steps, equal-split disk for `n` workloads,
+    /// and a 1-unit floor.
+    pub fn for_workloads(units: u32, n: usize) -> SearchConfig {
+        SearchConfig {
+            units,
+            disk_share: 1.0 / n as f64,
+            min_units: 1,
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<(), CoreError> {
+        if self.units == 0 || self.min_units == 0 {
+            return Err(CoreError::BadProblem {
+                reason: "units and min_units must be positive".to_string(),
+            });
+        }
+        if (self.min_units as usize) * n > self.units as usize {
+            return Err(CoreError::BadProblem {
+                reason: format!(
+                    "{} workloads x {} min units exceed {} total units",
+                    n, self.min_units, self.units
+                ),
+            });
+        }
+        if !(self.disk_share > 0.0 && self.disk_share <= 1.0) {
+            return Err(CoreError::BadProblem {
+                reason: format!("disk share {} out of range", self.disk_share),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchAlgorithm {
+    /// Full enumeration of all candidates.
+    Exhaustive,
+    /// Unit-transfer hill climbing from the equal split.
+    Greedy,
+    /// Exact dynamic programming over separable costs.
+    DynamicProgramming,
+}
+
+impl SearchAlgorithm {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAlgorithm::Exhaustive => "exhaustive",
+            SearchAlgorithm::Greedy => "greedy",
+            SearchAlgorithm::DynamicProgramming => "dynamic-programming",
+        }
+    }
+}
+
+/// The search's output: the recommended allocation and its predicted
+/// costs.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The recommended allocation matrix.
+    pub allocation: AllocationMatrix,
+    /// Predicted cost (seconds) per workload under the recommendation.
+    pub per_workload_costs: Vec<f64>,
+    /// Sum of the per-workload costs.
+    pub total_cost: f64,
+    /// The optimized objective: the service-level-weighted cost sum
+    /// (equals `total_cost` when every weight is 1).
+    pub objective: f64,
+    /// Distinct what-if cost evaluations performed.
+    pub evaluations: usize,
+    /// The algorithm that produced this recommendation.
+    pub algorithm: &'static str,
+}
+
+/// Per-workload integer allocation: `(cpu units, mem units)`.
+pub(crate) type UnitAssignment = Vec<(u32, u32)>;
+
+/// Shared evaluation machinery: share conversion + memoized cost calls.
+pub(crate) struct Evaluator<'p, 'm> {
+    pub problem: &'p DesignProblem<'p>,
+    pub model: &'m dyn CostModel,
+    pub config: SearchConfig,
+    cache: RefCell<HashMap<(usize, u32, u32), f64>>,
+    evals: Cell<usize>,
+}
+
+impl<'p, 'm> Evaluator<'p, 'm> {
+    pub fn new(
+        problem: &'p DesignProblem<'p>,
+        model: &'m dyn CostModel,
+        config: SearchConfig,
+    ) -> Evaluator<'p, 'm> {
+        Evaluator {
+            problem,
+            model,
+            config,
+            cache: RefCell::new(HashMap::new()),
+            evals: Cell::new(0),
+        }
+    }
+
+    pub fn shares(&self, cpu_units: u32, mem_units: u32) -> Result<ResourceVector, CoreError> {
+        let u = self.config.units as f64;
+        Ok(ResourceVector::from_fractions(
+            cpu_units as f64 / u,
+            mem_units as f64 / u,
+            self.config.disk_share,
+        )?)
+    }
+
+    /// Memoized `weightᵢ · Cost(Wᵢ, Rᵢ)` at a grid cell — the quantity the
+    /// search algorithms minimize (the paper's objective when every weight
+    /// is 1; the SLO extension otherwise).
+    pub fn cost(&self, w: usize, cpu_units: u32, mem_units: u32) -> Result<f64, CoreError> {
+        let key = (w, cpu_units, mem_units);
+        if let Some(&c) = self.cache.borrow().get(&key) {
+            return Ok(c);
+        }
+        let shares = self.shares(cpu_units, mem_units)?;
+        let c = self.model.cost(self.problem, w, shares)? * self.problem.workloads[w].weight;
+        self.cache.borrow_mut().insert(key, c);
+        self.evals.set(self.evals.get() + 1);
+        Ok(c)
+    }
+
+    pub fn evaluations(&self) -> usize {
+        self.evals.get()
+    }
+
+    /// Total cost of a full unit assignment.
+    pub fn total(&self, assignment: &UnitAssignment) -> Result<f64, CoreError> {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(w, &(c, m))| self.cost(w, c, m))
+            .sum()
+    }
+
+    /// Converts a unit assignment into the final recommendation.
+    pub fn finish(
+        &self,
+        assignment: &UnitAssignment,
+        algorithm: SearchAlgorithm,
+    ) -> Result<Recommendation, CoreError> {
+        let rows: Vec<ResourceVector> = assignment
+            .iter()
+            .map(|&(c, m)| self.shares(c, m))
+            .collect::<Result<_, _>>()?;
+        let allocation = AllocationMatrix::new(rows)?;
+        let weighted: Vec<f64> = assignment
+            .iter()
+            .enumerate()
+            .map(|(w, &(c, m))| self.cost(w, c, m))
+            .collect::<Result<_, _>>()?;
+        let per_workload_costs: Vec<f64> = weighted
+            .iter()
+            .enumerate()
+            .map(|(w, &c)| c / self.problem.workloads[w].weight)
+            .collect();
+        Ok(Recommendation {
+            allocation,
+            objective: weighted.iter().sum(),
+            total_cost: per_workload_costs.iter().sum(),
+            per_workload_costs,
+            evaluations: self.evaluations(),
+            algorithm: algorithm.name(),
+        })
+    }
+}
+
+/// The equal split as a unit assignment (remainder units go to the first
+/// workloads).
+pub(crate) fn equal_assignment(n: usize, units: u32) -> UnitAssignment {
+    let base = units / n as u32;
+    let extra = units as usize % n;
+    (0..n)
+        .map(|i| {
+            let u = base + u32::from(i < extra);
+            (u, u)
+        })
+        .collect()
+}
+
+/// Runs the requested search.
+pub fn run_search(
+    algorithm: SearchAlgorithm,
+    problem: &DesignProblem<'_>,
+    model: &dyn CostModel,
+    config: SearchConfig,
+) -> Result<Recommendation, CoreError> {
+    config.validate(problem.num_workloads())?;
+    let eval = Evaluator::new(problem, model, config);
+    let assignment = match algorithm {
+        SearchAlgorithm::Exhaustive => exhaustive::search(&eval)?,
+        SearchAlgorithm::Greedy => greedy::search(&eval)?,
+        SearchAlgorithm::DynamicProgramming => dynprog::search(&eval)?,
+    };
+    eval.finish(&assignment, algorithm)
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! A synthetic, analytically-minimizable cost model for search tests.
+
+    use super::*;
+    use dbvirt_engine::Database;
+    use dbvirt_optimizer::LogicalPlan;
+    use dbvirt_storage::{DataType, Datum, Field, Schema, Tuple};
+    use dbvirt_vmm::MachineSpec;
+
+    /// `cost_i(R) = cpu_weight_i / cpu + mem_weight_i / mem` — convex and
+    /// separable, so the optimum is unique and the greedy landscape is
+    /// well-behaved.
+    pub struct SyntheticModel {
+        pub weights: Vec<(f64, f64)>,
+    }
+
+    impl CostModel for SyntheticModel {
+        fn cost(
+            &self,
+            _problem: &DesignProblem<'_>,
+            w_idx: usize,
+            shares: ResourceVector,
+        ) -> Result<f64, CoreError> {
+            let (wc, wm) = self.weights[w_idx];
+            Ok(wc / shares.cpu().fraction() + wm / shares.memory().fraction())
+        }
+    }
+
+    /// Builds a minimal valid problem with `n` trivial workloads (the
+    /// synthetic model never looks at the queries).
+    pub fn dummy_problem(db: &Database, n: usize) -> DesignProblem<'_> {
+        let t = db.table_id("t").unwrap();
+        let workloads = (0..n)
+            .map(|i| crate::WorkloadSpec::new(format!("w{i}"), db, vec![LogicalPlan::scan(t)]))
+            .collect();
+        DesignProblem::new(MachineSpec::paper_testbed(), workloads).unwrap()
+    }
+
+    pub fn dummy_db() -> Database {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::new(vec![Field::new("a", DataType::Int)]));
+        db.insert_rows(t, (0..10).map(|i| Tuple::new(vec![Datum::Int(i)])))
+            .unwrap();
+        db.analyze_all().unwrap();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn equal_assignment_distributes_remainder() {
+        assert_eq!(equal_assignment(2, 8), vec![(4, 4), (4, 4)]);
+        assert_eq!(equal_assignment(3, 8), vec![(3, 3), (3, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 3);
+        let model = SyntheticModel {
+            weights: vec![(1.0, 1.0); 3],
+        };
+        let bad = SearchConfig {
+            units: 2,
+            disk_share: 0.33,
+            min_units: 1,
+        };
+        assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
+        let bad = SearchConfig {
+            units: 8,
+            disk_share: 0.0,
+            min_units: 1,
+        };
+        assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_symmetric_workloads() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        let model = SyntheticModel {
+            weights: vec![(1.0, 1.0), (1.0, 1.0)],
+        };
+        let config = SearchConfig::for_workloads(8, 2);
+        for alg in [
+            SearchAlgorithm::Exhaustive,
+            SearchAlgorithm::Greedy,
+            SearchAlgorithm::DynamicProgramming,
+        ] {
+            let rec = run_search(alg, &problem, &model, config).unwrap();
+            // Symmetric convex costs: equal split is optimal.
+            let row = rec.allocation.row(0);
+            assert!(
+                (row.cpu().fraction() - 0.5).abs() < 1e-9,
+                "{alg:?} cpu {row}"
+            );
+            assert!((row.memory().fraction() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_get_skewed_allocations() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        // Workload 0 is CPU-hungry, workload 1 memory-hungry.
+        let model = SyntheticModel {
+            weights: vec![(10.0, 0.1), (0.1, 10.0)],
+        };
+        let config = SearchConfig::for_workloads(8, 2);
+        let rec = run_search(
+            SearchAlgorithm::DynamicProgramming,
+            &problem,
+            &model,
+            config,
+        )
+        .unwrap();
+        assert!(rec.allocation.row(0).cpu().fraction() > 0.6);
+        assert!(rec.allocation.row(1).memory().fraction() > 0.6);
+        // It beats the equal split.
+        let eq_cost: f64 = (0..2)
+            .map(|w| {
+                model
+                    .cost(
+                        &problem,
+                        w,
+                        ResourceVector::from_fractions(0.5, 0.5, 0.5).unwrap(),
+                    )
+                    .unwrap()
+            })
+            .sum();
+        assert!(rec.total_cost < eq_cost);
+    }
+
+    #[test]
+    fn slo_weights_skew_the_allocation() {
+        let db = dummy_db();
+        let mut problem = dummy_problem(&db, 2);
+        // Two identical workloads, but workload 1 carries a 5x SLO weight.
+        problem.workloads[1].weight = 5.0;
+        let model = SyntheticModel {
+            weights: vec![(1.0, 1.0), (1.0, 1.0)],
+        };
+        let config = SearchConfig::for_workloads(8, 2);
+        let rec = run_search(
+            SearchAlgorithm::DynamicProgramming,
+            &problem,
+            &model,
+            config,
+        )
+        .unwrap();
+        assert!(
+            rec.allocation.row(1).cpu() > rec.allocation.row(0).cpu(),
+            "the weighted workload should get more CPU: {}",
+            rec.allocation
+        );
+        assert!(rec.allocation.row(1).memory() > rec.allocation.row(0).memory());
+        // The objective is the weighted sum, the total the raw sum.
+        let raw: f64 = rec.per_workload_costs.iter().sum();
+        assert!((rec.total_cost - raw).abs() < 1e-12);
+        let weighted = rec.per_workload_costs[0] + 5.0 * rec.per_workload_costs[1];
+        assert!((rec.objective - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_exactly() {
+        let db = dummy_db();
+        for n in [2usize, 3] {
+            let problem = dummy_problem(&db, n);
+            let weights: Vec<(f64, f64)> = (0..n)
+                .map(|i| (1.0 + i as f64 * 2.5, 4.0 / (1.0 + i as f64)))
+                .collect();
+            let model = SyntheticModel { weights };
+            let config = SearchConfig::for_workloads(6, n);
+            let ex = run_search(SearchAlgorithm::Exhaustive, &problem, &model, config).unwrap();
+            let dp = run_search(
+                SearchAlgorithm::DynamicProgramming,
+                &problem,
+                &model,
+                config,
+            )
+            .unwrap();
+            assert!(
+                (ex.total_cost - dp.total_cost).abs() < 1e-9,
+                "n={n}: {} vs {}",
+                ex.total_cost,
+                dp.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_loses_to_equal_split_and_uses_fewer_evals() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 3);
+        let model = SyntheticModel {
+            weights: vec![(8.0, 0.5), (0.5, 8.0), (2.0, 2.0)],
+        };
+        let config = SearchConfig::for_workloads(9, 3);
+        let greedy = run_search(SearchAlgorithm::Greedy, &problem, &model, config).unwrap();
+        let exhaustive = run_search(SearchAlgorithm::Exhaustive, &problem, &model, config).unwrap();
+        let eval = Evaluator::new(&problem, &model, config);
+        let eq = eval.total(&equal_assignment(3, 9)).unwrap();
+        assert!(greedy.total_cost <= eq + 1e-9);
+        assert!(greedy.total_cost >= exhaustive.total_cost - 1e-9);
+        assert!(
+            greedy.evaluations < exhaustive.evaluations,
+            "greedy {} vs exhaustive {}",
+            greedy.evaluations,
+            exhaustive.evaluations
+        );
+    }
+}

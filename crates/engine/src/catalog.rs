@@ -1,0 +1,309 @@
+//! The catalog: tables, indexes, statistics, and the [`Database`] that owns
+//! all storage-level objects.
+
+use dbvirt_storage::{
+    stats, BPlusTree, DiskManager, HeapFile, Schema, StorageError, TableStats, Tuple,
+};
+use std::fmt;
+
+/// Identifier of a table within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// Identifier of an index within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub usize);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "index#{}", self.0)
+    }
+}
+
+/// Catalog entry for a table.
+#[derive(Debug)]
+pub struct TableMeta {
+    /// Table name (unique within the database).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Backing heap file.
+    pub heap: HeapFile,
+    /// `ANALYZE` output, if collected.
+    pub stats: Option<TableStats>,
+    /// Indexes defined on this table.
+    pub indexes: Vec<IndexId>,
+}
+
+/// Catalog entry for an index.
+#[derive(Debug)]
+pub struct IndexMeta {
+    /// Index name.
+    pub name: String,
+    /// Indexed table.
+    pub table: TableId,
+    /// Indexed column (position in the table schema).
+    pub column: usize,
+}
+
+/// A database: disk, catalog, heaps, and indexes, all owned together.
+#[derive(Debug, Default)]
+pub struct Database {
+    disk: DiskManager,
+    tables: Vec<TableMeta>,
+    index_meta: Vec<IndexMeta>,
+    index_trees: Vec<BPlusTree>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken (a programming error in the
+    /// deterministic workloads this engine serves).
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> TableId {
+        let name = name.into();
+        assert!(
+            self.table_id(&name).is_none(),
+            "table {name:?} already exists"
+        );
+        let heap = HeapFile::create(&mut self.disk);
+        self.tables.push(TableMeta {
+            name,
+            schema,
+            heap,
+            stats: None,
+            indexes: Vec::new(),
+        });
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Bulk-inserts rows into a table (offline, unmetered).
+    pub fn insert_rows(
+        &mut self,
+        table: TableId,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<u64, StorageError> {
+        let heap = self.tables[table.0].heap;
+        let mut n = 0;
+        for row in rows {
+            heap.insert(&mut self.disk, &row)?;
+            n += 1;
+        }
+        // Any previous statistics are stale now.
+        self.tables[table.0].stats = None;
+        Ok(n)
+    }
+
+    /// Builds a B+tree index on one column, bulk-loading from the heap.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        column: usize,
+    ) -> Result<IndexId, StorageError> {
+        let meta = &self.tables[table.0];
+        assert!(
+            column < meta.schema.len(),
+            "column {column} out of range for {}",
+            meta.name
+        );
+        let heap = meta.heap;
+        let mut entries = Vec::new();
+        for page_no in 0..heap.num_pages(&self.disk) {
+            let pid = dbvirt_storage::PageId {
+                file: heap.file_id(),
+                page_no,
+            };
+            let page = self.disk.read_page(pid)?;
+            for (slot, bytes) in page.records() {
+                let tuple = Tuple::decode(bytes)?;
+                entries.push((
+                    tuple.get(column).clone(),
+                    dbvirt_storage::TupleId { page_no, slot },
+                ));
+            }
+        }
+        let tree = BPlusTree::bulk_load(&mut self.disk, entries)?;
+        self.index_trees.push(tree);
+        self.index_meta.push(IndexMeta {
+            name: name.into(),
+            table,
+            column,
+        });
+        let id = IndexId(self.index_meta.len() - 1);
+        self.tables[table.0].indexes.push(id);
+        Ok(id)
+    }
+
+    /// Runs an `ANALYZE` pass over one table.
+    pub fn analyze_table(&mut self, table: TableId) -> Result<(), StorageError> {
+        let heap = self.tables[table.0].heap;
+        let arity = self.tables[table.0].schema.len();
+        let mut tuples = Vec::new();
+        for page_no in 0..heap.num_pages(&self.disk) {
+            let pid = dbvirt_storage::PageId {
+                file: heap.file_id(),
+                page_no,
+            };
+            for (_, bytes) in self.disk.read_page(pid)?.records() {
+                tuples.push(Tuple::decode(bytes)?);
+            }
+        }
+        let table_stats = stats::analyze(tuples.iter(), arity, heap.num_pages(&self.disk));
+        self.tables[table.0].stats = Some(table_stats);
+        Ok(())
+    }
+
+    /// Runs `ANALYZE` over every table.
+    pub fn analyze_all(&mut self) -> Result<(), StorageError> {
+        for t in 0..self.tables.len() {
+            self.analyze_table(TableId(t))?;
+        }
+        Ok(())
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Catalog entry for a table.
+    pub fn table(&self, id: TableId) -> &TableMeta {
+        &self.tables[id.0]
+    }
+
+    /// Looks a table up by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|t| t.name == name).map(TableId)
+    }
+
+    /// Catalog entry for an index.
+    #[allow(clippy::should_implement_trait)] // catalog accessor, not std::ops::Index
+    pub fn index(&self, id: IndexId) -> &IndexMeta {
+        &self.index_meta[id.0]
+    }
+
+    /// The B+tree behind an index.
+    pub fn index_tree(&self, id: IndexId) -> &BPlusTree {
+        &self.index_trees[id.0]
+    }
+
+    /// Finds an index on `(table, column)`, if one exists.
+    pub fn index_on(&self, table: TableId, column: usize) -> Option<IndexId> {
+        self.index_meta
+            .iter()
+            .position(|m| m.table == table && m.column == column)
+            .map(IndexId)
+    }
+
+    /// All indexes, with ids.
+    pub fn indexes(&self) -> impl Iterator<Item = (IndexId, &IndexMeta)> {
+        self.index_meta
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (IndexId(i), m))
+    }
+
+    /// The disk manager (shared by the executor and the buffer pool).
+    pub fn disk_mut(&mut self) -> &mut DiskManager {
+        &mut self.disk
+    }
+
+    /// Read-only disk access.
+    pub fn disk(&self) -> &DiskManager {
+        &self.disk
+    }
+
+    /// Split borrow used by the executor: the disk mutably plus the catalog
+    /// immutably.
+    pub fn disk_and_catalog(&mut self) -> (&mut DiskManager, &[TableMeta], &[BPlusTree]) {
+        (&mut self.disk, &self.tables, &self.index_trees)
+    }
+
+    /// Total size of the database in pages (heaps + indexes).
+    pub fn total_pages(&self) -> usize {
+        self.disk.total_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbvirt_storage::{DataType, Datum, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("val", DataType::Str),
+        ])
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Datum::Int(i), Datum::str(format!("v{i}"))])
+    }
+
+    #[test]
+    fn create_insert_analyze() {
+        let mut db = Database::new();
+        let t = db.create_table("t", schema());
+        db.insert_rows(t, (0..100).map(row)).unwrap();
+        assert!(db.table(t).stats.is_none());
+        db.analyze_table(t).unwrap();
+        let stats = db.table(t).stats.as_ref().unwrap();
+        assert_eq!(stats.n_rows, 100);
+        assert_eq!(stats.columns[0].n_distinct, 100);
+    }
+
+    #[test]
+    fn insert_invalidates_stats() {
+        let mut db = Database::new();
+        let t = db.create_table("t", schema());
+        db.insert_rows(t, (0..10).map(row)).unwrap();
+        db.analyze_table(t).unwrap();
+        db.insert_rows(t, (10..20).map(row)).unwrap();
+        assert!(db.table(t).stats.is_none(), "stats must go stale");
+    }
+
+    #[test]
+    fn index_lookup_matches_heap() {
+        let mut db = Database::new();
+        let t = db.create_table("t", schema());
+        db.insert_rows(t, (0..1000).map(row)).unwrap();
+        let idx = db.create_index("t_id", t, 0).unwrap();
+        assert_eq!(db.index_on(t, 0), Some(idx));
+        assert_eq!(db.index_on(t, 1), None);
+        assert_eq!(db.index_tree(idx).len(), 1000);
+        assert_eq!(db.index(idx).column, 0);
+    }
+
+    #[test]
+    fn table_lookup_by_name() {
+        let mut db = Database::new();
+        let a = db.create_table("alpha", schema());
+        let b = db.create_table("beta", schema());
+        assert_eq!(db.table_id("alpha"), Some(a));
+        assert_eq!(db.table_id("beta"), Some(b));
+        assert_eq!(db.table_id("gamma"), None);
+        assert_eq!(db.num_tables(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_table_name_panics() {
+        let mut db = Database::new();
+        db.create_table("t", schema());
+        db.create_table("t", schema());
+    }
+}

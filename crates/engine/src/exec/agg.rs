@@ -1,0 +1,326 @@
+//! Aggregation operators: hash aggregation and sorted-input aggregation.
+
+use crate::runtime::ExecContext;
+use crate::{AggExpr, AggFunc};
+use dbvirt_storage::{Datum, Tuple};
+use std::collections::HashMap;
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    /// `(integer sum, float sum, saw_float, saw_any)` — SUM of integers
+    /// stays integral, mixed input widens to float.
+    Sum(i64, f64, bool, bool),
+    Avg(f64, i64),
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0, 0.0, false, false),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, value: Option<Datum>) {
+        match (self, func) {
+            (AggState::Count(n), AggFunc::CountStar) => *n += 1,
+            (AggState::Count(n), AggFunc::Count) => {
+                if matches!(&value, Some(v) if !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            (AggState::Sum(si, sf, saw_float, seen), _) => match value {
+                Some(Datum::Int(v)) => {
+                    *si += v;
+                    *seen = true;
+                }
+                Some(Datum::Float(v)) => {
+                    *sf += v;
+                    *saw_float = true;
+                    *seen = true;
+                }
+                _ => {}
+            },
+            (AggState::Avg(sum, n), _) => {
+                if let Some(v) = value.as_ref().and_then(Datum::as_float) {
+                    *sum += v;
+                    *n += 1;
+                }
+            }
+            (AggState::Min(cur), _) => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    let replace = cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt());
+                    if replace {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), _) => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    let replace = cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt());
+                    if replace {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Count(_), _) => unreachable!("count state with non-count func"),
+        }
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            AggState::Count(n) => Datum::Int(n),
+            AggState::Sum(si, sf, saw_float, seen) => {
+                if !seen {
+                    Datum::Null
+                } else if saw_float {
+                    Datum::Float(sf + si as f64)
+                } else {
+                    Datum::Int(si)
+                }
+            }
+            AggState::Avg(sum, n) => {
+                if n == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Datum::Null),
+        }
+    }
+}
+
+fn make_states(aggs: &[AggExpr]) -> Vec<AggState> {
+    aggs.iter().map(|a| AggState::new(a.func)).collect()
+}
+
+fn update_states(states: &mut [AggState], aggs: &[AggExpr], row: &Tuple) {
+    for (state, agg) in states.iter_mut().zip(aggs) {
+        let value = agg.arg.as_ref().map(|e| e.eval(row));
+        state.update(agg.func, value);
+    }
+}
+
+fn finish_group(group: Vec<Datum>, states: Vec<AggState>) -> Tuple {
+    let mut values = group;
+    values.extend(states.into_iter().map(AggState::finish));
+    Tuple::new(values)
+}
+
+fn charge(ctx: &mut ExecContext<'_>, rows: usize, aggs: &[AggExpr], hashed: bool) {
+    let costs = ctx.costs;
+    let ops: f64 = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map_or(0.0, |e| e.num_operators() as f64))
+        .sum();
+    let per_row = aggs.len() as f64 * costs.per_agg
+        + ops * costs.per_operator
+        + if hashed { costs.per_hash } else { 0.0 };
+    ctx.charge_cpu(per_row * rows as f64);
+}
+
+/// Hash aggregation: one group per distinct key, any input order.
+pub fn hash_agg(
+    ctx: &mut ExecContext<'_>,
+    rows: Vec<Tuple>,
+    group_by: &[usize],
+    aggs: &[AggExpr],
+) -> Vec<Tuple> {
+    charge(ctx, rows.len(), aggs, !group_by.is_empty());
+
+    if group_by.is_empty() {
+        // Global aggregate: exactly one output row, even for empty input.
+        let mut states = make_states(aggs);
+        for row in &rows {
+            update_states(&mut states, aggs, row);
+        }
+        return vec![finish_group(Vec::new(), states)];
+    }
+
+    let mut groups: HashMap<bytes::Bytes, (Vec<Datum>, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<bytes::Bytes> = Vec::new();
+    for row in &rows {
+        let key_tuple = row.project(group_by);
+        let key = key_tuple.encode();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_tuple.into_values(), make_states(aggs))
+        });
+        update_states(&mut entry.1, aggs, row);
+    }
+    // Deterministic output: first-seen group order.
+    order
+        .into_iter()
+        .map(|k| {
+            let (group, states) = groups.remove(&k).expect("group recorded on insert");
+            finish_group(group, states)
+        })
+        .collect()
+}
+
+/// Aggregation over input sorted by the grouping columns: constant memory,
+/// no hashing.
+pub fn sort_agg(
+    ctx: &mut ExecContext<'_>,
+    rows: Vec<Tuple>,
+    group_by: &[usize],
+    aggs: &[AggExpr],
+) -> Vec<Tuple> {
+    charge(ctx, rows.len(), aggs, false);
+
+    if group_by.is_empty() {
+        let mut states = make_states(aggs);
+        for row in &rows {
+            update_states(&mut states, aggs, row);
+        }
+        return vec![finish_group(Vec::new(), states)];
+    }
+
+    let mut out = Vec::new();
+    let mut current: Option<(Vec<Datum>, Vec<AggState>)> = None;
+    for row in &rows {
+        let key: Vec<Datum> = group_by.iter().map(|&c| row.get(c).clone()).collect();
+        let same = current.as_ref().is_some_and(|(k, _)| {
+            k.iter()
+                .zip(&key)
+                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+        });
+        if !same {
+            if let Some((group, states)) = current.take() {
+                out.push(finish_group(group, states));
+            }
+            current = Some((key, make_states(aggs)));
+        }
+        update_states(&mut current.as_mut().expect("just set").1, aggs, row);
+    }
+    if let Some((group, states)) = current {
+        out.push(finish_group(group, states));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::tests_support::{context, small_db};
+    use crate::Expr;
+
+    fn rows(data: &[(&str, i64)]) -> Vec<Tuple> {
+        data.iter()
+            .map(|(g, v)| Tuple::new(vec![Datum::str(*g), Datum::Int(*v)]))
+            .collect()
+    }
+
+    fn aggs() -> Vec<AggExpr> {
+        vec![
+            AggExpr::count_star("n"),
+            AggExpr::new(AggFunc::Sum, Expr::col(1), "total"),
+            AggExpr::new(AggFunc::Avg, Expr::col(1), "mean"),
+            AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
+            AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
+        ]
+    }
+
+    #[test]
+    fn hash_agg_groups_correctly() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let input = rows(&[("a", 1), ("b", 10), ("a", 3), ("b", 20), ("a", 5)]);
+        let mut out = hash_agg(&mut ctx, input, &[0], &aggs());
+        out.sort_by(|x, y| x.get(0).total_cmp(y.get(0)));
+        assert_eq!(out.len(), 2);
+        let a = &out[0];
+        assert_eq!(a.get(0).as_str(), Some("a"));
+        assert_eq!(a.get(1), &Datum::Int(3)); // count
+        assert_eq!(a.get(2), &Datum::Int(9)); // sum
+        assert_eq!(a.get(3), &Datum::Float(3.0)); // avg
+        assert_eq!(a.get(4), &Datum::Int(1)); // min
+        assert_eq!(a.get(5), &Datum::Int(5)); // max
+    }
+
+    #[test]
+    fn sort_agg_matches_hash_agg_on_sorted_input() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let mut input = rows(&[("a", 1), ("b", 10), ("a", 3), ("c", 7), ("b", 20)]);
+        input.sort_by(|x, y| x.get(0).total_cmp(y.get(0)));
+        let via_sort = sort_agg(&mut ctx, input.clone(), &[0], &aggs());
+        let mut via_hash = hash_agg(&mut ctx, input, &[0], &aggs());
+        via_hash.sort_by(|x, y| x.get(0).total_cmp(y.get(0)));
+        assert_eq!(via_sort, via_hash);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let out = hash_agg(&mut ctx, vec![], &[], &aggs());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Datum::Int(0)); // count(*) = 0
+        assert_eq!(out[0].get(1), &Datum::Null); // sum of nothing
+        assert_eq!(out[0].get(2), &Datum::Null); // avg of nothing
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        assert!(hash_agg(&mut ctx, vec![], &[0], &aggs()).is_empty());
+        assert!(sort_agg(&mut ctx, vec![], &[0], &aggs()).is_empty());
+    }
+
+    #[test]
+    fn count_ignores_nulls_but_count_star_does_not() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let input = vec![
+            Tuple::new(vec![Datum::str("a"), Datum::Int(1)]),
+            Tuple::new(vec![Datum::str("a"), Datum::Null]),
+        ];
+        let aggs = vec![
+            AggExpr::count_star("all"),
+            AggExpr::new(AggFunc::Count, Expr::col(1), "nonnull"),
+            AggExpr::new(AggFunc::Sum, Expr::col(1), "sum"),
+        ];
+        let out = hash_agg(&mut ctx, input, &[0], &aggs);
+        assert_eq!(out[0].get(1), &Datum::Int(2));
+        assert_eq!(out[0].get(2), &Datum::Int(1));
+        assert_eq!(out[0].get(3), &Datum::Int(1), "sum skips NULLs");
+    }
+
+    #[test]
+    fn sum_widens_to_float_on_mixed_input() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let input = vec![
+            Tuple::new(vec![Datum::str("a"), Datum::Int(1)]),
+            Tuple::new(vec![Datum::str("a"), Datum::Float(0.5)]),
+        ];
+        let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")];
+        let out = hash_agg(&mut ctx, input, &[0], &aggs);
+        assert_eq!(out[0].get(1), &Datum::Float(1.5));
+    }
+
+    #[test]
+    fn agg_over_expression_argument() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        let input = rows(&[("a", 2), ("a", 3)]);
+        // sum(v * 10)
+        let aggs = vec![AggExpr::new(
+            AggFunc::Sum,
+            Expr::mul(Expr::col(1), Expr::int(10)),
+            "s",
+        )];
+        let out = hash_agg(&mut ctx, input, &[0], &aggs);
+        assert_eq!(out[0].get(1), &Datum::Int(50));
+    }
+}

@@ -1,0 +1,142 @@
+//! The executor: materializing physical operators with demand metering.
+//!
+//! Operators execute bottom-up, each returning a fully materialized
+//! `Vec<Tuple>`. All physical work is charged as it happens: CPU cycles via
+//! [`crate::ExecContext::charge_cpu`] and page I/O via the buffer pool the
+//! context carries. This is what makes an execution a *measurement*: the
+//! accumulated [`dbvirt_vmm::ResourceDemand`] is converted to simulated
+//! time by a [`dbvirt_vmm::VirtualMachine`] under some resource allocation.
+
+mod agg;
+mod join;
+mod scan;
+mod sort;
+
+use crate::runtime::{EngineError, ExecContext};
+use crate::{Expr, PhysicalPlan};
+use dbvirt_storage::Tuple;
+
+/// Executes a plan, returning its materialized output rows.
+pub fn execute(ctx: &mut ExecContext<'_>, plan: &PhysicalPlan) -> Result<Vec<Tuple>, EngineError> {
+    match plan {
+        PhysicalPlan::SeqScan { table, filter } => scan::seq_scan(ctx, *table, filter.as_ref()),
+        PhysicalPlan::IndexScan {
+            table,
+            index,
+            lo,
+            hi,
+            filter,
+        } => scan::index_scan(ctx, *table, *index, lo, hi, filter.as_ref()),
+        PhysicalPlan::Filter { input, predicate } => {
+            let rows = execute(ctx, input)?;
+            Ok(apply_filter(ctx, rows, predicate))
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let rows = execute(ctx, input)?;
+            Ok(project(ctx, rows, exprs))
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let rows = execute(ctx, input)?;
+            Ok(sort::sort(ctx, rows, keys))
+        }
+        PhysicalPlan::Limit { input, limit } => {
+            let mut rows = execute(ctx, input)?;
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
+            let left_rows = execute(ctx, left)?;
+            let right_rows = execute(ctx, right)?;
+            let right_arity = right.output_schema(ctx.db).len();
+            Ok(join::hash_join(
+                ctx,
+                left_rows,
+                right_rows,
+                left_keys,
+                right_keys,
+                *join_type,
+                right_arity,
+            ))
+        }
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let left_rows = execute(ctx, left)?;
+            let right_rows = execute(ctx, right)?;
+            Ok(join::merge_join(
+                ctx, left_rows, right_rows, *left_key, *right_key,
+            ))
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            join_type,
+        } => {
+            let left_rows = execute(ctx, left)?;
+            let right_rows = execute(ctx, right)?;
+            let right_arity = right.output_schema(ctx.db).len();
+            Ok(join::nested_loop_join(
+                ctx,
+                left_rows,
+                right_rows,
+                predicate.as_ref(),
+                *join_type,
+                right_arity,
+            ))
+        }
+        PhysicalPlan::HashAgg {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = execute(ctx, input)?;
+            Ok(agg::hash_agg(ctx, rows, group_by, aggs))
+        }
+        PhysicalPlan::SortAgg {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = execute(ctx, input)?;
+            Ok(agg::sort_agg(ctx, rows, group_by, aggs))
+        }
+    }
+}
+
+/// Applies a predicate, charging its operator evaluations.
+pub(crate) fn apply_filter(
+    ctx: &mut ExecContext<'_>,
+    rows: Vec<Tuple>,
+    predicate: &Expr,
+) -> Vec<Tuple> {
+    let ops = predicate.num_operators() as f64;
+    let per_row = ops * ctx.costs.per_operator + ctx.costs.per_tuple;
+    ctx.charge_cpu(per_row * rows.len() as f64);
+    rows.into_iter()
+        .filter(|t| predicate.eval_bool(t) == Some(true))
+        .collect()
+}
+
+/// Evaluates a projection list, charging its operator evaluations.
+pub(crate) fn project(
+    ctx: &mut ExecContext<'_>,
+    rows: Vec<Tuple>,
+    exprs: &[(Expr, String)],
+) -> Vec<Tuple> {
+    let ops: f64 = exprs.iter().map(|(e, _)| e.num_operators() as f64).sum();
+    let per_row = ops * ctx.costs.per_operator + ctx.costs.per_tuple;
+    ctx.charge_cpu(per_row * rows.len() as f64);
+    rows.into_iter()
+        .map(|t| Tuple::new(exprs.iter().map(|(e, _)| e.eval(&t)).collect()))
+        .collect()
+}

@@ -1,0 +1,418 @@
+//! The physical plan algebra.
+//!
+//! Physical plans are produced by the optimizer (`dbvirt-optimizer`) and
+//! consumed by the executor ([`crate::exec`]). Keeping the type here lets
+//! both crates share it without a dependency cycle.
+
+use crate::{AggExpr, AggFunc, Expr};
+use crate::{IndexId, TableId};
+use dbvirt_storage::{DataType, Datum, Field, Schema};
+use std::fmt::Write as _;
+use std::ops::Bound;
+
+/// Join variants supported by the join operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Matching pairs only.
+    Inner,
+    /// All left rows; unmatched ones padded with NULLs.
+    Left,
+    /// Left rows with at least one match (`EXISTS`).
+    Semi,
+    /// Left rows with no match (`NOT EXISTS`).
+    Anti,
+}
+
+impl JoinType {
+    /// True if the join output carries the right side's columns.
+    pub fn emits_right(self) -> bool {
+        matches!(self, JoinType::Inner | JoinType::Left)
+    }
+}
+
+/// One sort key: a column and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column position in the input schema.
+    pub column: usize,
+    /// Sort descending when true.
+    pub descending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            descending: false,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            descending: true,
+        }
+    }
+}
+
+/// A physical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Full heap scan with an optional pushed-down filter.
+    SeqScan {
+        /// Scanned table.
+        table: TableId,
+        /// Residual predicate applied to each tuple.
+        filter: Option<Expr>,
+    },
+    /// B+tree range scan plus heap fetches, with an optional residual
+    /// filter.
+    IndexScan {
+        /// Scanned table.
+        table: TableId,
+        /// The index used.
+        index: IndexId,
+        /// Lower key bound.
+        lo: Bound<Datum>,
+        /// Upper key bound.
+        hi: Bound<Datum>,
+        /// Residual predicate applied to fetched tuples.
+        filter: Option<Expr>,
+    },
+    /// Standalone filter (e.g. `HAVING`).
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Expression projection.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Sort (in-memory or external, decided by `work_mem` at run time).
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// First `limit` rows of the input.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row budget.
+        limit: usize,
+    },
+    /// Hash join on equality keys.
+    HashJoin {
+        /// Probe (outer) side.
+        left: Box<PhysicalPlan>,
+        /// Build (inner) side.
+        right: Box<PhysicalPlan>,
+        /// Equality key columns on the left schema.
+        left_keys: Vec<usize>,
+        /// Equality key columns on the right schema.
+        right_keys: Vec<usize>,
+        /// Join variant.
+        join_type: JoinType,
+    },
+    /// Merge join of two inputs already sorted on the join key (inner
+    /// only).
+    MergeJoin {
+        /// Left input, sorted on `left_key`.
+        left: Box<PhysicalPlan>,
+        /// Right input, sorted on `right_key`.
+        right: Box<PhysicalPlan>,
+        /// Left key column.
+        left_key: usize,
+        /// Right key column.
+        right_key: usize,
+    },
+    /// Nested-loop join with an arbitrary predicate.
+    NestedLoopJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Inner input (rescanned per outer row; materialized once).
+        right: Box<PhysicalPlan>,
+        /// Join predicate over the concatenated row (`None` = cross join).
+        predicate: Option<Expr>,
+        /// Join variant.
+        join_type: JoinType,
+    },
+    /// Hash aggregation.
+    HashAgg {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping columns (empty = one global group).
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+    /// Aggregation over input sorted by the grouping columns.
+    SortAgg {
+        /// Input plan, sorted by `group_by`.
+        input: Box<PhysicalPlan>,
+        /// Grouping columns.
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+}
+
+fn agg_output_type(agg: &AggExpr, input: &Schema) -> DataType {
+    match agg.func {
+        AggFunc::Count | AggFunc::CountStar => DataType::Int,
+        AggFunc::Avg => DataType::Float,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => agg
+            .arg
+            .as_ref()
+            .map(|e| e.data_type(input))
+            .unwrap_or(DataType::Float),
+    }
+}
+
+fn agg_schema(input: &Schema, group_by: &[usize], aggs: &[AggExpr]) -> Schema {
+    let mut fields: Vec<Field> = group_by.iter().map(|&c| input.field(c).clone()).collect();
+    for a in aggs {
+        fields.push(Field::new(a.name.clone(), agg_output_type(a, input)));
+    }
+    Schema::new(fields)
+}
+
+impl PhysicalPlan {
+    /// The output schema, resolved against a database catalog.
+    pub fn output_schema(&self, db: &crate::Database) -> Schema {
+        match self {
+            PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                db.table(*table).schema.clone()
+            }
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Limit { input, .. } => {
+                input.output_schema(db)
+            }
+            PhysicalPlan::Sort { input, .. } => input.output_schema(db),
+            PhysicalPlan::Project { input, exprs } => {
+                let in_schema = input.output_schema(db);
+                Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, name)| Field::new(name.clone(), e.data_type(&in_schema)))
+                        .collect(),
+                )
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                ..
+            }
+            | PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let l = left.output_schema(db);
+                if join_type.emits_right() {
+                    l.join(&right.output_schema(db))
+                } else {
+                    l
+                }
+            }
+            PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.output_schema(db).join(&right.output_schema(db))
+            }
+            PhysicalPlan::HashAgg {
+                input,
+                group_by,
+                aggs,
+            }
+            | PhysicalPlan::SortAgg {
+                input,
+                group_by,
+                aggs,
+            } => agg_schema(&input.output_schema(db), group_by, aggs),
+        }
+    }
+
+    /// One-word operator name (for EXPLAIN output and tests).
+    pub fn node_name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::SeqScan { .. } => "SeqScan",
+            PhysicalPlan::IndexScan { .. } => "IndexScan",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Limit { .. } => "Limit",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::MergeJoin { .. } => "MergeJoin",
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalPlan::HashAgg { .. } => "HashAgg",
+            PhysicalPlan::SortAgg { .. } => "SortAgg",
+        }
+    }
+
+    /// Child plans, for tree walks.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::HashAgg { input, .. }
+            | PhysicalPlan::SortAgg { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// An indented EXPLAIN-style rendering of the plan tree.
+    pub fn explain(&self) -> String {
+        fn walk(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+            let _ = writeln!(
+                out,
+                "{:indent$}-> {}",
+                "",
+                plan.node_name(),
+                indent = depth * 2
+            );
+            for child in plan.children() {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+
+    /// Number of operators in the plan tree.
+    pub fn num_nodes(&self) -> usize {
+        1 + self.children().iter().map(|c| c.num_nodes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+    use dbvirt_storage::Field;
+
+    fn db_with_table() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Str),
+            ]),
+        );
+        (db, t)
+    }
+
+    #[test]
+    fn scan_schema_is_table_schema() {
+        let (db, t) = db_with_table();
+        let plan = PhysicalPlan::SeqScan {
+            table: t,
+            filter: None,
+        };
+        assert_eq!(plan.output_schema(&db).len(), 2);
+        assert_eq!(plan.node_name(), "SeqScan");
+    }
+
+    #[test]
+    fn project_schema_uses_expr_types() {
+        let (db, t) = db_with_table();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                filter: None,
+            }),
+            exprs: vec![
+                (Expr::add(Expr::col(0), Expr::int(1)), "a1".into()),
+                (Expr::lt(Expr::col(0), Expr::int(5)), "flag".into()),
+            ],
+        };
+        let s = plan.output_schema(&db);
+        assert_eq!(s.field(0).name, "a1");
+        assert_eq!(s.field(0).data_type, DataType::Int);
+        assert_eq!(s.field(1).data_type, DataType::Bool);
+    }
+
+    #[test]
+    fn join_schema_depends_on_join_type() {
+        let (db, t) = db_with_table();
+        let scan = || {
+            Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                filter: None,
+            })
+        };
+        let inner = PhysicalPlan::HashJoin {
+            left: scan(),
+            right: scan(),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        };
+        assert_eq!(inner.output_schema(&db).len(), 4);
+        let semi = PhysicalPlan::HashJoin {
+            left: scan(),
+            right: scan(),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Semi,
+        };
+        assert_eq!(semi.output_schema(&db).len(), 2);
+    }
+
+    #[test]
+    fn agg_schema_groups_then_aggs() {
+        let (db, t) = db_with_table();
+        let plan = PhysicalPlan::HashAgg {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                filter: None,
+            }),
+            group_by: vec![1],
+            aggs: vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(0), "total"),
+                AggExpr::new(AggFunc::Avg, Expr::col(0), "mean"),
+            ],
+        };
+        let s = plan.output_schema(&db);
+        assert_eq!(s.field(0).name, "b");
+        assert_eq!(s.field(1).data_type, DataType::Int);
+        assert_eq!(s.field(2).name, "total");
+        assert_eq!(s.field(2).data_type, DataType::Int);
+        assert_eq!(s.field(3).data_type, DataType::Float);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let (_, t) = db_with_table();
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    filter: None,
+                }),
+                keys: vec![SortKey::asc(0)],
+            }),
+            limit: 10,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit"));
+        assert!(text.contains("Sort"));
+        assert!(text.contains("SeqScan"));
+        assert_eq!(plan.num_nodes(), 3);
+    }
+}

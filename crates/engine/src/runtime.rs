@@ -1,0 +1,258 @@
+//! The execution runtime: context, errors, and the `run_plan` entry point.
+
+use crate::{exec, CpuCosts, Database, PhysicalPlan};
+use dbvirt_storage::{BufferPool, Schema, StorageError, Tuple};
+use dbvirt_vmm::ResourceDemand;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// The plan was malformed (e.g. referenced a missing index).
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Plan(msg) => write!(f, "bad plan: {msg}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Plan(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> EngineError {
+        EngineError::Storage(e)
+    }
+}
+
+/// Everything an operator needs while executing: the database, the buffer
+/// pool (sized from the VM's memory share), the `work_mem` budget, the CPU
+/// cost constants, and the demand accumulated so far.
+pub struct ExecContext<'a> {
+    /// The database being queried.
+    pub db: &'a mut Database,
+    /// Page cache; all heap/index I/O is charged through it.
+    pub pool: &'a mut BufferPool,
+    /// Memory budget for sorts and hash tables, in bytes.
+    pub work_mem_bytes: usize,
+    /// CPU cost constants (the engine's ground truth).
+    pub costs: CpuCosts,
+    /// CPU cycles and spill I/O charged directly by operators (buffer-pool
+    /// I/O accumulates separately inside `pool`).
+    pub demand: ResourceDemand,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Creates a context with default CPU costs.
+    pub fn new(
+        db: &'a mut Database,
+        pool: &'a mut BufferPool,
+        work_mem_bytes: usize,
+    ) -> ExecContext<'a> {
+        ExecContext {
+            db,
+            pool,
+            work_mem_bytes,
+            costs: CpuCosts::default(),
+            demand: ResourceDemand::ZERO,
+        }
+    }
+
+    /// Charges CPU cycles.
+    pub fn charge_cpu(&mut self, cycles: f64) {
+        self.demand.add_cpu(cycles);
+    }
+
+    /// Charges spill page writes (sorts, multi-batch hash joins).
+    pub fn charge_io_writes(&mut self, pages: u64) {
+        self.demand.add_writes(pages);
+    }
+
+    /// Charges spill sequential page reads.
+    pub fn charge_io_seq_reads(&mut self, pages: u64) {
+        self.demand.add_seq_reads(pages);
+    }
+
+    /// The demand charged directly by operators so far (spills + CPU).
+    pub fn io_demand(&self) -> &ResourceDemand {
+        &self.demand
+    }
+}
+
+/// Result of running one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Output column layout.
+    pub schema: Schema,
+    /// Materialized result rows.
+    pub rows: Vec<Tuple>,
+    /// Total physical work: executor CPU + spill I/O + buffer-pool I/O.
+    pub demand: ResourceDemand,
+}
+
+/// Executes `plan` against `db` using `pool`, returning rows plus the total
+/// [`ResourceDemand`] the execution generated. The pool's pre-existing
+/// demand is preserved (only the delta is attributed to this query), so a
+/// long-lived pool can serve many queries while each gets its own bill.
+pub fn run_plan(
+    db: &mut Database,
+    pool: &mut BufferPool,
+    plan: &PhysicalPlan,
+    work_mem_bytes: usize,
+    costs: CpuCosts,
+) -> Result<QueryOutput, EngineError> {
+    let io_before = *pool.demand();
+    let schema = plan.output_schema(db);
+    let mut ctx = ExecContext {
+        db,
+        pool,
+        work_mem_bytes,
+        costs,
+        demand: ResourceDemand::ZERO,
+    };
+    let rows = exec::execute(&mut ctx, plan)?;
+    let direct = ctx.demand;
+    let io_delta = pool.demand().delta_since(&io_before);
+    Ok(QueryOutput {
+        schema,
+        rows,
+        demand: direct + io_delta,
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Shared fixtures for executor unit tests.
+
+    use super::*;
+    use dbvirt_storage::{DataType, Datum, Field};
+
+    /// A database with one table `t(a INT, b STR)` holding `n` rows
+    /// (`a = 0..n`), and a modest buffer pool.
+    pub fn small_db(n: i64) -> (Database, BufferPool) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Str),
+            ]),
+        );
+        db.insert_rows(
+            t,
+            (0..n).map(|i| Tuple::new(vec![Datum::Int(i), Datum::str(format!("row-{i}"))])),
+        )
+        .unwrap();
+        (db, BufferPool::new(64))
+    }
+
+    /// A context over the fixtures with 1 MiB of `work_mem`.
+    pub fn context<'a>(db: &'a mut Database, pool: &'a mut BufferPool) -> ExecContext<'a> {
+        ExecContext::new(db, pool, 1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::small_db;
+    use super::*;
+    use crate::{AggExpr, Expr, SortKey, TableId};
+
+    #[test]
+    fn run_plan_end_to_end() {
+        let (mut db, mut pool) = small_db(500);
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::HashAgg {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: TableId(0),
+                    filter: Some(Expr::lt(Expr::col(0), Expr::int(100))),
+                }),
+                group_by: vec![],
+                aggs: vec![AggExpr::count_star("n")],
+            }),
+            keys: vec![SortKey::asc(0)],
+        };
+        let out = run_plan(&mut db, &mut pool, &plan, 1 << 20, CpuCosts::default()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(0).as_int(), Some(100));
+        assert!(out.demand.cpu_cycles > 0.0);
+        assert!(out.demand.seq_page_reads > 0);
+        assert_eq!(out.schema.field(0).name, "n");
+    }
+
+    #[test]
+    fn demand_is_per_query_delta() {
+        let (mut db, mut pool) = small_db(500);
+        let plan = PhysicalPlan::SeqScan {
+            table: TableId(0),
+            filter: None,
+        };
+        let first = run_plan(&mut db, &mut pool, &plan, 1 << 20, CpuCosts::default()).unwrap();
+        let second = run_plan(&mut db, &mut pool, &plan, 1 << 20, CpuCosts::default()).unwrap();
+        assert!(first.demand.seq_page_reads > 0);
+        // The table fits in the 64-page pool, so the second run is all hits.
+        assert_eq!(
+            second.demand.seq_page_reads, 0,
+            "warm rescan charges no reads"
+        );
+        assert!(second.demand.cpu_cycles > 0.0);
+    }
+
+    #[test]
+    fn warm_vs_cold_depends_on_pool_size() {
+        let (mut db, _) = small_db(20_000);
+        let n_pages = db.table(TableId(0)).heap.num_pages(db.disk());
+        assert!(n_pages > 64);
+        let plan = PhysicalPlan::SeqScan {
+            table: TableId(0),
+            filter: None,
+        };
+        // Tiny pool: every scan is cold.
+        let mut small_pool = BufferPool::new(8);
+        run_plan(
+            &mut db,
+            &mut small_pool,
+            &plan,
+            1 << 20,
+            CpuCosts::default(),
+        )
+        .unwrap();
+        let rescan = run_plan(
+            &mut db,
+            &mut small_pool,
+            &plan,
+            1 << 20,
+            CpuCosts::default(),
+        )
+        .unwrap();
+        assert_eq!(rescan.demand.seq_page_reads as u32, n_pages);
+        // Big pool: rescan is warm.
+        let mut big_pool = BufferPool::new(n_pages as usize + 8);
+        run_plan(&mut db, &mut big_pool, &plan, 1 << 20, CpuCosts::default()).unwrap();
+        let rescan = run_plan(&mut db, &mut big_pool, &plan, 1 << 20, CpuCosts::default()).unwrap();
+        assert_eq!(rescan.demand.seq_page_reads, 0);
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = EngineError::Storage(StorageError::FileNotFound { file: 3 });
+        assert!(e.to_string().contains("file 3"));
+        assert!(e.source().is_some());
+        let e = EngineError::Plan("no such index".into());
+        assert!(e.to_string().contains("no such index"));
+    }
+}

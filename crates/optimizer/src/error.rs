@@ -1,0 +1,52 @@
+//! Optimizer error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised during planning or cost estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// A table referenced by the plan has no statistics (run `ANALYZE`).
+    MissingStats {
+        /// The table's name.
+        table: String,
+    },
+    /// The logical plan is malformed.
+    BadPlan {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A parameter vector failed validation.
+    InvalidParams {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::MissingStats { table } => {
+                write!(f, "table {table:?} has no statistics; run ANALYZE first")
+            }
+            OptError::BadPlan { reason } => write!(f, "bad logical plan: {reason}"),
+            OptError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+        }
+    }
+}
+
+impl Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = OptError::MissingStats {
+            table: "orders".into(),
+        };
+        assert!(e.to_string().contains("orders"));
+        assert!(e.to_string().contains("ANALYZE"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The logical plan algebra — the optimizer's input.
+//!
+//! Logical plans describe *what* to compute; the planner decides *how*
+//! (access paths, join order, physical operators). Column references in
+//! every node are positions in that node's input schema, with join inputs
+//! concatenated left-then-right.
+
+use dbvirt_engine::{AggExpr, Expr, JoinType, SortKey, TableId};
+
+/// One equi-join condition: `left column = right column`, each indexed into
+/// its own side's output schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCondition {
+    /// Column in the left input's schema.
+    pub left_col: usize,
+    /// Column in the right input's schema.
+    pub right_col: usize,
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table access with an optional filter over the table's columns.
+    Scan {
+        /// The table.
+        table: TableId,
+        /// Predicate over table columns.
+        filter: Option<Expr>,
+    },
+    /// Join of two inputs on equality conditions.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equi-join conditions (must be non-empty).
+        on: Vec<JoinCondition>,
+        /// Join variant.
+        join_type: JoinType,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns (empty = global aggregate).
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Residual filter (e.g. `HAVING`).
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Ordering.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// Row limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        limit: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan builder.
+    pub fn scan(table: TableId) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table,
+            filter: None,
+        }
+    }
+
+    /// Scan-with-filter builder.
+    pub fn scan_filtered(table: TableId, filter: Expr) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table,
+            filter: Some(filter),
+        }
+    }
+
+    /// Inner equi-join builder.
+    pub fn join(self, right: LogicalPlan, on: Vec<JoinCondition>) -> LogicalPlan {
+        self.join_as(right, on, JoinType::Inner)
+    }
+
+    /// Join builder with an explicit join type.
+    pub fn join_as(
+        self,
+        right: LogicalPlan,
+        on: Vec<JoinCondition>,
+        join_type: JoinType,
+    ) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            join_type,
+        }
+    }
+
+    /// Aggregation builder.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Filter builder.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Projection builder.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Sort builder.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Limit builder.
+    pub fn limit(self, limit: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = LogicalPlan::scan(TableId(0))
+            .join(
+                LogicalPlan::scan(TableId(1)),
+                vec![JoinCondition {
+                    left_col: 0,
+                    right_col: 0,
+                }],
+            )
+            .aggregate(vec![1], vec![AggExpr::count_star("n")])
+            .sort(vec![SortKey::desc(1)])
+            .limit(10);
+        match plan {
+            LogicalPlan::Limit { limit, input } => {
+                assert_eq!(limit, 10);
+                assert!(matches!(*input, LogicalPlan::Sort { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+}

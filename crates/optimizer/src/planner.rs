@@ -1,0 +1,1068 @@
+//! The planner: logical plans in, costed physical plans out.
+//!
+//! Planning follows the classic System R / PostgreSQL recipe:
+//!
+//! 1. **Access-path selection** — for every base-table scan, compare a
+//!    sequential scan against every index whose column appears in a
+//!    sargable conjunct of the filter, using the cost formulas in
+//!    [`crate::cost`] under the supplied [`OptimizerParams`];
+//! 2. **Join ordering** — chains of inner equi-joins are flattened and
+//!    re-ordered with Selinger-style dynamic programming over relation
+//!    subsets (no cross products unless the join graph is disconnected);
+//!    outer/semi/anti joins act as optimization barriers;
+//! 3. **Physical operator choice** — hash joins build on the cheaper
+//!    (smaller) side; aggregation picks hash vs sort+sorted-agg by cost.
+//!
+//! Because the cost formulas take `P` as an argument, *the same planner* is
+//! both the normal optimizer (default `P`) and the paper's what-if
+//! optimizer (calibrated `P(R)`); changing `P` can genuinely change the
+//! chosen plan, exactly as in the paper.
+
+use crate::{card, cost, LogicalPlan, OptError, OptimizerParams};
+use dbvirt_engine::{CmpOp, Database, Expr, JoinType, PhysicalPlan, SortKey, TableId};
+use dbvirt_storage::{Datum, TableStats, PAGE_SIZE};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// A fully planned query: the physical plan plus its estimates.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The executable physical plan.
+    pub physical: PhysicalPlan,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated total cost, in optimizer units.
+    pub est_cost_units: f64,
+}
+
+impl PlannedQuery {
+    /// Estimated execution time in seconds under the parameters used for
+    /// planning.
+    pub fn est_seconds(&self, params: &OptimizerParams) -> f64 {
+        params.units_to_seconds(self.est_cost_units)
+    }
+}
+
+/// Per-node planning state.
+#[derive(Debug, Clone)]
+struct Planned {
+    phys: PhysicalPlan,
+    rows: f64,
+    cost: f64,
+    /// Average output tuple width in bytes (drives spill estimates).
+    width: f64,
+    /// Provenance of each output column: `(table, column)` for base
+    /// columns, `None` for derived values.
+    origins: Vec<Option<(TableId, usize)>>,
+}
+
+impl Planned {
+    fn arity(&self) -> usize {
+        self.origins.len()
+    }
+}
+
+/// Statistics with no columns: every estimator falls back to its PostgreSQL
+/// default constant. Used for predicates over derived schemas.
+fn empty_stats() -> TableStats {
+    TableStats {
+        n_rows: 0,
+        n_pages: 0,
+        columns: Vec::new(),
+    }
+}
+
+fn table_stats(db: &Database, table: TableId) -> Result<&TableStats, OptError> {
+    db.table(table)
+        .stats
+        .as_ref()
+        .ok_or_else(|| OptError::MissingStats {
+            table: db.table(table).name.clone(),
+        })
+}
+
+/// NDV of an output column, via its base-table origin; falls back to the
+/// node's row estimate (i.e. "assume distinct") when provenance is lost.
+fn ndv_of(db: &Database, planned: &Planned, col: usize) -> f64 {
+    match planned.origins.get(col).copied().flatten() {
+        Some((table, base_col)) => db
+            .table(table)
+            .stats
+            .as_ref()
+            .and_then(|s| s.columns.get(base_col))
+            .map(|c| c.n_distinct as f64)
+            .unwrap_or(planned.rows)
+            .max(1.0),
+        None => planned.rows.max(1.0),
+    }
+}
+
+/// Splits a conjunction into its top-level conjuncts.
+fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::And(l, r) => {
+            split_conjuncts(l, out);
+            split_conjuncts(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// A sargable bound extracted from one conjunct: `column op literal`.
+struct Sarg {
+    column: usize,
+    op: CmpOp,
+    literal: Datum,
+}
+
+fn as_sarg(expr: &Expr) -> Option<Sarg> {
+    let Expr::Cmp { op, lhs, rhs } = expr else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Column(c), Expr::Literal(d)) => Some(Sarg {
+            column: *c,
+            op: *op,
+            literal: d.clone(),
+        }),
+        (Expr::Literal(d), Expr::Column(c)) => {
+            let flipped = match op {
+                CmpOp::Eq => CmpOp::Eq,
+                CmpOp::Ne => CmpOp::Ne,
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+            };
+            Some(Sarg {
+                column: *c,
+                op: flipped,
+                literal: d.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Plans a base-table scan: sequential scan vs. every usable index.
+fn plan_scan(
+    db: &Database,
+    params: &OptimizerParams,
+    table: TableId,
+    filter: &Option<Expr>,
+    working_set_pages: f64,
+) -> Result<Planned, OptError> {
+    let stats = table_stats(db, table)?;
+    let meta = db.table(table);
+    let pages = stats.n_pages as f64;
+    let rows = stats.n_rows as f64;
+    let width = if rows > 0.0 {
+        (pages * PAGE_SIZE as f64 / rows).clamp(8.0, 512.0)
+    } else {
+        64.0
+    };
+    let origins: Vec<Option<(TableId, usize)>> =
+        (0..meta.schema.len()).map(|c| Some((table, c))).collect();
+
+    let sel = filter
+        .as_ref()
+        .map_or(1.0, |f| card::filter_selectivity(f, stats));
+    let out_rows = (rows * sel).max(0.0);
+    let filter_ops = filter.as_ref().map_or(0.0, |f| f.num_operators() as f64);
+
+    // Candidate: sequential scan.
+    let mut best = Planned {
+        phys: PhysicalPlan::SeqScan {
+            table,
+            filter: filter.clone(),
+        },
+        rows: out_rows,
+        cost: cost::seq_scan_cost(params, pages, rows, filter_ops, working_set_pages),
+        width,
+        origins: origins.clone(),
+    };
+
+    // Candidates: one per index with a sargable bound.
+    let Some(filter) = filter else {
+        return Ok(best);
+    };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(filter, &mut conjuncts);
+
+    for &index_id in &meta.indexes {
+        let index_col = db.index(index_id).column;
+        let mut lo: Bound<Datum> = Bound::Unbounded;
+        let mut hi: Bound<Datum> = Bound::Unbounded;
+        let mut residual: Vec<Expr> = Vec::new();
+        let mut bound_terms: Vec<Expr> = Vec::new();
+        for c in &conjuncts {
+            let usable = as_sarg(c).filter(|s| s.column == index_col);
+            match usable {
+                Some(s) => match s.op {
+                    CmpOp::Eq => {
+                        lo = Bound::Included(s.literal.clone());
+                        hi = Bound::Included(s.literal);
+                        bound_terms.push(c.clone());
+                    }
+                    CmpOp::Lt => {
+                        hi = Bound::Excluded(s.literal);
+                        bound_terms.push(c.clone());
+                    }
+                    CmpOp::Le => {
+                        hi = Bound::Included(s.literal);
+                        bound_terms.push(c.clone());
+                    }
+                    CmpOp::Gt => {
+                        lo = Bound::Excluded(s.literal);
+                        bound_terms.push(c.clone());
+                    }
+                    CmpOp::Ge => {
+                        lo = Bound::Included(s.literal);
+                        bound_terms.push(c.clone());
+                    }
+                    CmpOp::Ne => residual.push(c.clone()),
+                },
+                None => residual.push(c.clone()),
+            }
+        }
+        if bound_terms.is_empty() {
+            continue;
+        }
+        let index_sel = card::filter_selectivity(&Expr::and_all(bound_terms), stats);
+        let residual_ops: f64 = residual.iter().map(|e| e.num_operators() as f64).sum();
+        let tree = db.index_tree(index_id);
+        let index_cost = cost::index_scan_cost(
+            params,
+            tree.height() as f64,
+            tree.num_pages() as f64,
+            tree.len() as f64,
+            index_sel,
+            pages,
+            rows,
+            residual_ops,
+        );
+        if index_cost < best.cost {
+            best = Planned {
+                phys: PhysicalPlan::IndexScan {
+                    table,
+                    index: index_id,
+                    lo,
+                    hi,
+                    filter: if residual.is_empty() {
+                        None
+                    } else {
+                        Some(Expr::and_all(residual.clone()))
+                    },
+                },
+                rows: out_rows,
+                cost: index_cost,
+                width,
+                origins: origins.clone(),
+            };
+        }
+    }
+    Ok(best)
+}
+
+/// One flattened inner-join input with its global column offset.
+struct FlatRelation {
+    planned: Planned,
+    global_offset: usize,
+}
+
+/// One equi-join edge in global column coordinates.
+#[derive(Debug, Clone, Copy)]
+struct FlatEdge {
+    left_global: usize,
+    right_global: usize,
+}
+
+/// Flattens a tree of inner equi-joins into base relations plus edges.
+/// Non-inner joins and non-join nodes become opaque leaves.
+#[allow(clippy::too_many_arguments)]
+fn flatten_inner_joins(
+    db: &Database,
+    params: &OptimizerParams,
+    plan: &LogicalPlan,
+    relations: &mut Vec<FlatRelation>,
+    edges: &mut Vec<FlatEdge>,
+    offset: usize,
+    working_set_pages: f64,
+) -> Result<usize, OptError> {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type: JoinType::Inner,
+        } => {
+            let left_width = flatten_inner_joins(
+                db,
+                params,
+                left,
+                relations,
+                edges,
+                offset,
+                working_set_pages,
+            )?;
+            let right_width = flatten_inner_joins(
+                db,
+                params,
+                right,
+                relations,
+                edges,
+                offset + left_width,
+                working_set_pages,
+            )?;
+            for c in on {
+                edges.push(FlatEdge {
+                    left_global: offset + c.left_col,
+                    right_global: offset + left_width + c.right_col,
+                });
+            }
+            Ok(left_width + right_width)
+        }
+        other => {
+            let planned = plan_node(db, params, other, working_set_pages)?;
+            let width = planned.arity();
+            relations.push(FlatRelation {
+                planned,
+                global_offset: offset,
+            });
+            Ok(width)
+        }
+    }
+}
+
+/// A DP entry: the best plan found for one relation subset.
+#[derive(Debug, Clone)]
+struct DpEntry {
+    planned: Planned,
+    /// Output layout: the global column id at each output position.
+    layout: Vec<usize>,
+}
+
+fn hash_join_entry(
+    db: &Database,
+    params: &OptimizerParams,
+    probe: &DpEntry,
+    build: &DpEntry,
+    conditions: &[(usize, usize)], // positions (probe_pos, build_pos)
+) -> DpEntry {
+    let mut sel = 1.0;
+    let (mut lkeys, mut rkeys) = (Vec::new(), Vec::new());
+    for &(lp, rp) in conditions {
+        let lndv = ndv_of(db, &probe.planned, lp);
+        let rndv = ndv_of(db, &build.planned, rp);
+        sel /= lndv.max(rndv);
+        lkeys.push(lp);
+        rkeys.push(rp);
+    }
+    let out_rows = (probe.planned.rows * build.planned.rows * sel).max(1.0);
+    let join_cost = cost::hash_join_cost(
+        params,
+        probe.planned.rows,
+        build.planned.rows,
+        out_rows,
+        probe.planned.rows * probe.planned.width,
+        build.planned.rows * build.planned.width,
+    );
+    let mut layout = probe.layout.clone();
+    layout.extend(&build.layout);
+    let mut origins = probe.planned.origins.clone();
+    origins.extend(build.planned.origins.iter().copied());
+    DpEntry {
+        planned: Planned {
+            phys: PhysicalPlan::HashJoin {
+                left: Box::new(probe.planned.phys.clone()),
+                right: Box::new(build.planned.phys.clone()),
+                left_keys: lkeys,
+                right_keys: rkeys,
+                join_type: JoinType::Inner,
+            },
+            rows: out_rows,
+            cost: probe.planned.cost + build.planned.cost + join_cost,
+            width: probe.planned.width + build.planned.width,
+            origins,
+        },
+        layout,
+    }
+}
+
+/// Conditions joining entries `a` and `b`, as (a-position, b-position).
+fn connecting_conditions(a: &DpEntry, b: &DpEntry, edges: &[FlatEdge]) -> Vec<(usize, usize)> {
+    let pos_in = |layout: &[usize], g: usize| layout.iter().position(|&x| x == g);
+    edges
+        .iter()
+        .filter_map(|e| {
+            if let (Some(ap), Some(bp)) = (
+                pos_in(&a.layout, e.left_global),
+                pos_in(&b.layout, e.right_global),
+            ) {
+                Some((ap, bp))
+            } else if let (Some(ap), Some(bp)) = (
+                pos_in(&a.layout, e.right_global),
+                pos_in(&b.layout, e.left_global),
+            ) {
+                Some((ap, bp))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Selinger DP over relation subsets; falls back to greedy cross joins for
+/// disconnected graphs. Returns the best full-set entry.
+fn dp_join_order(
+    db: &Database,
+    params: &OptimizerParams,
+    relations: Vec<FlatRelation>,
+    edges: &[FlatEdge],
+) -> DpEntry {
+    let n = relations.len();
+    let base: Vec<DpEntry> = relations
+        .into_iter()
+        .map(|r| {
+            let arity = r.planned.arity();
+            DpEntry {
+                planned: r.planned,
+                layout: (r.global_offset..r.global_offset + arity).collect(),
+            }
+        })
+        .collect();
+
+    if n == 1 {
+        return base.into_iter().next().expect("one relation");
+    }
+
+    // For large N, cap DP with a greedy fallback (never hit by the TPC-H
+    // subset, whose widest query joins 6 relations).
+    if n > 12 {
+        return greedy_join(db, params, base, edges);
+    }
+
+    let full: u32 = (1u32 << n) - 1;
+    let mut table: HashMap<u32, DpEntry> = HashMap::new();
+    for (i, entry) in base.iter().enumerate() {
+        table.insert(1 << i, entry.clone());
+    }
+
+    for subset in 1..=full {
+        if subset.count_ones() < 2 || table.contains_key(&subset) {
+            continue;
+        }
+        let mut best: Option<DpEntry> = None;
+        // Enumerate proper non-empty splits.
+        let mut sub = (subset - 1) & subset;
+        while sub > 0 {
+            let other = subset & !sub;
+            if let (Some(a), Some(b)) = (table.get(&sub), table.get(&other)) {
+                let conds = connecting_conditions(a, b, edges);
+                if !conds.is_empty() {
+                    // Build on the smaller side.
+                    let (probe, build, conds) = if a.planned.rows >= b.planned.rows {
+                        (a, b, conds)
+                    } else {
+                        (b, a, conds.iter().map(|&(x, y)| (y, x)).collect())
+                    };
+                    let candidate = hash_join_entry(db, params, probe, build, &conds);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|cur| candidate.planned.cost < cur.planned.cost);
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            sub = (sub - 1) & subset;
+        }
+        if let Some(entry) = best {
+            table.insert(subset, entry);
+        }
+    }
+
+    match table.remove(&full) {
+        Some(entry) => entry,
+        // Disconnected join graph: stitch components with cross joins.
+        None => {
+            let components: Vec<DpEntry> = base;
+            greedy_join(db, params, components, edges)
+        }
+    }
+}
+
+/// Greedy fallback: repeatedly join the pair with the cheapest result,
+/// using a cross nested-loop join when no equi-edge connects a pair.
+fn greedy_join(
+    db: &Database,
+    params: &OptimizerParams,
+    mut entries: Vec<DpEntry>,
+    edges: &[FlatEdge],
+) -> DpEntry {
+    while entries.len() > 1 {
+        let mut best: Option<(usize, usize, DpEntry)> = None;
+        for i in 0..entries.len() {
+            for j in 0..entries.len() {
+                if i == j {
+                    continue;
+                }
+                let conds = connecting_conditions(&entries[i], &entries[j], edges);
+                let candidate = if conds.is_empty() {
+                    cross_join_entry(params, &entries[i], &entries[j])
+                } else {
+                    hash_join_entry(db, params, &entries[i], &entries[j], &conds)
+                };
+                let better = best.as_ref().is_none_or(|(_, _, cur)| {
+                    candidate.planned.cost < cur.planned.cost
+                });
+                if better {
+                    best = Some((i, j, candidate));
+                }
+            }
+        }
+        let (i, j, merged) = best.expect("at least two entries");
+        let (hi, lo) = (i.max(j), i.min(j));
+        entries.swap_remove(hi);
+        entries.swap_remove(lo);
+        entries.push(merged);
+    }
+    entries.into_iter().next().expect("one entry remains")
+}
+
+fn cross_join_entry(params: &OptimizerParams, a: &DpEntry, b: &DpEntry) -> DpEntry {
+    let out_rows = (a.planned.rows * b.planned.rows).max(1.0);
+    let join_cost = cost::nl_join_cost(params, a.planned.rows, b.planned.rows, 0.0, out_rows);
+    let mut layout = a.layout.clone();
+    layout.extend(&b.layout);
+    let mut origins = a.planned.origins.clone();
+    origins.extend(b.planned.origins.iter().copied());
+    DpEntry {
+        planned: Planned {
+            phys: PhysicalPlan::NestedLoopJoin {
+                left: Box::new(a.planned.phys.clone()),
+                right: Box::new(b.planned.phys.clone()),
+                predicate: None,
+                join_type: JoinType::Inner,
+            },
+            rows: out_rows,
+            cost: a.planned.cost + b.planned.cost + join_cost,
+            width: a.planned.width + b.planned.width,
+            origins,
+        },
+        layout,
+    }
+}
+
+/// Plans an inner-join tree: flatten, DP-order, restore column order.
+fn plan_inner_join_tree(
+    db: &Database,
+    params: &OptimizerParams,
+    plan: &LogicalPlan,
+    working_set_pages: f64,
+) -> Result<Planned, OptError> {
+    let mut relations = Vec::new();
+    let mut edges = Vec::new();
+    let total_width = flatten_inner_joins(
+        db,
+        params,
+        plan,
+        &mut relations,
+        &mut edges,
+        0,
+        working_set_pages,
+    )?;
+    let entry = dp_join_order(db, params, relations, &edges);
+
+    // The DP may have permuted columns; restore the logical (left-to-right)
+    // order with a projection if needed.
+    let identity: Vec<usize> = (0..total_width).collect();
+    if entry.layout == identity {
+        return Ok(entry.planned);
+    }
+    let mut exprs = Vec::with_capacity(total_width);
+    let mut origins = Vec::with_capacity(total_width);
+    for g in 0..total_width {
+        let pos = entry
+            .layout
+            .iter()
+            .position(|&x| x == g)
+            .expect("inner joins preserve all columns");
+        exprs.push((Expr::col(pos), format!("c{g}")));
+        origins.push(entry.planned.origins[pos]);
+    }
+    Ok(Planned {
+        phys: PhysicalPlan::Project {
+            input: Box::new(entry.planned.phys),
+            exprs,
+        },
+        rows: entry.planned.rows,
+        cost: entry.planned.cost + cost::project_cost(params, entry.planned.rows, 0.0),
+        width: entry.planned.width,
+        origins,
+    })
+}
+
+/// Recursive planning entry point.
+fn plan_node(
+    db: &Database,
+    params: &OptimizerParams,
+    plan: &LogicalPlan,
+    working_set_pages: f64,
+) -> Result<Planned, OptError> {
+    match plan {
+        LogicalPlan::Scan { table, filter } => {
+            plan_scan(db, params, *table, filter, working_set_pages)
+        }
+        LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            ..
+        } => plan_inner_join_tree(db, params, plan, working_set_pages),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            if on.is_empty() {
+                return Err(OptError::BadPlan {
+                    reason: "join without conditions".to_string(),
+                });
+            }
+            let l = plan_node(db, params, left, working_set_pages)?;
+            let r = plan_node(db, params, right, working_set_pages)?;
+            let mut sel_parts = Vec::new();
+            for c in on {
+                sel_parts.push((ndv_of(db, &l, c.left_col), ndv_of(db, &r, c.right_col)));
+            }
+            // Use the first condition's NDVs for the match-fraction model
+            // and multiply extra conditions as inner-style selectivities.
+            let (lndv, rndv) = sel_parts[0];
+            let mut out_rows = card::join_output_rows(l.rows, r.rows, lndv, rndv, *join_type);
+            for &(a, b) in &sel_parts[1..] {
+                out_rows /= a.max(b).max(1.0);
+            }
+            let out_rows = out_rows.max(if *join_type == JoinType::Left {
+                l.rows
+            } else {
+                0.0
+            });
+            let join_cost = cost::hash_join_cost(
+                params,
+                l.rows,
+                r.rows,
+                out_rows,
+                l.rows * l.width,
+                r.rows * r.width,
+            );
+            let mut origins = l.origins.clone();
+            if join_type.emits_right() {
+                origins.extend(r.origins.iter().copied());
+            }
+            let width = if join_type.emits_right() {
+                l.width + r.width
+            } else {
+                l.width
+            };
+            Ok(Planned {
+                phys: PhysicalPlan::HashJoin {
+                    left: Box::new(l.phys),
+                    right: Box::new(r.phys),
+                    left_keys: on.iter().map(|c| c.left_col).collect(),
+                    right_keys: on.iter().map(|c| c.right_col).collect(),
+                    join_type: *join_type,
+                },
+                rows: out_rows.max(0.0),
+                cost: l.cost + r.cost + join_cost,
+                width,
+                origins,
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let child = plan_node(db, params, input, working_set_pages)?;
+            let ndvs: Vec<f64> = group_by.iter().map(|&c| ndv_of(db, &child, c)).collect();
+            let groups = card::num_groups(child.rows, &ndvs);
+            let arg_ops: f64 = aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map_or(0.0, |e| e.num_operators() as f64))
+                .sum();
+
+            let hash_cost =
+                cost::agg_cost(params, child.rows, groups, aggs.len() as f64, arg_ops, true);
+            let sort_cost_units = cost::sort_cost(params, child.rows, child.width)
+                + cost::agg_cost(
+                    params,
+                    child.rows,
+                    groups,
+                    aggs.len() as f64,
+                    arg_ops,
+                    false,
+                );
+
+            let mut origins: Vec<Option<(TableId, usize)>> = group_by
+                .iter()
+                .map(|&c| child.origins.get(c).copied().flatten())
+                .collect();
+            origins.extend(std::iter::repeat_n(None, aggs.len()));
+            let width = 16.0 * origins.len() as f64;
+
+            if hash_cost <= sort_cost_units || group_by.is_empty() {
+                Ok(Planned {
+                    phys: PhysicalPlan::HashAgg {
+                        input: Box::new(child.phys),
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    rows: groups,
+                    cost: child.cost + hash_cost,
+                    width,
+                    origins,
+                })
+            } else {
+                let sort_keys: Vec<SortKey> = group_by.iter().map(|&c| SortKey::asc(c)).collect();
+                Ok(Planned {
+                    phys: PhysicalPlan::SortAgg {
+                        input: Box::new(PhysicalPlan::Sort {
+                            input: Box::new(child.phys),
+                            keys: sort_keys,
+                        }),
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    rows: groups,
+                    cost: child.cost + sort_cost_units,
+                    width,
+                    origins,
+                })
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child = plan_node(db, params, input, working_set_pages)?;
+            let sel = card::filter_selectivity(predicate, &empty_stats());
+            let ops = predicate.num_operators() as f64;
+            Ok(Planned {
+                rows: (child.rows * sel).max(0.0),
+                cost: child.cost + cost::filter_cost(params, child.rows, ops),
+                width: child.width,
+                origins: child.origins.clone(),
+                phys: PhysicalPlan::Filter {
+                    input: Box::new(child.phys),
+                    predicate: predicate.clone(),
+                },
+            })
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let child = plan_node(db, params, input, working_set_pages)?;
+            let ops: f64 = exprs.iter().map(|(e, _)| e.num_operators() as f64).sum();
+            let origins: Vec<Option<(TableId, usize)>> = exprs
+                .iter()
+                .map(|(e, _)| match e {
+                    Expr::Column(c) => child.origins.get(*c).copied().flatten(),
+                    _ => None,
+                })
+                .collect();
+            Ok(Planned {
+                rows: child.rows,
+                cost: child.cost + cost::project_cost(params, child.rows, ops),
+                width: 16.0 * exprs.len() as f64,
+                origins,
+                phys: PhysicalPlan::Project {
+                    input: Box::new(child.phys),
+                    exprs: exprs.clone(),
+                },
+            })
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = plan_node(db, params, input, working_set_pages)?;
+            Ok(Planned {
+                rows: child.rows,
+                cost: child.cost + cost::sort_cost(params, child.rows, child.width),
+                width: child.width,
+                origins: child.origins.clone(),
+                phys: PhysicalPlan::Sort {
+                    input: Box::new(child.phys),
+                    keys: keys.clone(),
+                },
+            })
+        }
+        LogicalPlan::Limit { input, limit } => {
+            let child = plan_node(db, params, input, working_set_pages)?;
+            Ok(Planned {
+                rows: child.rows.min(*limit as f64),
+                cost: child.cost,
+                width: child.width,
+                origins: child.origins.clone(),
+                phys: PhysicalPlan::Limit {
+                    input: Box::new(child.phys),
+                    limit: *limit,
+                },
+            })
+        }
+    }
+}
+
+/// Plans `plan` against `db` under `params`, returning the physical plan
+/// and its cost estimates. This is both the regular optimizer (default
+/// `params`) and the paper's what-if optimizer (calibrated `params`).
+/// Summed heap pages of every distinct base table a plan touches — the
+/// query's steady-state cache working set.
+fn working_set_pages(db: &Database, plan: &LogicalPlan, seen: &mut Vec<TableId>) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            if seen.contains(table) {
+                0.0
+            } else {
+                seen.push(*table);
+                db.table(*table)
+                    .stats
+                    .as_ref()
+                    .map_or(0.0, |s| s.n_pages as f64)
+            }
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            working_set_pages(db, left, seen) + working_set_pages(db, right, seen)
+        }
+        LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => working_set_pages(db, input, seen),
+    }
+}
+
+/// Plans `plan` against `db` under `params`, returning the physical plan
+/// and its cost estimates. This is both the regular optimizer (default
+/// `params`) and the paper's what-if optimizer (calibrated `params`).
+pub fn plan_query(
+    db: &Database,
+    plan: &LogicalPlan,
+    params: &OptimizerParams,
+) -> Result<PlannedQuery, OptError> {
+    params.validate()?;
+    let ws = working_set_pages(db, plan, &mut Vec::new());
+    let planned = plan_node(db, params, plan, ws)?;
+    Ok(PlannedQuery {
+        physical: planned.phys,
+        est_rows: planned.rows,
+        est_cost_units: planned.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JoinCondition;
+    use dbvirt_engine::{AggExpr, AggFunc};
+    use dbvirt_storage::{DataType, Field, Schema, Tuple};
+
+    /// Two tables: fact(k, v, grp) with 20k rows and an index on k;
+    /// dim(k, label) with 100 rows.
+    fn fixture() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let fact = db.create_table(
+            "fact",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+                Field::new("grp", DataType::Str),
+            ]),
+        );
+        db.insert_rows(
+            fact,
+            (0..20_000).map(|i| {
+                Tuple::new(vec![
+                    Datum::Int(i % 100),
+                    Datum::Int(i),
+                    Datum::str(format!("g{}", i % 5)),
+                ])
+            }),
+        )
+        .unwrap();
+        let dim = db.create_table(
+            "dim",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("label", DataType::Str),
+            ]),
+        );
+        db.insert_rows(
+            dim,
+            (0..100).map(|i| Tuple::new(vec![Datum::Int(i), Datum::str(format!("l{i}"))])),
+        )
+        .unwrap();
+        db.create_index("fact_v", fact, 1).unwrap();
+        db.analyze_all().unwrap();
+        (db, fact, dim)
+    }
+
+    #[test]
+    fn missing_stats_is_an_error() {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::new(vec![Field::new("a", DataType::Int)]));
+        let err = plan_query(&db, &LogicalPlan::scan(t), &OptimizerParams::default()).unwrap_err();
+        assert!(matches!(err, OptError::MissingStats { .. }));
+    }
+
+    #[test]
+    fn selective_predicate_chooses_index_scan() {
+        let (db, fact, _) = fixture();
+        let p = OptimizerParams::default();
+        // v = 7: one row in 20k — index, please.
+        let selective = LogicalPlan::scan_filtered(fact, Expr::eq(Expr::col(1), Expr::int(7)));
+        let planned = plan_query(&db, &selective, &p).unwrap();
+        assert_eq!(planned.physical.node_name(), "IndexScan");
+        assert!(planned.est_rows < 10.0);
+        // v >= 0: everything — sequential scan.
+        let unselective = LogicalPlan::scan_filtered(fact, Expr::ge(Expr::col(1), Expr::int(0)));
+        let planned = plan_query(&db, &unselective, &p).unwrap();
+        assert_eq!(planned.physical.node_name(), "SeqScan");
+    }
+
+    #[test]
+    fn what_if_parameters_can_flip_the_access_path() {
+        let (db, fact, _) = fixture();
+        // A mid-selectivity range where the cache discount decides.
+        let q = LogicalPlan::scan_filtered(
+            fact,
+            Expr::and(
+                Expr::ge(Expr::col(1), Expr::int(0)),
+                Expr::lt(Expr::col(1), Expr::int(50)),
+            ),
+        );
+        let rich_cache = OptimizerParams {
+            effective_cache_size_pages: 1e6,
+            ..OptimizerParams::default()
+        };
+        let poor_cache = OptimizerParams {
+            effective_cache_size_pages: 1.0,
+            random_page_cost: 40.0,
+            ..OptimizerParams::default()
+        };
+        let rich = plan_query(&db, &q, &rich_cache).unwrap();
+        let poor = plan_query(&db, &q, &poor_cache).unwrap();
+        assert_eq!(rich.physical.node_name(), "IndexScan");
+        assert_eq!(poor.physical.node_name(), "SeqScan");
+    }
+
+    #[test]
+    fn join_plans_build_on_smaller_side() {
+        let (db, fact, dim) = fixture();
+        let q = LogicalPlan::scan(fact).join(
+            LogicalPlan::scan(dim),
+            vec![JoinCondition {
+                left_col: 0,
+                right_col: 0,
+            }],
+        );
+        let planned = plan_query(&db, &q, &OptimizerParams::default()).unwrap();
+        // The join output order must match the logical order, and the build
+        // (right) side should be the small dimension table.
+        match &planned.physical {
+            PhysicalPlan::HashJoin { right, .. } => {
+                assert_eq!(right.node_name(), "SeqScan");
+                match right.as_ref() {
+                    PhysicalPlan::SeqScan { table, .. } => assert_eq!(*table, dim),
+                    _ => unreachable!(),
+                }
+            }
+            PhysicalPlan::Project { input, .. } => {
+                assert_eq!(input.node_name(), "HashJoin");
+            }
+            other => panic!("expected a hash join, got {}", other.node_name()),
+        }
+        // FK join cardinality ~ fact size.
+        assert!((planned.est_rows - 20_000.0).abs() / 20_000.0 < 0.2);
+    }
+
+    #[test]
+    fn three_way_join_dp_produces_executable_plan() {
+        let (db, fact, dim) = fixture();
+        // fact JOIN dim ON k JOIN dim2 ON k (reuse dim as a third relation
+        // via a second scan).
+        let q = LogicalPlan::scan(fact)
+            .join(
+                LogicalPlan::scan(dim),
+                vec![JoinCondition {
+                    left_col: 0,
+                    right_col: 0,
+                }],
+            )
+            .join(
+                LogicalPlan::scan(dim),
+                vec![JoinCondition {
+                    left_col: 3, // dim.k from the first join's output
+                    right_col: 0,
+                }],
+            );
+        let planned = plan_query(&db, &q, &OptimizerParams::default()).unwrap();
+        assert!(planned.est_cost_units > 0.0);
+        // Execute it and verify output arity = 3 + 2 + 2.
+        let mut db = db;
+        let mut pool = dbvirt_storage::BufferPool::new(256);
+        let out = dbvirt_engine::run_plan(
+            &mut db,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            dbvirt_engine::CpuCosts::default(),
+        )
+        .unwrap();
+        assert_eq!(out.schema.len(), 7);
+        assert_eq!(out.rows.len(), 20_000);
+        // Column order restored: column 0 is fact.k, column 3 is dim.k.
+        for row in out.rows.iter().take(50) {
+            assert_eq!(row.get(0), row.get(3));
+            assert_eq!(row.get(0), row.get(5));
+        }
+    }
+
+    #[test]
+    fn aggregate_estimates_groups() {
+        let (db, fact, _) = fixture();
+        let q = LogicalPlan::scan(fact)
+            .aggregate(vec![2], vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")]);
+        let planned = plan_query(&db, &q, &OptimizerParams::default()).unwrap();
+        assert!((planned.est_rows - 5.0).abs() < 1.0, "5 groups expected");
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema() {
+        let (db, fact, dim) = fixture();
+        let q = LogicalPlan::scan(fact).join_as(
+            LogicalPlan::scan(dim),
+            vec![JoinCondition {
+                left_col: 0,
+                right_col: 0,
+            }],
+            JoinType::Semi,
+        );
+        let planned = plan_query(&db, &q, &OptimizerParams::default()).unwrap();
+        let mut db = db;
+        let mut pool = dbvirt_storage::BufferPool::new(256);
+        let out = dbvirt_engine::run_plan(
+            &mut db,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            dbvirt_engine::CpuCosts::default(),
+        )
+        .unwrap();
+        assert_eq!(out.schema.len(), 3);
+        assert_eq!(out.rows.len(), 20_000, "all fact keys appear in dim");
+    }
+
+    #[test]
+    fn estimated_seconds_scale_with_unit() {
+        let (db, fact, _) = fixture();
+        let q = LogicalPlan::scan(fact);
+        let mut p1 = OptimizerParams::default();
+        let planned = plan_query(&db, &q, &p1).unwrap();
+        let s1 = planned.est_seconds(&p1);
+        p1.unit_seconds *= 2.0;
+        assert!((planned.est_seconds(&p1) - 2.0 * s1).abs() < 1e-12);
+    }
+}

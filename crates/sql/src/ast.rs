@@ -1,0 +1,199 @@
+//! The parsed statement shape (names unresolved).
+
+/// A parsed scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// `[qualifier.]column`
+    Column {
+        /// Table alias qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'`.
+    Date(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+    /// Binary operator (`= <> < <= > >= + - * / AND OR`).
+    Binary {
+        /// Operator spelling (normalized).
+        op: String,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// `NOT expr`.
+    Not(Box<ExprAst>),
+    /// Unary minus.
+    Neg(Box<ExprAst>),
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// The pattern.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (literal, ...)`.
+    InList {
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// Literal list items.
+        list: Vec<ExprAst>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// Lower bound.
+        lo: Box<ExprAst>,
+        /// Upper bound.
+        hi: Box<ExprAst>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// Aggregate call: `COUNT(*)` or `COUNT/SUM/AVG/MIN/MAX(expr)`.
+    Agg {
+        /// Upper-cased function name.
+        func: String,
+        /// Argument (`None` = `*`).
+        arg: Option<Box<ExprAst>>,
+    },
+}
+
+/// One `SELECT` list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: ExprAst,
+        /// Output alias, if written.
+        alias: Option<String>,
+    },
+}
+
+/// Join kind in the `FROM` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN` and comma joins.
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+}
+
+/// One table reference with its optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// One joined table after the first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Join kind.
+    pub kind: JoinKind,
+    /// The joined table.
+    pub table: TableRef,
+    /// The `ON` condition (`None` for comma joins — conditions live in
+    /// `WHERE`).
+    pub on: Option<ExprAst>,
+}
+
+/// `ORDER BY` key: an output name, a 1-based position, or an expression
+/// matching a select item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The key expression (usually a bare column / alias, or an integer
+    /// position literal).
+    pub expr: ExprAst,
+    /// Descending when true.
+    pub descending: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// First table.
+    pub from: TableRef,
+    /// Remaining joined tables.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<ExprAst>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<ExprAst>,
+    /// `HAVING` predicate.
+    pub having: Option<ExprAst>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+impl ExprAst {
+    /// True if the expression contains an aggregate call anywhere.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            ExprAst::Agg { .. } => true,
+            ExprAst::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            ExprAst::Not(e) | ExprAst::Neg(e) => e.contains_aggregate(),
+            ExprAst::Like { expr, .. } | ExprAst::IsNull { expr, .. } => expr.contains_aggregate(),
+            ExprAst::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(ExprAst::contains_aggregate)
+            }
+            ExprAst::Between { expr, lo, hi } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection_recurses() {
+        let agg = ExprAst::Agg {
+            func: "SUM".into(),
+            arg: Some(Box::new(ExprAst::Column {
+                qualifier: None,
+                name: "x".into(),
+            })),
+        };
+        let wrapped = ExprAst::Binary {
+            op: "+".into(),
+            lhs: Box::new(ExprAst::Int(1)),
+            rhs: Box::new(agg),
+        };
+        assert!(wrapped.contains_aggregate());
+        assert!(!ExprAst::Int(1).contains_aggregate());
+    }
+}

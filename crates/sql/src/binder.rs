@@ -1,0 +1,960 @@
+//! The binder: names → catalog objects, AST → logical plan.
+//!
+//! Binding follows the textbook pipeline:
+//!
+//! 1. resolve the `FROM` tables and assign each a column-offset range in
+//!    the (left-to-right) join output;
+//! 2. classify `WHERE` conjuncts into per-table pushdown filters,
+//!    equi-join conditions, and residual predicates (filters are *not*
+//!    pushed below the nullable side of a `LEFT JOIN`, which would change
+//!    the query's meaning);
+//! 3. build the left-deep join tree, attach residual filters;
+//! 4. lower `GROUP BY`/aggregates, `HAVING`, the projection, `ORDER BY`
+//!    (by output name or 1-based position), and `LIMIT`.
+
+use crate::ast::{ExprAst, JoinKind, OrderKey, SelectItem, SelectStmt};
+use crate::SqlError;
+use dbvirt_engine::{AggExpr, AggFunc, CmpOp, Database, Expr, JoinType, SortKey, TableId};
+use dbvirt_optimizer::{JoinCondition, LogicalPlan};
+use dbvirt_storage::Datum;
+
+/// One resolved `FROM` entry.
+struct BoundTable {
+    alias: String,
+    table: TableId,
+    /// Global column offset of this table in the join output.
+    offset: usize,
+    arity: usize,
+    /// True if this table is the nullable side of a LEFT JOIN (no filter
+    /// pushdown, no join-condition hoisting past it).
+    nullable_side: bool,
+    join_kind: JoinKind,
+    /// Bound equality conditions from this table's ON clause.
+    on_conditions: Vec<(usize, usize)>, // (prefix global col, this-table global col)
+    /// Pushdown filter (table-local column indexes).
+    pushdown: Option<Expr>,
+}
+
+/// Parses `YYYY-MM-DD` into days since the Unix epoch.
+fn parse_date(s: &str) -> Result<i32, SqlError> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let bad = || SqlError::bind(format!("bad date literal {s:?} (expected YYYY-MM-DD)"));
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let year: i32 = parts[0].parse().map_err(|_| bad())?;
+    let month: u32 = parts[1].parse().map_err(|_| bad())?;
+    let day: u32 = parts[2].parse().map_err(|_| bad())?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(bad());
+    }
+    // Howard Hinnant's days_from_civil.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let m = month as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Ok((era as i64 * 146_097 + doe - 719_468) as i32)
+}
+
+struct Binder<'a> {
+    db: &'a Database,
+    tables: Vec<BoundTable>,
+}
+
+impl<'a> Binder<'a> {
+    /// Resolves `[qualifier.]name` to a global column index.
+    fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<usize, SqlError> {
+        let mut found: Option<usize> = None;
+        for t in &self.tables {
+            if let Some(q) = qualifier {
+                if t.alias != q {
+                    continue;
+                }
+            }
+            let schema = &self.db.table(t.table).schema;
+            if let Some(local) = schema.index_of(name) {
+                if found.is_some() {
+                    return Err(SqlError::bind(format!("ambiguous column {name:?}")));
+                }
+                found = Some(t.offset + local);
+                if qualifier.is_some() {
+                    break;
+                }
+            }
+        }
+        found.ok_or_else(|| {
+            let q = qualifier.map(|q| format!("{q}.")).unwrap_or_default();
+            SqlError::bind(format!("unknown column {q}{name}"))
+        })
+    }
+
+    /// Lowers a scalar AST expression against the full join schema.
+    /// Aggregates are rejected here (they are handled by the aggregation
+    /// path).
+    fn lower(&self, ast: &ExprAst) -> Result<Expr, SqlError> {
+        match ast {
+            ExprAst::Column { qualifier, name } => {
+                Ok(Expr::col(self.resolve_column(qualifier.as_deref(), name)?))
+            }
+            ExprAst::Int(v) => Ok(Expr::int(*v)),
+            ExprAst::Float(v) => Ok(Expr::float(*v)),
+            ExprAst::Str(s) => Ok(Expr::str(s.clone())),
+            ExprAst::Date(s) => Ok(Expr::date(parse_date(s)?)),
+            ExprAst::Bool(b) => Ok(Expr::lit(Datum::Bool(*b))),
+            ExprAst::Null => Ok(Expr::lit(Datum::Null)),
+            ExprAst::Neg(e) => Ok(Expr::sub(Expr::int(0), self.lower(e)?)),
+            ExprAst::Not(e) => Ok(Expr::not(self.lower(e)?)),
+            ExprAst::Binary { op, lhs, rhs } => {
+                let (l, r) = (self.lower(lhs)?, self.lower(rhs)?);
+                Ok(match op.as_str() {
+                    "AND" => Expr::and(l, r),
+                    "OR" => Expr::or(l, r),
+                    "=" => Expr::eq(l, r),
+                    "<>" => Expr::cmp(CmpOp::Ne, l, r),
+                    "<" => Expr::lt(l, r),
+                    "<=" => Expr::le(l, r),
+                    ">" => Expr::gt(l, r),
+                    ">=" => Expr::ge(l, r),
+                    "+" => Expr::add(l, r),
+                    "-" => Expr::sub(l, r),
+                    "*" => Expr::mul(l, r),
+                    "/" => Expr::arith(dbvirt_engine::BinOp::Div, l, r),
+                    other => return Err(SqlError::bind(format!("unknown operator {other}"))),
+                })
+            }
+            ExprAst::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let e = self.lower(expr)?;
+                Ok(if *negated {
+                    Expr::not_like(e, pattern.clone())
+                } else {
+                    Expr::like(e, pattern.clone())
+                })
+            }
+            ExprAst::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e = self.lower(expr)?;
+                let items: Vec<Datum> = list
+                    .iter()
+                    .map(|item| match self.lower(item)? {
+                        Expr::Literal(d) => Ok(d),
+                        _ => Err(SqlError::bind("IN list items must be literals")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let in_expr = Expr::in_list(e, items);
+                Ok(if *negated {
+                    Expr::not(in_expr)
+                } else {
+                    in_expr
+                })
+            }
+            ExprAst::Between { expr, lo, hi } => {
+                let e = self.lower(expr)?;
+                let (lo, hi) = (self.lower(lo)?, self.lower(hi)?);
+                Ok(Expr::and(Expr::ge(e.clone(), lo), Expr::le(e, hi)))
+            }
+            ExprAst::IsNull { expr, negated } => Ok(Expr::IsNull {
+                expr: Box::new(self.lower(expr)?),
+                negated: *negated,
+            }),
+            ExprAst::Agg { .. } => Err(SqlError::bind(
+                "aggregate used where a scalar expression is required",
+            )),
+        }
+    }
+
+    /// The table (index into `self.tables`) that owns global column `g`.
+    fn owner_of(&self, g: usize) -> usize {
+        self.tables
+            .iter()
+            .position(|t| g >= t.offset && g < t.offset + t.arity)
+            .expect("global column out of range")
+    }
+
+    /// Tables referenced by a lowered expression.
+    fn tables_of(&self, e: &Expr) -> Vec<usize> {
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        let mut out: Vec<usize> = cols.into_iter().map(|g| self.owner_of(g)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn split_conjuncts_ast(e: &ExprAst, out: &mut Vec<ExprAst>) {
+    match e {
+        ExprAst::Binary { op, lhs, rhs } if op == "AND" => {
+            split_conjuncts_ast(lhs, out);
+            split_conjuncts_ast(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// An equality between two columns of different tables, as global indexes.
+fn as_equi_edge(binder: &Binder<'_>, e: &Expr) -> Option<(usize, usize)> {
+    if let Expr::Cmp {
+        op: CmpOp::Eq,
+        lhs,
+        rhs,
+    } = e
+    {
+        if let (Expr::Column(a), Expr::Column(b)) = (lhs.as_ref(), rhs.as_ref()) {
+            if binder.owner_of(*a) != binder.owner_of(*b) {
+                return Some((*a, *b));
+            }
+        }
+    }
+    None
+}
+
+fn agg_func(name: &str, has_arg: bool) -> Result<AggFunc, SqlError> {
+    Ok(match (name, has_arg) {
+        ("COUNT", false) => AggFunc::CountStar,
+        ("COUNT", true) => AggFunc::Count,
+        ("SUM", true) => AggFunc::Sum,
+        ("AVG", true) => AggFunc::Avg,
+        ("MIN", true) => AggFunc::Min,
+        ("MAX", true) => AggFunc::Max,
+        _ => return Err(SqlError::bind(format!("unsupported aggregate {name}"))),
+    })
+}
+
+/// Collects every aggregate call in an AST expression.
+fn collect_aggs(e: &ExprAst, out: &mut Vec<ExprAst>) {
+    match e {
+        ExprAst::Agg { .. }
+            if !out.contains(e) => {
+                out.push(e.clone());
+            }
+        ExprAst::Binary { lhs, rhs, .. } => {
+            collect_aggs(lhs, out);
+            collect_aggs(rhs, out);
+        }
+        ExprAst::Not(x) | ExprAst::Neg(x) => collect_aggs(x, out),
+        ExprAst::Like { expr, .. } | ExprAst::IsNull { expr, .. } => collect_aggs(expr, out),
+        ExprAst::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for item in list {
+                collect_aggs(item, out);
+            }
+        }
+        ExprAst::Between { expr, lo, hi } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        _ => {}
+    }
+}
+
+/// Rewrites an AST expression over the aggregate output schema: group
+/// columns map to their group position, aggregate calls to their slot.
+fn lower_over_agg(
+    binder: &Binder<'_>,
+    e: &ExprAst,
+    group_cols: &[usize],
+    aggs: &[ExprAst],
+) -> Result<Expr, SqlError> {
+    if let Some(pos) = aggs.iter().position(|a| a == e) {
+        return Ok(Expr::col(group_cols.len() + pos));
+    }
+    match e {
+        ExprAst::Column { qualifier, name } => {
+            let g = binder.resolve_column(qualifier.as_deref(), name)?;
+            let pos = group_cols.iter().position(|&c| c == g).ok_or_else(|| {
+                SqlError::bind(format!(
+                    "column {name:?} must appear in GROUP BY or an aggregate"
+                ))
+            })?;
+            Ok(Expr::col(pos))
+        }
+        ExprAst::Int(v) => Ok(Expr::int(*v)),
+        ExprAst::Float(v) => Ok(Expr::float(*v)),
+        ExprAst::Str(s) => Ok(Expr::str(s.clone())),
+        ExprAst::Date(s) => Ok(Expr::date(parse_date(s)?)),
+        ExprAst::Bool(b) => Ok(Expr::lit(Datum::Bool(*b))),
+        ExprAst::Null => Ok(Expr::lit(Datum::Null)),
+        ExprAst::Neg(x) => Ok(Expr::sub(
+            Expr::int(0),
+            lower_over_agg(binder, x, group_cols, aggs)?,
+        )),
+        ExprAst::Not(x) => Ok(Expr::not(lower_over_agg(binder, x, group_cols, aggs)?)),
+        ExprAst::Binary { op, lhs, rhs } => {
+            let l = lower_over_agg(binder, lhs, group_cols, aggs)?;
+            let r = lower_over_agg(binder, rhs, group_cols, aggs)?;
+            Ok(match op.as_str() {
+                "AND" => Expr::and(l, r),
+                "OR" => Expr::or(l, r),
+                "=" => Expr::eq(l, r),
+                "<>" => Expr::cmp(CmpOp::Ne, l, r),
+                "<" => Expr::lt(l, r),
+                "<=" => Expr::le(l, r),
+                ">" => Expr::gt(l, r),
+                ">=" => Expr::ge(l, r),
+                "+" => Expr::add(l, r),
+                "-" => Expr::sub(l, r),
+                "*" => Expr::mul(l, r),
+                "/" => Expr::arith(dbvirt_engine::BinOp::Div, l, r),
+                other => return Err(SqlError::bind(format!("unknown operator {other}"))),
+            })
+        }
+        other => Err(SqlError::bind(format!(
+            "unsupported expression over aggregate output: {other:?}"
+        ))),
+    }
+}
+
+/// Binds a parsed statement against the catalog, producing a logical plan.
+pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
+    // --- 1. Resolve FROM tables and offsets. ---
+    let mut binder = Binder {
+        db,
+        tables: Vec::new(),
+    };
+    let mut offset = 0usize;
+    let mut add_table = |binder: &mut Binder<'_>,
+                         name: &str,
+                         alias: &str,
+                         kind: JoinKind|
+     -> Result<(), SqlError> {
+        let table = db
+            .table_id(name)
+            .ok_or_else(|| SqlError::bind(format!("unknown table {name:?}")))?;
+        if binder.tables.iter().any(|t| t.alias == alias) {
+            return Err(SqlError::bind(format!("duplicate table alias {alias:?}")));
+        }
+        let arity = db.table(table).schema.len();
+        binder.tables.push(BoundTable {
+            alias: alias.to_string(),
+            table,
+            offset,
+            arity,
+            nullable_side: kind == JoinKind::Left,
+            join_kind: kind,
+            on_conditions: Vec::new(),
+            pushdown: None,
+        });
+        offset += arity;
+        Ok(())
+    };
+    add_table(
+        &mut binder,
+        &stmt.from.table,
+        &stmt.from.alias,
+        JoinKind::Inner,
+    )?;
+    for j in &stmt.joins {
+        add_table(&mut binder, &j.table.table, &j.table.alias, j.kind)?;
+    }
+
+    // --- 2. Bind ON clauses (each may only reference its prefix). ---
+    for (i, j) in stmt.joins.iter().enumerate() {
+        let table_idx = i + 1;
+        let Some(on) = &j.on else { continue };
+        let mut conjuncts = Vec::new();
+        split_conjuncts_ast(on, &mut conjuncts);
+        for c in conjuncts {
+            let lowered = binder.lower(&c)?;
+            let Some((a, b)) = as_equi_edge(&binder, &lowered) else {
+                return Err(SqlError::bind(
+                    "ON clauses must be conjunctions of column equalities",
+                ));
+            };
+            let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
+            let (prefix_col, new_col) = if ob == table_idx && oa < table_idx {
+                (a, b)
+            } else if oa == table_idx && ob < table_idx {
+                (b, a)
+            } else {
+                return Err(SqlError::bind(
+                    "ON condition must relate the joined table to an earlier one",
+                ));
+            };
+            binder.tables[table_idx]
+                .on_conditions
+                .push((prefix_col, new_col));
+        }
+        if binder.tables[table_idx].on_conditions.is_empty() {
+            return Err(SqlError::bind("JOIN ... ON needs at least one equality"));
+        }
+    }
+
+    // --- 3. Classify WHERE conjuncts. ---
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut where_edges: Vec<(usize, usize)> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        if w.contains_aggregate() {
+            return Err(SqlError::bind("aggregates are not allowed in WHERE"));
+        }
+        let mut conjuncts = Vec::new();
+        split_conjuncts_ast(w, &mut conjuncts);
+        for c in conjuncts {
+            let lowered = binder.lower(&c)?;
+            if let Some(edge) = as_equi_edge(&binder, &lowered) {
+                where_edges.push(edge);
+                continue;
+            }
+            let owners = binder.tables_of(&lowered);
+            match owners.as_slice() {
+                [one] if !binder.tables[*one].nullable_side => {
+                    let t = &mut binder.tables[*one];
+                    let local = lowered.shift_columns(0); // clone
+                                                          // Rebase global indexes to table-local ones.
+                    let rebased = rebase(&local, t.offset);
+                    t.pushdown = Some(match t.pushdown.take() {
+                        Some(existing) => Expr::and(existing, rebased),
+                        None => rebased,
+                    });
+                }
+                _ => residual.push(lowered),
+            }
+        }
+    }
+
+    // --- 4. Build the left-deep join tree. ---
+    let mut plan = LogicalPlan::Scan {
+        table: binder.tables[0].table,
+        filter: binder.tables[0].pushdown.clone(),
+    };
+    let mut prefix_width = binder.tables[0].arity;
+    for i in 1..binder.tables.len() {
+        let t = &binder.tables[i];
+        let scan = LogicalPlan::Scan {
+            table: t.table,
+            filter: t.pushdown.clone(),
+        };
+        // Conditions: the table's ON edges plus any WHERE edge touching it
+        // and the prefix.
+        let mut conditions: Vec<JoinCondition> = t
+            .on_conditions
+            .iter()
+            .map(|&(p, n)| JoinCondition {
+                left_col: p,
+                right_col: n - t.offset,
+            })
+            .collect();
+        for &(a, b) in &where_edges {
+            let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
+            let (prefix_col, new_col) = if ob == i && oa < i {
+                (a, b)
+            } else if oa == i && ob < i {
+                (b, a)
+            } else {
+                continue;
+            };
+            if t.join_kind == JoinKind::Left {
+                return Err(SqlError::bind(
+                    "LEFT JOIN conditions must be written in the ON clause",
+                ));
+            }
+            conditions.push(JoinCondition {
+                left_col: prefix_col,
+                right_col: new_col - t.offset,
+            });
+        }
+        if conditions.is_empty() {
+            return Err(SqlError::bind(format!(
+                "no join condition relates table {:?} to the preceding tables \
+                 (cross joins are not supported)",
+                t.alias
+            )));
+        }
+        let join_type = match t.join_kind {
+            JoinKind::Inner => JoinType::Inner,
+            JoinKind::Left => JoinType::Left,
+        };
+        plan = plan.join_as(scan, conditions, join_type);
+        prefix_width += t.arity;
+    }
+    let _ = prefix_width;
+
+    if !residual.is_empty() {
+        plan = plan.filter(Expr::and_all(residual));
+    }
+
+    // --- 5. Aggregation. ---
+    let has_aggs = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Wildcard => false,
+    }) || stmt
+        .having
+        .as_ref()
+        .is_some_and(ExprAst::contains_aggregate)
+        || !stmt.group_by.is_empty();
+
+    let mut output_names: Vec<String> = Vec::new();
+    if has_aggs {
+        if stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+            return Err(SqlError::bind("SELECT * cannot be combined with GROUP BY"));
+        }
+        // Group columns must be plain columns.
+        let group_cols: Vec<usize> = stmt
+            .group_by
+            .iter()
+            .map(|g| match g {
+                ExprAst::Column { qualifier, name } => {
+                    binder.resolve_column(qualifier.as_deref(), name)
+                }
+                other => Err(SqlError::bind(format!(
+                    "GROUP BY supports plain columns only, got {other:?}"
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Collect aggregates across SELECT, HAVING and ORDER BY.
+        let mut agg_asts: Vec<ExprAst> = Vec::new();
+        for item in &stmt.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut agg_asts);
+            }
+        }
+        if let Some(h) = &stmt.having {
+            collect_aggs(h, &mut agg_asts);
+        }
+        for k in &stmt.order_by {
+            collect_aggs(&k.expr, &mut agg_asts);
+        }
+        let agg_exprs: Vec<AggExpr> = agg_asts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let ExprAst::Agg { func, arg } = a else {
+                    unreachable!("collect_aggs only yields Agg nodes")
+                };
+                let f = agg_func(func, arg.is_some())?;
+                let lowered_arg = arg.as_ref().map(|e| binder.lower(e)).transpose()?;
+                Ok(AggExpr {
+                    func: f,
+                    arg: lowered_arg,
+                    name: format!("{}_{i}", func.to_ascii_lowercase()),
+                })
+            })
+            .collect::<Result<_, SqlError>>()?;
+
+        plan = plan.aggregate(group_cols.clone(), agg_exprs);
+
+        if let Some(h) = &stmt.having {
+            let pred = lower_over_agg(&binder, h, &group_cols, &agg_asts)?;
+            plan = plan.filter(pred);
+        }
+
+        // Projection over the aggregate output.
+        let mut proj: Vec<(Expr, String)> = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!("wildcard rejected above")
+            };
+            let lowered = lower_over_agg(&binder, expr, &group_cols, &agg_asts)?;
+            let name = alias.clone().unwrap_or_else(|| default_name(expr, i));
+            output_names.push(name.clone());
+            proj.push((lowered, name));
+        }
+        plan = plan.project(proj);
+    } else {
+        // Plain projection.
+        let wildcard_only = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        if wildcard_only {
+            for t in &binder.tables {
+                let schema = &db.table(t.table).schema;
+                for f in schema.fields() {
+                    output_names.push(f.name.clone());
+                }
+            }
+        } else {
+            let mut proj: Vec<(Expr, String)> = Vec::new();
+            for (i, item) in stmt.items.iter().enumerate() {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(SqlError::bind(
+                            "`*` mixed with other select items is not supported",
+                        ))
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let lowered = binder.lower(expr)?;
+                        let name = alias.clone().unwrap_or_else(|| default_name(expr, i));
+                        output_names.push(name.clone());
+                        proj.push((lowered, name));
+                    }
+                }
+            }
+            plan = plan.project(proj);
+        }
+    }
+
+    // --- 6. ORDER BY (over the output schema) and LIMIT. ---
+    if !stmt.order_by.is_empty() {
+        let keys = stmt
+            .order_by
+            .iter()
+            .map(|k| resolve_order_key(k, &output_names, &stmt.items))
+            .collect::<Result<Vec<SortKey>, _>>()?;
+        plan = plan.sort(keys);
+    }
+    if let Some(n) = stmt.limit {
+        plan = plan.limit(n);
+    }
+    Ok(plan)
+}
+
+/// Rebases global column indexes to table-local ones (subtract `offset`).
+fn rebase(e: &Expr, offset: usize) -> Expr {
+    if offset == 0 {
+        return e.clone();
+    }
+    // shift_columns only adds; emulate subtraction by rebuilding through a
+    // map over referenced columns. Since Expr has no generic visitor, we
+    // reuse shift_columns' structure via a local recursion.
+    fn go(e: &Expr, offset: usize) -> Expr {
+        match e {
+            Expr::Column(i) => Expr::Column(i - offset),
+            other => {
+                // Rebuild one level down using shift_columns(0) as a clone
+                // then recurse manually for each variant.
+                match other {
+                    Expr::Literal(d) => Expr::Literal(d.clone()),
+                    Expr::Cmp { op, lhs, rhs } => Expr::cmp(*op, go(lhs, offset), go(rhs, offset)),
+                    Expr::And(l, r) => Expr::and(go(l, offset), go(r, offset)),
+                    Expr::Or(l, r) => Expr::or(go(l, offset), go(r, offset)),
+                    Expr::Not(x) => Expr::not(go(x, offset)),
+                    Expr::Arith { op, lhs, rhs } => {
+                        Expr::arith(*op, go(lhs, offset), go(rhs, offset))
+                    }
+                    Expr::Like {
+                        expr,
+                        pattern,
+                        negated,
+                    } => Expr::Like {
+                        expr: Box::new(go(expr, offset)),
+                        pattern: pattern.clone(),
+                        negated: *negated,
+                    },
+                    Expr::InList { expr, list } => Expr::InList {
+                        expr: Box::new(go(expr, offset)),
+                        list: list.clone(),
+                    },
+                    Expr::IsNull { expr, negated } => Expr::IsNull {
+                        expr: Box::new(go(expr, offset)),
+                        negated: *negated,
+                    },
+                    Expr::Case {
+                        branches,
+                        else_expr,
+                    } => Expr::Case {
+                        branches: branches
+                            .iter()
+                            .map(|(c, v)| (go(c, offset), go(v, offset)))
+                            .collect(),
+                        else_expr: else_expr.as_ref().map(|x| Box::new(go(x, offset))),
+                    },
+                    Expr::Column(_) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+    go(e, offset)
+}
+
+fn default_name(expr: &ExprAst, position: usize) -> String {
+    match expr {
+        ExprAst::Column { name, .. } => name.clone(),
+        ExprAst::Agg { func, .. } => func.to_ascii_lowercase(),
+        _ => format!("col{position}"),
+    }
+}
+
+fn resolve_order_key(
+    key: &OrderKey,
+    output_names: &[String],
+    items: &[SelectItem],
+) -> Result<SortKey, SqlError> {
+    let column = match &key.expr {
+        // 1-based output position.
+        ExprAst::Int(n) if *n >= 1 && (*n as usize) <= output_names.len() => *n as usize - 1,
+        ExprAst::Int(n) => {
+            return Err(SqlError::bind(format!(
+                "ORDER BY position {n} out of range (1..={})",
+                output_names.len()
+            )))
+        }
+        // Output name / alias.
+        ExprAst::Column {
+            qualifier: None,
+            name,
+        } if output_names.contains(name) => output_names
+            .iter()
+            .position(|n| n == name)
+            .expect("contains"),
+        // An expression textually matching a select item.
+        other => items
+            .iter()
+            .position(|i| matches!(i, SelectItem::Expr { expr, .. } if expr == other))
+            .ok_or_else(|| {
+                SqlError::bind(
+                    "ORDER BY keys must be output columns, aliases, positions, \
+                     or select-list expressions",
+                )
+            })?,
+    };
+    Ok(SortKey {
+        column,
+        descending: key.descending,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use dbvirt_engine::{run_plan, CpuCosts};
+    use dbvirt_optimizer::{plan_query, OptimizerParams};
+    use dbvirt_storage::{BufferPool, DataType, Field, Schema, Tuple};
+
+    /// `users(id, name, city_id)` and `cities(id, city)`.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let users = db.create_table(
+            "users",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("name", DataType::Str),
+                Field::new("city_id", DataType::Int),
+                Field::new("age", DataType::Int),
+            ]),
+        );
+        db.insert_rows(
+            users,
+            (0..500).map(|i| {
+                Tuple::new(vec![
+                    Datum::Int(i),
+                    Datum::str(format!("user{i}")),
+                    Datum::Int(i % 10),
+                    Datum::Int(18 + (i % 60)),
+                ])
+            }),
+        )
+        .unwrap();
+        let cities = db.create_table(
+            "cities",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("city", DataType::Str),
+            ]),
+        );
+        db.insert_rows(
+            cities,
+            (0..10).map(|i| Tuple::new(vec![Datum::Int(i), Datum::str(format!("city{i}"))])),
+        )
+        .unwrap();
+        db.analyze_all().unwrap();
+        db
+    }
+
+    fn run(sql: &str) -> (Vec<Tuple>, Vec<String>) {
+        let mut database = db();
+        let logical = parse_query(sql, &database).unwrap();
+        let planned = plan_query(&database, &logical, &OptimizerParams::default()).unwrap();
+        let schema = planned.physical.output_schema(&database);
+        let mut pool = BufferPool::new(256);
+        let out = run_plan(
+            &mut database,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            CpuCosts::default(),
+        )
+        .unwrap();
+        let names = schema.fields().iter().map(|f| f.name.clone()).collect();
+        (out.rows, names)
+    }
+
+    #[test]
+    fn select_star() {
+        let (rows, _) = run("SELECT * FROM users");
+        assert_eq!(rows.len(), 500);
+        assert_eq!(rows[0].arity(), 4);
+    }
+
+    #[test]
+    fn projection_filter_and_order() {
+        let (rows, names) = run(
+            "SELECT name, age + 1 AS next_age FROM users WHERE age >= 70 ORDER BY next_age DESC, name LIMIT 5",
+        );
+        assert_eq!(names, vec!["name", "next_age"]);
+        assert_eq!(rows.len(), 5);
+        let ages: Vec<i64> = rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        assert!(ages.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(ages[0], 78);
+    }
+
+    #[test]
+    fn join_with_on_and_where_pushdown() {
+        let (rows, _) = run(
+            "SELECT u.name, c.city FROM users u JOIN cities c ON u.city_id = c.id \
+             WHERE c.city = 'city3' AND u.age < 30",
+        );
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r.get(1).as_str(), Some("city3"));
+        }
+    }
+
+    #[test]
+    fn comma_join_with_where_condition() {
+        let (rows, _) =
+            run("SELECT u.id FROM users u, cities c WHERE u.city_id = c.id AND c.id = 0");
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn group_by_having_and_aggregates() {
+        let (rows, names) = run(
+            "SELECT city_id, COUNT(*) AS n, AVG(age) AS avg_age FROM users \
+             GROUP BY city_id HAVING COUNT(*) >= 50 ORDER BY city_id",
+        );
+        assert_eq!(names, vec!["city_id", "n", "avg_age"]);
+        assert_eq!(rows.len(), 10, "all groups have exactly 50 members");
+        for r in &rows {
+            assert_eq!(r.get(1).as_int(), Some(50));
+        }
+    }
+
+    #[test]
+    fn global_aggregate_with_arithmetic_over_aggs() {
+        let (rows, _) = run(
+            "SELECT 100 * SUM(age) / COUNT(*) AS centi_avg FROM users WHERE age BETWEEN 20 AND 40",
+        );
+        assert_eq!(rows.len(), 1);
+        let v = rows[0].get(0).as_float().unwrap();
+        assert!(v > 2000.0 && v < 4100.0, "centi-average {v}");
+    }
+
+    #[test]
+    fn left_join_preserves_unmatched() {
+        let mut database = db();
+        // Add a user with an unknown city.
+        let users = database.table_id("users").unwrap();
+        database
+            .insert_rows(
+                users,
+                [Tuple::new(vec![
+                    Datum::Int(999),
+                    Datum::str("orphan"),
+                    Datum::Int(77),
+                    Datum::Int(30),
+                ])],
+            )
+            .unwrap();
+        database.analyze_all().unwrap();
+        let logical = parse_query(
+            "SELECT u.name, c.city FROM users u LEFT JOIN cities c ON u.city_id = c.id",
+            &database,
+        )
+        .unwrap();
+        let planned = plan_query(&database, &logical, &OptimizerParams::default()).unwrap();
+        let mut pool = BufferPool::new(256);
+        let out = run_plan(
+            &mut database,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            CpuCosts::default(),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 501);
+        let orphan = out
+            .rows
+            .iter()
+            .find(|r| r.get(0).as_str() == Some("orphan"))
+            .unwrap();
+        assert!(orphan.get(1).is_null());
+    }
+
+    #[test]
+    fn like_in_between_and_not() {
+        let (rows, _) = run(
+            "SELECT id FROM users WHERE name LIKE 'user1%' AND id IN (1, 10, 11, 200) \
+             AND NOT id = 200",
+        );
+        let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 10, 11]);
+    }
+
+    #[test]
+    fn order_by_position() {
+        let (rows, _) = run("SELECT id, age FROM users ORDER BY 2 DESC, 1 ASC LIMIT 3");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(1).as_int(), Some(77));
+    }
+
+    #[test]
+    fn date_literals_bind() {
+        let database = db();
+        // No date column in this schema; just ensure the literal lowers.
+        let err = parse_query(
+            "SELECT id FROM users WHERE missing >= DATE '1994-01-01'",
+            &database,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Bind { .. }));
+        assert_eq!(parse_date("1970-01-01").unwrap(), 0);
+        assert_eq!(parse_date("1992-01-01").unwrap(), 8035);
+        assert!(parse_date("1992-13-01").is_err());
+        assert!(parse_date("nope").is_err());
+    }
+
+    #[test]
+    fn bind_errors() {
+        let database = db();
+        for (sql, needle) in [
+            ("SELECT * FROM missing", "unknown table"),
+            ("SELECT nope FROM users", "unknown column"),
+            (
+                "SELECT id FROM users u, cities u WHERE u.id = 0",
+                "duplicate table alias",
+            ),
+            ("SELECT u.id FROM users u, cities c", "no join condition"),
+            ("SELECT id FROM users GROUP BY id + 1", "plain columns"),
+            (
+                "SELECT name FROM users GROUP BY city_id",
+                "must appear in GROUP BY",
+            ),
+            ("SELECT * FROM users GROUP BY city_id", "SELECT *"),
+            ("SELECT id FROM users ORDER BY nope", "ORDER BY"),
+            (
+                "SELECT id FROM users WHERE COUNT(*) > 1",
+                "aggregates are not allowed",
+            ),
+            (
+                "SELECT u.id FROM users u LEFT JOIN cities c ON u.city_id = c.id WHERE u.id = c.id",
+                "LEFT JOIN conditions",
+            ),
+        ] {
+            let err = parse_query(sql, &database).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{sql:?} -> {err} (expected {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn ambiguous_bare_column_is_rejected() {
+        let database = db();
+        let err = parse_query(
+            "SELECT id FROM users u JOIN cities c ON u.city_id = c.id",
+            &database,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+}

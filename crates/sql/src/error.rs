@@ -1,0 +1,70 @@
+//! SQL front-end errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from lexing, parsing, or binding SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The lexer hit an unexpected character.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// The parser hit an unexpected token.
+    Parse {
+        /// Description, including what was expected.
+        message: String,
+    },
+    /// Name resolution failed (unknown table/column, ambiguity, …).
+    Bind {
+        /// Description.
+        message: String,
+    },
+}
+
+impl SqlError {
+    pub(crate) fn parse(message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn bind(message: impl Into<String>) -> SqlError {
+        SqlError::Bind {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::Bind { message } => write!(f, "bind error: {message}"),
+        }
+    }
+}
+
+impl Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = SqlError::Lex {
+            position: 5,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 5"));
+        assert!(SqlError::parse("x").to_string().contains("parse"));
+        assert!(SqlError::bind("y").to_string().contains("bind"));
+    }
+}

@@ -1,0 +1,534 @@
+//! Paged B+tree secondary indexes.
+//!
+//! Keys are [`Datum`]s (ties broken by [`TupleId`] so duplicates are fully
+//! ordered); values are heap [`TupleId`]s. The node *structure* lives in
+//! memory, but every node is assigned a page in a dedicated index file, and
+//! metered traversals record node visits through the buffer pool
+//! ([`BufferPool::touch`]) so that index I/O participates in cache-hit and
+//! physical-read accounting exactly like heap I/O.
+
+use crate::{AccessPattern, BufferPool, Datum, DiskManager, FileId, PageId, StorageError, TupleId};
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+/// Maximum entries per leaf / keys per internal node before splitting.
+/// Roughly what 8 KiB pages hold for short keys.
+const MAX_PER_NODE: usize = 128;
+/// Bulk-load fill per node, leaving slack for later inserts.
+const BULK_FILL: usize = 100;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// `keys[i]` is the minimum key of the subtree `children[i + 1]`.
+        keys: Vec<(Datum, TupleId)>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        entries: Vec<(Datum, TupleId)>,
+        next: Option<usize>,
+    },
+}
+
+/// One `(node index, subtree-minimum entry)` pair used while building
+/// internal levels.
+type LevelEntry = (usize, (Datum, TupleId));
+
+/// Result of a recursive insert: `Some((separator entry, new right node))`
+/// when the child split.
+type InsertSplit = Option<((Datum, TupleId), usize)>;
+
+/// A B+tree index over one column of a heap table.
+#[derive(Debug)]
+pub struct BPlusTree {
+    file: FileId,
+    nodes: Vec<Node>,
+    root: usize,
+    height: u32,
+    len: usize,
+}
+
+fn cmp_entry(a: &(Datum, TupleId), b: &(Datum, TupleId)) -> Ordering {
+    a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+impl BPlusTree {
+    /// Builds an index by bulk-loading `entries` (sorted internally).
+    pub fn bulk_load(
+        disk: &mut DiskManager,
+        mut entries: Vec<(Datum, TupleId)>,
+    ) -> Result<BPlusTree, StorageError> {
+        entries.sort_by(cmp_entry);
+        let file = disk.create_file();
+        let mut tree = BPlusTree {
+            file,
+            nodes: Vec::new(),
+            root: 0,
+            height: 1,
+            len: entries.len(),
+        };
+
+        if entries.is_empty() {
+            tree.root = tree.alloc(
+                disk,
+                Node::Leaf {
+                    entries: Vec::new(),
+                    next: None,
+                },
+            )?;
+            return Ok(tree);
+        }
+
+        // Build the leaf level.
+        let mut level: Vec<LevelEntry> = Vec::new();
+        let mut chunks = entries.chunks(BULK_FILL).peekable();
+        let mut prev_leaf: Option<usize> = None;
+        while let Some(chunk) = chunks.next() {
+            let min = chunk[0].clone();
+            let idx = tree.alloc(
+                disk,
+                Node::Leaf {
+                    entries: chunk.to_vec(),
+                    next: None,
+                },
+            )?;
+            if let Some(p) = prev_leaf {
+                if let Node::Leaf { next, .. } = &mut tree.nodes[p] {
+                    *next = Some(idx);
+                }
+            }
+            prev_leaf = Some(idx);
+            level.push((idx, min));
+            let _ = chunks.peek();
+        }
+
+        // Build internal levels until one root remains.
+        while level.len() > 1 {
+            tree.height += 1;
+            let mut next_level = Vec::new();
+            for group in level.chunks(BULK_FILL) {
+                let min = group[0].1.clone();
+                let children: Vec<usize> = group.iter().map(|(idx, _)| *idx).collect();
+                let keys: Vec<(Datum, TupleId)> =
+                    group[1..].iter().map(|(_, k)| k.clone()).collect();
+                let idx = tree.alloc(disk, Node::Internal { keys, children })?;
+                next_level.push((idx, min));
+            }
+            level = next_level;
+        }
+        tree.root = level[0].0;
+        Ok(tree)
+    }
+
+    fn alloc(&mut self, disk: &mut DiskManager, node: Node) -> Result<usize, StorageError> {
+        let pid = disk.append_page(self.file)?;
+        debug_assert_eq!(pid.page_no as usize, self.nodes.len());
+        self.nodes.push(node);
+        Ok(pid.page_no as usize)
+    }
+
+    /// The index file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of node pages.
+    pub fn num_pages(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    fn page_id(&self, node: usize) -> PageId {
+        PageId {
+            file: self.file,
+            page_no: node as u32,
+        }
+    }
+
+    /// Inserts one entry.
+    pub fn insert(
+        &mut self,
+        disk: &mut DiskManager,
+        key: Datum,
+        tid: TupleId,
+    ) -> Result<(), StorageError> {
+        let entry = (key, tid);
+        if let Some((sep, right)) = self.insert_rec(disk, self.root, entry)? {
+            let new_root = self.alloc(
+                disk,
+                Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                },
+            )?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        disk: &mut DiskManager,
+        node: usize,
+        entry: (Datum, TupleId),
+    ) -> Result<InsertSplit, StorageError> {
+        match &mut self.nodes[node] {
+            Node::Leaf { entries, .. } => {
+                let pos = entries.partition_point(|e| cmp_entry(e, &entry) == Ordering::Less);
+                entries.insert(pos, entry);
+                if entries.len() <= MAX_PER_NODE {
+                    return Ok(None);
+                }
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].clone();
+                let (old_next, _) = match &self.nodes[node] {
+                    Node::Leaf { next, entries } => (*next, entries.len()),
+                    _ => unreachable!(),
+                };
+                let right = self.alloc(
+                    disk,
+                    Node::Leaf {
+                        entries: right_entries,
+                        next: old_next,
+                    },
+                )?;
+                if let Node::Leaf { next, .. } = &mut self.nodes[node] {
+                    *next = Some(right);
+                }
+                Ok(Some((sep, right)))
+            }
+            Node::Internal { keys, children } => {
+                let child_pos = keys.partition_point(|k| cmp_entry(k, &entry) != Ordering::Greater);
+                let child = children[child_pos];
+                let split = self.insert_rec(disk, child, entry)?;
+                let Some((sep, right)) = split else {
+                    return Ok(None);
+                };
+                let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                    unreachable!()
+                };
+                keys.insert(child_pos, sep);
+                children.insert(child_pos + 1, right);
+                if keys.len() <= MAX_PER_NODE {
+                    return Ok(None);
+                }
+                let mid = keys.len() / 2;
+                let up = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up` moves to the parent.
+                let right_children = children.split_off(mid + 1);
+                let right = self.alloc(
+                    disk,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )?;
+                Ok(Some((up, right)))
+            }
+        }
+    }
+
+    /// Descends to the leftmost leaf that may contain `lo`, recording the
+    /// visited nodes in `visits`.
+    fn descend(&self, lo: Bound<&Datum>, visits: &mut Vec<usize>) -> usize {
+        let mut node = self.root;
+        loop {
+            visits.push(node);
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { keys, children } => {
+                    let pos = match lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) | Bound::Excluded(k) => {
+                            // Descend left of any separator >= k so that
+                            // duplicates spanning leaves are not skipped.
+                            keys.partition_point(|(sk, _)| sk.total_cmp(k) == Ordering::Less)
+                        }
+                    };
+                    node = children[pos];
+                }
+            }
+        }
+    }
+
+    fn in_lo(&self, key: &Datum, lo: Bound<&Datum>) -> bool {
+        match lo {
+            Bound::Unbounded => true,
+            Bound::Included(k) => key.total_cmp(k) != Ordering::Less,
+            Bound::Excluded(k) => key.total_cmp(k) == Ordering::Greater,
+        }
+    }
+
+    fn past_hi(&self, key: &Datum, hi: Bound<&Datum>) -> bool {
+        match hi {
+            Bound::Unbounded => false,
+            Bound::Included(k) => key.total_cmp(k) == Ordering::Greater,
+            Bound::Excluded(k) => key.total_cmp(k) != Ordering::Less,
+        }
+    }
+
+    /// Range scan without I/O accounting (tests, statistics building).
+    pub fn range(&self, lo: Bound<&Datum>, hi: Bound<&Datum>) -> Vec<(Datum, TupleId)> {
+        let mut visits = Vec::new();
+        self.scan(lo, hi, &mut visits)
+    }
+
+    /// Range scan that charges every visited node page to the buffer pool
+    /// (descent and leaf-chain walk are random accesses, as in PostgreSQL's
+    /// cost model for index pages).
+    pub fn range_metered(
+        &self,
+        disk: &mut DiskManager,
+        pool: &mut BufferPool,
+        lo: Bound<&Datum>,
+        hi: Bound<&Datum>,
+    ) -> Result<Vec<(Datum, TupleId)>, StorageError> {
+        let mut visits = Vec::new();
+        let out = self.scan(lo, hi, &mut visits);
+        for node in visits {
+            pool.touch(disk, self.page_id(node), AccessPattern::Random)?;
+        }
+        Ok(out)
+    }
+
+    fn scan(
+        &self,
+        lo: Bound<&Datum>,
+        hi: Bound<&Datum>,
+        visits: &mut Vec<usize>,
+    ) -> Vec<(Datum, TupleId)> {
+        let mut out = Vec::new();
+        let mut leaf = self.descend(lo, visits);
+        loop {
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                unreachable!("descend always reaches a leaf");
+            };
+            for (key, tid) in entries {
+                if self.past_hi(key, hi) {
+                    return out;
+                }
+                if self.in_lo(key, lo) {
+                    out.push((key.clone(), *tid));
+                }
+            }
+            match next {
+                Some(n) => {
+                    leaf = *n;
+                    visits.push(leaf);
+                }
+                None => return out,
+            }
+        }
+    }
+
+    /// Equality lookup: all tuple ids whose key equals `key`.
+    pub fn lookup_metered(
+        &self,
+        disk: &mut DiskManager,
+        pool: &mut BufferPool,
+        key: &Datum,
+    ) -> Result<Vec<TupleId>, StorageError> {
+        Ok(self
+            .range_metered(disk, pool, Bound::Included(key), Bound::Included(key))?
+            .into_iter()
+            .map(|(_, tid)| tid)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TupleId {
+        TupleId {
+            page_no: i / 100,
+            slot: (i % 100) as u16,
+        }
+    }
+
+    fn build(n: u32) -> (DiskManager, BPlusTree) {
+        let mut disk = DiskManager::new();
+        let entries: Vec<(Datum, TupleId)> =
+            (0..n).map(|i| (Datum::Int(i as i64), tid(i))).collect();
+        let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
+        (disk, tree)
+    }
+
+    #[test]
+    fn bulk_load_and_full_scan() {
+        let (_, tree) = build(10_000);
+        assert_eq!(tree.len(), 10_000);
+        assert!(tree.height() >= 2);
+        let all = tree.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 10_000);
+        for (i, (k, _)) in all.iter().enumerate() {
+            assert_eq!(k, &Datum::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let (_, tree) = build(1000);
+        let r = tree.range(
+            Bound::Included(&Datum::Int(100)),
+            Bound::Excluded(&Datum::Int(110)),
+        );
+        let keys: Vec<i64> = r.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, (100..110).collect::<Vec<_>>());
+        let r = tree.range(Bound::Excluded(&Datum::Int(997)), Bound::Unbounded);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut disk = DiskManager::new();
+        let tree = BPlusTree::bulk_load(&mut disk, vec![]).unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert!(tree.range(Bound::Unbounded, Bound::Unbounded).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_all_returned() {
+        let mut disk = DiskManager::new();
+        let mut entries = Vec::new();
+        for i in 0..500u32 {
+            entries.push((Datum::Int((i % 10) as i64), tid(i)));
+        }
+        let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
+        let r = tree.range(
+            Bound::Included(&Datum::Int(3)),
+            Bound::Included(&Datum::Int(3)),
+        );
+        assert_eq!(r.len(), 50);
+        assert!(r.iter().all(|(k, _)| k == &Datum::Int(3)));
+    }
+
+    #[test]
+    fn incremental_inserts_match_bulk_load() {
+        let mut disk = DiskManager::new();
+        let mut tree = BPlusTree::bulk_load(&mut disk, vec![]).unwrap();
+        // Insert in a scrambled order.
+        let mut order: Vec<u32> = (0..2000).collect();
+        let mut state = 12345u64;
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            tree.insert(&mut disk, Datum::Int(i as i64), tid(i))
+                .unwrap();
+        }
+        assert_eq!(tree.len(), 2000);
+        let all = tree.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 2000);
+        for (i, (k, t)) in all.iter().enumerate() {
+            assert_eq!(k, &Datum::Int(i as i64));
+            assert_eq!(t, &tid(i as u32));
+        }
+        assert!(tree.height() >= 2, "splits should have occurred");
+    }
+
+    #[test]
+    fn metered_scan_charges_node_visits() {
+        let (mut disk, tree) = build(10_000);
+        let mut pool = BufferPool::new(256);
+        let r = tree
+            .range_metered(
+                &mut disk,
+                &mut pool,
+                Bound::Included(&Datum::Int(0)),
+                Bound::Included(&Datum::Int(999)),
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1000);
+        let m = pool.metrics();
+        // Descent (height) plus ~10 leaves.
+        assert!(m.misses as u32 >= tree.height() + 9);
+        assert!(pool.demand().random_page_reads > 0);
+        // A repeat scan hits the cache.
+        pool.reset_metrics();
+        tree.range_metered(
+            &mut disk,
+            &mut pool,
+            Bound::Included(&Datum::Int(0)),
+            Bound::Included(&Datum::Int(999)),
+        )
+        .unwrap();
+        assert_eq!(pool.metrics().misses, 0);
+    }
+
+    #[test]
+    fn lookup_metered_finds_exact_matches() {
+        let (mut disk, tree) = build(1000);
+        let mut pool = BufferPool::new(64);
+        let tids = tree
+            .lookup_metered(&mut disk, &mut pool, &Datum::Int(42))
+            .unwrap();
+        assert_eq!(tids, vec![tid(42)]);
+        let none = tree
+            .lookup_metered(&mut disk, &mut pool, &Datum::Int(5000))
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn string_keys_sort_lexicographically() {
+        let mut disk = DiskManager::new();
+        let entries = vec![
+            (Datum::str("banana"), tid(1)),
+            (Datum::str("apple"), tid(0)),
+            (Datum::str("cherry"), tid(2)),
+        ];
+        let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
+        let all = tree.range(Bound::Unbounded, Bound::Unbounded);
+        let keys: Vec<&str> = all.iter().map(|(k, _)| k.as_str().unwrap()).collect();
+        assert_eq!(keys, vec!["apple", "banana", "cherry"]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_matches_sorted_model(keys in proptest::collection::vec(0i64..500, 0..400),
+                                     lo in 0i64..500, span in 0i64..100) {
+            let mut disk = DiskManager::new();
+            let entries: Vec<(Datum, TupleId)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (Datum::Int(k), tid(i as u32)))
+                .collect();
+            let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
+            let hi = lo + span;
+            let got: Vec<i64> = tree
+                .range(Bound::Included(&Datum::Int(lo)), Bound::Excluded(&Datum::Int(hi)))
+                .into_iter()
+                .map(|(k, _)| k.as_int().unwrap())
+                .collect();
+            let mut expect: Vec<i64> = keys.iter().copied().filter(|k| (lo..hi).contains(k)).collect();
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # dbvirt-storage — storage engine substrate
+//!
+//! A from-scratch storage layer in the PostgreSQL mold, built so that the
+//! database engine above it performs *real* physical work that the VMM
+//! simulator can meter:
+//!
+//! * [`Datum`], [`DataType`], [`Schema`] — the value model;
+//! * [`Tuple`] — byte-serialized rows ([`Tuple`] round-trips through a
+//!   compact tagged format);
+//! * [`Page`] — 8 KiB slotted pages with a slot directory;
+//! * [`HeapFile`] / [`DiskManager`] — append-only heap tables over pages;
+//! * [`BufferPool`] — a clock-sweep page cache whose capacity is set from
+//!   the VM's memory share, charging sequential/random physical reads to a
+//!   [`dbvirt_vmm::ResourceDemand`] on every miss;
+//! * [`BPlusTree`] — paged B+tree secondary indexes whose node accesses go
+//!   through the same buffer pool accounting;
+//! * [`stats`] — `ANALYZE`-style table and column statistics (row counts,
+//!   NDV, min/max, equi-depth histograms) for the optimizer.
+//!
+//! The deliberate design split: *logical* work (which pages are touched,
+//! in what pattern) happens here; *time* is assigned by `dbvirt-vmm`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod bufpool;
+mod error;
+mod heap;
+mod page;
+pub mod stats;
+mod tuple;
+mod types;
+
+pub use btree::BPlusTree;
+pub use bufpool::{AccessPattern, BufferPool, BufferPoolMetrics};
+pub use error::StorageError;
+pub use heap::{DiskManager, FileId, HeapFile, PageId, TupleId};
+pub use page::{Page, PAGE_SIZE};
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use tuple::Tuple;
+pub use types::{DataType, Datum, Field, Schema};

@@ -1,0 +1,216 @@
+//! Slotted pages.
+//!
+//! Layout (all offsets little-endian u16 within an 8 KiB page):
+//!
+//! ```text
+//! +--------+-----------------------------+--------------------+
+//! | header | tuple data (grows forward)  | slot dir (grows <-)|
+//! +--------+-----------------------------+--------------------+
+//! header = { n_slots: u16, free_off: u16 }
+//! slot   = { off: u16, len: u16 }   (stored from the page end backwards)
+//! ```
+//!
+//! Deleted slots keep their directory entry with `len == 0` so that
+//! [`crate::TupleId`]s remain stable.
+
+use crate::StorageError;
+
+/// Page size in bytes, matching PostgreSQL's default 8 KiB.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER_SIZE: usize = 4;
+const SLOT_SIZE: usize = 4;
+
+/// An 8 KiB slotted page.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("n_slots", &self.slot_count())
+            .field("free_space", &self.free_space())
+            .finish()
+    }
+}
+
+impl Default for Page {
+    fn default() -> Page {
+        Page::new()
+    }
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new() -> Page {
+        let mut page = Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        };
+        page.set_u16(0, 0); // n_slots
+        page.set_u16(2, HEADER_SIZE as u16); // free_off
+        page
+    }
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (including deleted ones).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(0)
+    }
+
+    fn free_off(&self) -> u16 {
+        self.get_u16(2)
+    }
+
+    fn slot_dir_off(&self, slot: u16) -> usize {
+        PAGE_SIZE - SLOT_SIZE * (slot as usize + 1)
+    }
+
+    /// Free bytes available for one more insertion (accounting for the new
+    /// slot directory entry).
+    pub fn free_space(&self) -> usize {
+        let dir_start = PAGE_SIZE - SLOT_SIZE * self.slot_count() as usize;
+        let used_end = self.free_off() as usize;
+        (dir_start - used_end).saturating_sub(SLOT_SIZE)
+    }
+
+    /// Largest record that can ever fit in an empty page.
+    pub fn max_record_size() -> usize {
+        PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+    }
+
+    /// Inserts a record, returning its slot index, or `None` if the page is
+    /// full.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TupleTooLarge`] if the record could never fit
+    /// even in an empty page.
+    pub fn insert(&mut self, record: &[u8]) -> Result<Option<u16>, StorageError> {
+        if record.len() > Self::max_record_size() {
+            return Err(StorageError::TupleTooLarge { size: record.len() });
+        }
+        if record.len() > self.free_space() {
+            return Ok(None);
+        }
+        let slot = self.slot_count();
+        let off = self.free_off();
+        self.data[off as usize..off as usize + record.len()].copy_from_slice(record);
+        let dir = self.slot_dir_off(slot);
+        self.set_u16(dir, off);
+        self.set_u16(dir + 2, record.len() as u16);
+        self.set_u16(0, slot + 1);
+        self.set_u16(2, off + record.len() as u16);
+        Ok(Some(slot))
+    }
+
+    /// Returns the record in `slot`, or an error if the slot is missing or
+    /// deleted.
+    pub fn get(&self, slot: u16) -> Result<&[u8], StorageError> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::CorruptPage {
+                reason: format!("slot {slot} out of range ({})", self.slot_count()),
+            });
+        }
+        let dir = self.slot_dir_off(slot);
+        let off = self.get_u16(dir) as usize;
+        let len = self.get_u16(dir + 2) as usize;
+        if len == 0 {
+            return Err(StorageError::CorruptPage {
+                reason: format!("slot {slot} is deleted"),
+            });
+        }
+        if off + len > PAGE_SIZE {
+            return Err(StorageError::CorruptPage {
+                reason: format!("slot {slot} points outside the page"),
+            });
+        }
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Iterates over `(slot, record)` pairs of live records.
+    pub fn records(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |slot| self.get(slot).ok().map(|r| (slot, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap().unwrap();
+        let b = p.insert(b"world!").unwrap().unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(p.get(0).unwrap(), b"hello");
+        assert_eq!(p.get(1).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut p = Page::new();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).unwrap().is_some() {
+            n += 1;
+        }
+        // 8192 - 4 header; each record costs 100 + 4 slot = 104.
+        assert_eq!(n, (PAGE_SIZE - HEADER_SIZE) / 104);
+        // Still readable after filling.
+        assert_eq!(p.get(0).unwrap(), &rec[..]);
+        assert_eq!(p.get(n as u16 - 1).unwrap(), &rec[..]);
+    }
+
+    #[test]
+    fn oversized_record_is_an_error_not_full() {
+        let mut p = Page::new();
+        let too_big = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.insert(&too_big),
+            Err(StorageError::TupleTooLarge { .. })
+        ));
+        // A merely-large record that fits is fine.
+        let big = vec![1u8; Page::max_record_size()];
+        assert_eq!(p.insert(&big).unwrap(), Some(0));
+        assert_eq!(p.insert(b"x").unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_slot_is_an_error() {
+        let p = Page::new();
+        assert!(p.get(0).is_err());
+    }
+
+    #[test]
+    fn records_iterates_in_slot_order() {
+        let mut p = Page::new();
+        for i in 0..5u8 {
+            p.insert(&[i]).unwrap().unwrap();
+        }
+        let collected: Vec<u8> = p.records().map(|(_, r)| r[0]).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn free_space_decreases_monotonically() {
+        let mut p = Page::new();
+        let mut prev = p.free_space();
+        for _ in 0..10 {
+            p.insert(&[0u8; 64]).unwrap().unwrap();
+            let now = p.free_space();
+            assert!(now < prev);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Tuple serialization.
+//!
+//! Tuples are stored in pages as a compact tagged byte format:
+//! a `u16` field count, then per field a 1-byte type tag followed by the
+//! payload (fixed-width for numerics, length-prefixed for strings).
+
+use crate::{Datum, StorageError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A row: an ordered list of datums, serializable to page bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Datum>,
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+const TAG_BOOL_FALSE: u8 = 5;
+const TAG_BOOL_TRUE: u8 = 6;
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Datum>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The values in column order.
+    pub fn values(&self) -> &[Datum] {
+        &self.values
+    }
+
+    /// The value of column `idx`.
+    pub fn get(&self, idx: usize) -> &Datum {
+        &self.values[idx]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Datum> {
+        self.values
+    }
+
+    /// Concatenates two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Projects the tuple onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Tuple {
+        Tuple {
+            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Serializes the tuple to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            match v {
+                Datum::Null => buf.put_u8(TAG_NULL),
+                Datum::Int(x) => {
+                    buf.put_u8(TAG_INT);
+                    buf.put_i64(*x);
+                }
+                Datum::Float(x) => {
+                    buf.put_u8(TAG_FLOAT);
+                    buf.put_f64(*x);
+                }
+                Datum::Str(s) => {
+                    buf.put_u8(TAG_STR);
+                    buf.put_u32(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+                Datum::Date(d) => {
+                    buf.put_u8(TAG_DATE);
+                    buf.put_i32(*d);
+                }
+                Datum::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+                Datum::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Exact size of [`Tuple::encode`]'s output, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        2 + self
+            .values
+            .iter()
+            .map(|v| match v {
+                Datum::Null | Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Float(_) => 9,
+                Datum::Date(_) => 5,
+                Datum::Str(s) => 5 + s.len(),
+            })
+            .sum::<usize>()
+    }
+
+    /// Deserializes a tuple from bytes produced by [`Tuple::encode`].
+    pub fn decode(mut bytes: &[u8]) -> Result<Tuple, StorageError> {
+        let corrupt = |reason: &str| StorageError::CorruptTuple {
+            reason: reason.to_string(),
+        };
+        if bytes.remaining() < 2 {
+            return Err(corrupt("missing field count"));
+        }
+        let n = bytes.get_u16() as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            if bytes.remaining() < 1 {
+                return Err(corrupt("missing field tag"));
+            }
+            let tag = bytes.get_u8();
+            let datum = match tag {
+                TAG_NULL => Datum::Null,
+                TAG_INT => {
+                    if bytes.remaining() < 8 {
+                        return Err(corrupt("truncated int"));
+                    }
+                    Datum::Int(bytes.get_i64())
+                }
+                TAG_FLOAT => {
+                    if bytes.remaining() < 8 {
+                        return Err(corrupt("truncated float"));
+                    }
+                    Datum::Float(bytes.get_f64())
+                }
+                TAG_STR => {
+                    if bytes.remaining() < 4 {
+                        return Err(corrupt("truncated string length"));
+                    }
+                    let len = bytes.get_u32() as usize;
+                    if bytes.remaining() < len {
+                        return Err(corrupt("truncated string body"));
+                    }
+                    let s = std::str::from_utf8(&bytes[..len])
+                        .map_err(|_| corrupt("invalid utf-8"))?
+                        .to_string();
+                    bytes.advance(len);
+                    Datum::Str(s)
+                }
+                TAG_DATE => {
+                    if bytes.remaining() < 4 {
+                        return Err(corrupt("truncated date"));
+                    }
+                    Datum::Date(bytes.get_i32())
+                }
+                TAG_BOOL_FALSE => Datum::Bool(false),
+                TAG_BOOL_TRUE => Datum::Bool(true),
+                other => {
+                    return Err(StorageError::CorruptTuple {
+                        reason: format!("unknown tag {other}"),
+                    })
+                }
+            };
+            values.push(datum);
+        }
+        Ok(Tuple { values })
+    }
+}
+
+impl From<Vec<Datum>> for Tuple {
+    fn from(values: Vec<Datum>) -> Tuple {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![
+            Datum::Int(-42),
+            Datum::Float(3.25),
+            Datum::str("hello, wörld"),
+            Datum::Date(20000),
+            Datum::Bool(true),
+            Datum::Bool(false),
+            Datum::Null,
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        let back = Tuple::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::new(vec![]);
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 3, bytes.len() - 1] {
+            assert!(
+                Tuple::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let bytes = [0u8, 1, 99];
+        assert!(matches!(
+            Tuple::decode(&bytes),
+            Err(StorageError::CorruptTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Datum::Int(1), Datum::str("x")]);
+        let b = Tuple::new(vec![Datum::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Datum::Bool(true), Datum::Int(1)]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(ints in proptest::collection::vec(-1_000_000i64..1_000_000, 0..8),
+                          s in "[a-zA-Z0-9 ]{0,40}") {
+            let mut values: Vec<Datum> = ints.into_iter().map(Datum::Int).collect();
+            values.push(Datum::str(s));
+            values.push(Datum::Null);
+            let t = Tuple::new(values);
+            let bytes = t.encode();
+            proptest::prop_assert_eq!(bytes.len(), t.encoded_len());
+            proptest::prop_assert_eq!(Tuple::decode(&bytes).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # dbvirt-tpch — the TPC-H-like workload substrate
+//!
+//! The paper's experiments run OSDB's TPC-H implementation ("which includes
+//! an extensive set of indexes to boost performance") at 1 GB scale. This
+//! crate is the equivalent substrate for the simulator: a **seeded,
+//! deterministic generator** for the eight TPC-H tables at a configurable
+//! scale factor, the index set, logical plans for a representative query
+//! subset (including **Q4 and Q13**, the two queries Figures 4 and 5 are
+//! built on), and workload composition ("3 copies of Q4", "9 copies of
+//! Q13").
+//!
+//! Dates are days since the Unix epoch ([`date`]); money is `f64`; comments
+//! are drawn from a word list with the occasional `special … requests`
+//! phrase that Q13's `NOT LIKE` filter exists to exclude.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod col;
+mod gen;
+pub mod queries;
+mod workload;
+
+pub use gen::{date, TpchConfig, TpchDb};
+pub use queries::TpchQuery;
+pub use workload::Workload;

@@ -1,0 +1,629 @@
+//! Logical plans for the TPC-H query subset.
+//!
+//! Q4 and Q13 are the queries the paper's Figures 4 and 5 are built on:
+//! Q4 is I/O-bound (a date-windowed semi-join counting orders with late
+//! lineitems), Q13 is CPU-bound (a `NOT LIKE` filter over every order
+//! comment feeding a two-level aggregation). The remaining queries give
+//! the search experiments a spread of resource profiles.
+
+use crate::col::{customer, lineitem, nation, orders, part, region, supplier};
+use crate::{date, TpchDb};
+use dbvirt_engine::{AggExpr, AggFunc, Expr, JoinType, SortKey};
+use dbvirt_optimizer::{JoinCondition, LogicalPlan};
+use std::fmt;
+
+/// The implemented TPC-H queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchQuery {
+    /// Pricing summary report (scan + wide aggregation).
+    Q1,
+    /// Shipping priority (3-way join, top-10).
+    Q3,
+    /// Order priority checking (date window + semi-join) — Figure 4/5's
+    /// I/O-bound query.
+    Q4,
+    /// Local supplier volume (6-way join).
+    Q5,
+    /// Forecasting revenue change (selective scan, global aggregate).
+    Q6,
+    /// Returned item reporting (4-way join, top-20).
+    Q10,
+    /// Customer distribution (left join + double aggregation) — Figure
+    /// 4/5's CPU-bound query.
+    Q13,
+    /// Promotion effect (join + CASE aggregation).
+    Q14,
+    /// Large volume customer (HAVING subquery + 3-way join, top-100).
+    Q18,
+}
+
+impl TpchQuery {
+    /// Every implemented query.
+    pub fn all() -> [TpchQuery; 9] {
+        [
+            TpchQuery::Q1,
+            TpchQuery::Q3,
+            TpchQuery::Q4,
+            TpchQuery::Q5,
+            TpchQuery::Q6,
+            TpchQuery::Q10,
+            TpchQuery::Q13,
+            TpchQuery::Q14,
+            TpchQuery::Q18,
+        ]
+    }
+
+    /// Builds this query's logical plan against a generated database.
+    pub fn plan(self, t: &TpchDb) -> LogicalPlan {
+        match self {
+            TpchQuery::Q1 => q1(t),
+            TpchQuery::Q3 => q3(t),
+            TpchQuery::Q4 => q4(t),
+            TpchQuery::Q5 => q5(t),
+            TpchQuery::Q6 => q6(t),
+            TpchQuery::Q10 => q10(t),
+            TpchQuery::Q13 => q13(t),
+            TpchQuery::Q14 => q14(t),
+            TpchQuery::Q18 => q18(t),
+        }
+    }
+}
+
+impl fmt::Display for TpchQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn on(left_col: usize, right_col: usize) -> JoinCondition {
+    JoinCondition {
+        left_col,
+        right_col,
+    }
+}
+
+/// `l_extendedprice * (1 - l_discount)` at a given column offset.
+fn revenue_expr(offset: usize) -> Expr {
+    Expr::mul(
+        Expr::col(offset + lineitem::EXTENDEDPRICE),
+        Expr::sub(Expr::float(1.0), Expr::col(offset + lineitem::DISCOUNT)),
+    )
+}
+
+/// Q1: pricing summary report.
+fn q1(t: &TpchDb) -> LogicalPlan {
+    let cutoff = date(1998, 12, 1) - 90;
+    LogicalPlan::scan_filtered(
+        t.lineitem,
+        Expr::le(Expr::col(lineitem::SHIPDATE), Expr::date(cutoff)),
+    )
+    .aggregate(
+        vec![lineitem::RETURNFLAG, lineitem::LINESTATUS],
+        vec![
+            AggExpr::new(AggFunc::Sum, Expr::col(lineitem::QUANTITY), "sum_qty"),
+            AggExpr::new(
+                AggFunc::Sum,
+                Expr::col(lineitem::EXTENDEDPRICE),
+                "sum_base_price",
+            ),
+            AggExpr::new(AggFunc::Sum, revenue_expr(0), "sum_disc_price"),
+            AggExpr::new(
+                AggFunc::Sum,
+                Expr::mul(
+                    revenue_expr(0),
+                    Expr::add(Expr::float(1.0), Expr::col(lineitem::TAX)),
+                ),
+                "sum_charge",
+            ),
+            AggExpr::new(AggFunc::Avg, Expr::col(lineitem::QUANTITY), "avg_qty"),
+            AggExpr::new(
+                AggFunc::Avg,
+                Expr::col(lineitem::EXTENDEDPRICE),
+                "avg_price",
+            ),
+            AggExpr::new(AggFunc::Avg, Expr::col(lineitem::DISCOUNT), "avg_disc"),
+            AggExpr::count_star("count_order"),
+        ],
+    )
+    .sort(vec![SortKey::asc(0), SortKey::asc(1)])
+}
+
+/// Q3: shipping priority.
+fn q3(t: &TpchDb) -> LogicalPlan {
+    let d = date(1995, 3, 15);
+    let cust_arity = 8;
+    let orders_off = cust_arity;
+    let line_off = orders_off + 8;
+    LogicalPlan::scan_filtered(
+        t.customer,
+        Expr::eq(Expr::col(customer::MKTSEGMENT), Expr::str("BUILDING")),
+    )
+    .join(
+        LogicalPlan::scan_filtered(
+            t.orders,
+            Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(d)),
+        ),
+        vec![on(customer::CUSTKEY, orders::CUSTKEY)],
+    )
+    .join(
+        LogicalPlan::scan_filtered(
+            t.lineitem,
+            Expr::gt(Expr::col(lineitem::SHIPDATE), Expr::date(d)),
+        ),
+        vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
+    )
+    .aggregate(
+        vec![
+            orders_off + orders::ORDERKEY,
+            orders_off + orders::ORDERDATE,
+            orders_off + orders::SHIPPRIORITY,
+        ],
+        vec![AggExpr::new(
+            AggFunc::Sum,
+            revenue_expr(line_off),
+            "revenue",
+        )],
+    )
+    .sort(vec![SortKey::desc(3), SortKey::asc(1)])
+    .limit(10)
+}
+
+/// Q4: order priority checking — the paper's I/O-bound query.
+fn q4(t: &TpchDb) -> LogicalPlan {
+    let lo = date(1993, 7, 1);
+    let hi = date(1993, 10, 1);
+    LogicalPlan::scan_filtered(
+        t.orders,
+        Expr::and(
+            Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
+            Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
+        ),
+    )
+    .join_as(
+        LogicalPlan::scan_filtered(
+            t.lineitem,
+            Expr::lt(
+                Expr::col(lineitem::COMMITDATE),
+                Expr::col(lineitem::RECEIPTDATE),
+            ),
+        ),
+        vec![on(orders::ORDERKEY, lineitem::ORDERKEY)],
+        JoinType::Semi,
+    )
+    .aggregate(
+        vec![orders::ORDERPRIORITY],
+        vec![AggExpr::count_star("order_count")],
+    )
+    .sort(vec![SortKey::asc(0)])
+}
+
+/// Q5: local supplier volume.
+fn q5(t: &TpchDb) -> LogicalPlan {
+    let lo = date(1994, 1, 1);
+    let hi = date(1995, 1, 1);
+    let orders_off = 8;
+    let line_off = orders_off + 8; // 16
+    let supp_off = line_off + 13; // 29
+    let nation_off = supp_off + 4; // 33
+    LogicalPlan::scan(t.customer)
+        .join(
+            LogicalPlan::scan_filtered(
+                t.orders,
+                Expr::and(
+                    Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
+                    Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
+                ),
+            ),
+            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
+        )
+        .join(
+            LogicalPlan::scan(t.lineitem),
+            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
+        )
+        .join(
+            LogicalPlan::scan(t.supplier),
+            vec![
+                on(line_off + lineitem::SUPPKEY, supplier::SUPPKEY),
+                on(customer::NATIONKEY, supplier::NATIONKEY),
+            ],
+        )
+        .join(
+            LogicalPlan::scan(t.nation),
+            vec![on(supp_off + supplier::NATIONKEY, nation::NATIONKEY)],
+        )
+        .join(
+            LogicalPlan::scan_filtered(
+                t.region,
+                Expr::eq(Expr::col(region::NAME), Expr::str("ASIA")),
+            ),
+            vec![on(nation_off + nation::REGIONKEY, region::REGIONKEY)],
+        )
+        .aggregate(
+            vec![nation_off + nation::NAME],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                revenue_expr(line_off),
+                "revenue",
+            )],
+        )
+        .sort(vec![SortKey::desc(1)])
+}
+
+/// Q6: forecasting revenue change.
+fn q6(t: &TpchDb) -> LogicalPlan {
+    let lo = date(1994, 1, 1);
+    let hi = date(1995, 1, 1);
+    LogicalPlan::scan_filtered(
+        t.lineitem,
+        Expr::and_all(vec![
+            Expr::ge(Expr::col(lineitem::SHIPDATE), Expr::date(lo)),
+            Expr::lt(Expr::col(lineitem::SHIPDATE), Expr::date(hi)),
+            Expr::between(
+                Expr::col(lineitem::DISCOUNT),
+                dbvirt_storage::Datum::Float(0.05),
+                dbvirt_storage::Datum::Float(0.07),
+            ),
+            Expr::lt(Expr::col(lineitem::QUANTITY), Expr::int(24)),
+        ]),
+    )
+    .aggregate(
+        vec![],
+        vec![AggExpr::new(
+            AggFunc::Sum,
+            Expr::mul(
+                Expr::col(lineitem::EXTENDEDPRICE),
+                Expr::col(lineitem::DISCOUNT),
+            ),
+            "revenue",
+        )],
+    )
+}
+
+/// Q10: returned item reporting.
+fn q10(t: &TpchDb) -> LogicalPlan {
+    let lo = date(1993, 10, 1);
+    let hi = date(1994, 1, 1);
+    let orders_off = 8;
+    let line_off = orders_off + 8; // 16
+    let nation_off = line_off + 13; // 29
+    LogicalPlan::scan(t.customer)
+        .join(
+            LogicalPlan::scan_filtered(
+                t.orders,
+                Expr::and(
+                    Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
+                    Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
+                ),
+            ),
+            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
+        )
+        .join(
+            LogicalPlan::scan_filtered(
+                t.lineitem,
+                Expr::eq(Expr::col(lineitem::RETURNFLAG), Expr::str("R")),
+            ),
+            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
+        )
+        .join(
+            LogicalPlan::scan(t.nation),
+            vec![on(customer::NATIONKEY, nation::NATIONKEY)],
+        )
+        .aggregate(
+            vec![
+                customer::CUSTKEY,
+                customer::NAME,
+                customer::ACCTBAL,
+                customer::PHONE,
+                nation_off + nation::NAME,
+                customer::ADDRESS,
+                customer::COMMENT,
+            ],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                revenue_expr(line_off),
+                "revenue",
+            )],
+        )
+        .sort(vec![SortKey::desc(7)])
+        .limit(20)
+}
+
+/// Q13: customer distribution — the paper's CPU-bound query.
+fn q13(t: &TpchDb) -> LogicalPlan {
+    let orders_off = 8;
+    LogicalPlan::scan(t.customer)
+        .join_as(
+            LogicalPlan::scan_filtered(
+                t.orders,
+                Expr::not_like(Expr::col(orders::COMMENT), "%special%requests%"),
+            ),
+            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
+            JoinType::Left,
+        )
+        // c_orders: count of non-null order keys per customer.
+        .aggregate(
+            vec![customer::CUSTKEY],
+            vec![AggExpr::new(
+                AggFunc::Count,
+                Expr::col(orders_off + orders::ORDERKEY),
+                "c_count",
+            )],
+        )
+        // custdist: how many customers have each order count.
+        .aggregate(vec![1], vec![AggExpr::count_star("custdist")])
+        .sort(vec![SortKey::desc(1), SortKey::desc(0)])
+}
+
+/// Q14: promotion effect.
+fn q14(t: &TpchDb) -> LogicalPlan {
+    let lo = date(1995, 9, 1);
+    let hi = date(1995, 10, 1);
+    let part_off = 13;
+    LogicalPlan::scan_filtered(
+        t.lineitem,
+        Expr::and(
+            Expr::ge(Expr::col(lineitem::SHIPDATE), Expr::date(lo)),
+            Expr::lt(Expr::col(lineitem::SHIPDATE), Expr::date(hi)),
+        ),
+    )
+    .join(
+        LogicalPlan::scan(t.part),
+        vec![on(lineitem::PARTKEY, part::PARTKEY)],
+    )
+    .aggregate(
+        vec![],
+        vec![
+            AggExpr::new(
+                AggFunc::Sum,
+                Expr::Case {
+                    branches: vec![(
+                        Expr::like(Expr::col(part_off + part::TYPE), "PROMO%"),
+                        revenue_expr(0),
+                    )],
+                    else_expr: Some(Box::new(Expr::float(0.0))),
+                },
+                "promo",
+            ),
+            AggExpr::new(AggFunc::Sum, revenue_expr(0), "total"),
+        ],
+    )
+    .project(vec![(
+        Expr::arith(
+            dbvirt_engine::BinOp::Div,
+            Expr::mul(Expr::float(100.0), Expr::col(0)),
+            Expr::col(1),
+        ),
+        "promo_revenue".to_string(),
+    )])
+}
+
+/// Q18: large volume customer. The `HAVING SUM(l_quantity) > 250` inner
+/// aggregate becomes a semi-join filter on orders.
+fn q18(t: &TpchDb) -> LogicalPlan {
+    let big_orders = LogicalPlan::scan(t.lineitem)
+        .aggregate(
+            vec![lineitem::ORDERKEY],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                Expr::col(lineitem::QUANTITY),
+                "sum_qty",
+            )],
+        )
+        .filter(Expr::gt(Expr::col(1), Expr::int(250)));
+
+    let orders_off = 8;
+    let line_off = orders_off + 8;
+    LogicalPlan::scan(t.customer)
+        .join(
+            LogicalPlan::scan(t.orders).join_as(
+                big_orders,
+                vec![on(orders::ORDERKEY, 0)],
+                JoinType::Semi,
+            ),
+            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
+        )
+        .join(
+            LogicalPlan::scan(t.lineitem),
+            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
+        )
+        .aggregate(
+            vec![
+                customer::NAME,
+                customer::CUSTKEY,
+                orders_off + orders::ORDERKEY,
+                orders_off + orders::ORDERDATE,
+                orders_off + orders::TOTALPRICE,
+            ],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                Expr::col(line_off + lineitem::QUANTITY),
+                "sum_qty",
+            )],
+        )
+        .sort(vec![SortKey::desc(4), SortKey::asc(3)])
+        .limit(100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TpchConfig;
+    use dbvirt_engine::{run_plan, CpuCosts};
+    use dbvirt_optimizer::{plan_query, OptimizerParams};
+    use dbvirt_storage::BufferPool;
+
+    fn run(q: TpchQuery) -> dbvirt_engine::QueryOutput {
+        let mut t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+        let logical = q.plan(&t);
+        let planned = plan_query(&t.db, &logical, &OptimizerParams::default()).unwrap();
+        let mut pool = BufferPool::new(4096);
+        run_plan(
+            &mut t.db,
+            &mut pool,
+            &planned.physical,
+            4 << 20,
+            CpuCosts::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_produces_flag_status_groups() {
+        let out = run(TpchQuery::Q1);
+        // 3 return flags x 2 line statuses, possibly minus empty combos.
+        assert!(
+            (4..=6).contains(&out.rows.len()),
+            "{} groups",
+            out.rows.len()
+        );
+        assert_eq!(out.schema.field(2).name, "sum_qty");
+        // Sorted by flag then status.
+        let keys: Vec<(String, String)> = out
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.get(0).as_str().unwrap().to_string(),
+                    r.get(1).as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // sum_disc_price <= sum_base_price (discounts only reduce).
+        for r in &out.rows {
+            assert!(r.get(4).as_float().unwrap() <= r.get(3).as_float().unwrap());
+        }
+    }
+
+    #[test]
+    fn q3_returns_top_orders() {
+        let out = run(TpchQuery::Q3);
+        assert!(out.rows.len() <= 10);
+        assert!(!out.rows.is_empty());
+        // Revenue is descending.
+        let revenues: Vec<f64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(3).as_float().unwrap())
+            .collect();
+        assert!(revenues.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn q4_counts_priorities() {
+        let out = run(TpchQuery::Q4);
+        assert_eq!(out.rows.len(), 5, "all five priorities appear");
+        // Alphabetical priority order.
+        let names: Vec<&str> = out
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_str().unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        for r in &out.rows {
+            assert!(r.get(1).as_int().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn q5_sums_by_nation() {
+        let out = run(TpchQuery::Q5);
+        // Only ASIA nations (5 of 25) can appear.
+        assert!(out.rows.len() <= 5);
+        let revenues: Vec<f64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_float().unwrap())
+            .collect();
+        assert!(revenues.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn q6_returns_single_revenue() {
+        let out = run(TpchQuery::Q6);
+        assert_eq!(out.rows.len(), 1);
+        let revenue = out.rows[0].get(0).as_float().unwrap();
+        assert!(revenue > 0.0);
+    }
+
+    #[test]
+    fn q10_returns_top20_customers() {
+        let out = run(TpchQuery::Q10);
+        assert!(out.rows.len() <= 20);
+        assert!(!out.rows.is_empty());
+        assert_eq!(out.schema.field(7).name, "revenue");
+    }
+
+    #[test]
+    fn q13_is_a_count_distribution() {
+        let out = run(TpchQuery::Q13);
+        assert!(!out.rows.is_empty());
+        // Total customers across the distribution equals the customer count.
+        let total: i64 = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        let t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+        let n_customers = t.db.table(t.customer).stats.as_ref().unwrap().n_rows as i64;
+        assert_eq!(total, n_customers);
+        // custdist descending.
+        let dist: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .collect();
+        assert!(dist.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn q14_returns_percentage() {
+        let out = run(TpchQuery::Q14);
+        assert_eq!(out.rows.len(), 1);
+        let pct = out.rows[0].get(0).as_float().unwrap();
+        assert!((0.0..=100.0).contains(&pct), "promo fraction {pct}%");
+        // PROMO is 1 of 6 type syllables, so expect roughly 1/6.
+        assert!((5.0..35.0).contains(&pct), "promo fraction {pct}%");
+    }
+
+    #[test]
+    fn q18_finds_large_volume_orders() {
+        let out = run(TpchQuery::Q18);
+        assert!(out.rows.len() <= 100);
+        assert!(
+            !out.rows.is_empty(),
+            "some orders exceed the quantity threshold"
+        );
+        // Every returned order's summed quantity exceeds the threshold.
+        for r in &out.rows {
+            assert!(r.get(5).as_int().unwrap() > 250);
+        }
+    }
+
+    #[test]
+    fn all_queries_plan_and_execute() {
+        let mut t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+        let params = OptimizerParams::default();
+        for q in TpchQuery::all() {
+            let logical = q.plan(&t);
+            let planned = plan_query(&t.db, &logical, &params)
+                .unwrap_or_else(|e| panic!("{q} failed to plan: {e}"));
+            let mut pool = BufferPool::new(4096);
+            let out = run_plan(
+                &mut t.db,
+                &mut pool,
+                &planned.physical,
+                4 << 20,
+                CpuCosts::default(),
+            )
+            .unwrap_or_else(|e| panic!("{q} failed to execute: {e}"));
+            assert!(out.demand.cpu_cycles > 0.0, "{q} did no work");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload composition.
+//!
+//! The paper's Figure 5 workloads are "3 copies of Q4" and "9 copies of
+//! Q13" — multiple copies "to reduce any effects of startup overheads",
+//! sized so the two workloads take about the same time at the default
+//! 50/50 allocation. A [`Workload`] is exactly that: a named sequence of
+//! query plans.
+
+use crate::{TpchDb, TpchQuery};
+use dbvirt_optimizer::LogicalPlan;
+
+/// A named sequence of queries to be run by one virtual machine.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name, e.g. `3xQ4`.
+    pub name: String,
+    /// The queries, in execution order.
+    pub queries: Vec<LogicalPlan>,
+}
+
+impl Workload {
+    /// Builds a workload from `(query, copies)` pairs.
+    pub fn compose(t: &TpchDb, mix: &[(TpchQuery, usize)]) -> Workload {
+        let name = mix
+            .iter()
+            .map(|(q, n)| format!("{n}x{q}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        let queries = mix
+            .iter()
+            .flat_map(|(q, n)| std::iter::repeat_with(|| q.plan(t)).take(*n))
+            .collect();
+        Workload { name, queries }
+    }
+
+    /// A single-query workload.
+    pub fn single(t: &TpchDb, q: TpchQuery) -> Workload {
+        Workload::compose(t, &[(q, 1)])
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TpchConfig;
+
+    #[test]
+    fn compose_repeats_and_names() {
+        let t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+        let w = Workload::compose(&t, &[(TpchQuery::Q4, 3), (TpchQuery::Q6, 2)]);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.name, "3xQ4+2xQ6");
+        assert!(!w.is_empty());
+        // Copies are identical plans.
+        assert_eq!(w.queries[0], w.queries[1]);
+        assert_ne!(w.queries[0], w.queries[4]);
+    }
+
+    #[test]
+    fn single_is_one_query() {
+        let t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+        let w = Workload::single(&t, TpchQuery::Q13);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.name, "1xQ13");
+    }
+}

@@ -1,0 +1,194 @@
+//! Resource demand accounting.
+//!
+//! While the database engine executes a query it does not consume real time;
+//! instead it *accounts* for the physical work it performs into a
+//! [`ResourceDemand`]: CPU cycles burned, pages read sequentially, pages read
+//! at random, and pages written back. A [`crate::VirtualMachine`] then
+//! converts a demand into simulated wall-clock time under its resource
+//! shares. Keeping demand separate from time is what lets the same executed
+//! query be "re-measured" under many different allocations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Physical work performed by an execution, independent of any allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceDemand {
+    /// CPU cycles consumed.
+    pub cpu_cycles: f64,
+    /// Pages read from disk with sequential access.
+    pub seq_page_reads: u64,
+    /// Pages read from disk with random access.
+    pub random_page_reads: u64,
+    /// Pages written back to disk (sequential writes, e.g. sort spills).
+    pub page_writes: u64,
+}
+
+impl ResourceDemand {
+    /// The empty demand.
+    pub const ZERO: ResourceDemand = ResourceDemand {
+        cpu_cycles: 0.0,
+        seq_page_reads: 0,
+        random_page_reads: 0,
+        page_writes: 0,
+    };
+
+    /// A pure-CPU demand.
+    pub fn cpu(cycles: f64) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cycles: cycles,
+            ..ResourceDemand::ZERO
+        }
+    }
+
+    /// Records CPU work.
+    pub fn add_cpu(&mut self, cycles: f64) {
+        debug_assert!(cycles >= 0.0, "negative cpu demand");
+        self.cpu_cycles += cycles;
+    }
+
+    /// Records sequential page reads.
+    pub fn add_seq_reads(&mut self, pages: u64) {
+        self.seq_page_reads += pages;
+    }
+
+    /// Records random page reads.
+    pub fn add_random_reads(&mut self, pages: u64) {
+        self.random_page_reads += pages;
+    }
+
+    /// Records page writes.
+    pub fn add_writes(&mut self, pages: u64) {
+        self.page_writes += pages;
+    }
+
+    /// Total pages transferred in either direction.
+    pub fn total_pages(&self) -> u64 {
+        self.seq_page_reads + self.random_page_reads + self.page_writes
+    }
+
+    /// True if no work at all was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.cpu_cycles == 0.0 && self.total_pages() == 0
+    }
+
+    /// The work performed since an earlier snapshot of the same monotone
+    /// accumulator (saturating, so a swapped argument order cannot panic).
+    pub fn delta_since(&self, earlier: &ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cycles: (self.cpu_cycles - earlier.cpu_cycles).max(0.0),
+            seq_page_reads: self.seq_page_reads.saturating_sub(earlier.seq_page_reads),
+            random_page_reads: self
+                .random_page_reads
+                .saturating_sub(earlier.random_page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+        }
+    }
+
+    /// Demand multiplied by a non-negative scalar (e.g. "`n` copies of this
+    /// query" when composing workloads).
+    pub fn scaled(&self, factor: f64) -> ResourceDemand {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        ResourceDemand {
+            cpu_cycles: self.cpu_cycles * factor,
+            seq_page_reads: (self.seq_page_reads as f64 * factor).round() as u64,
+            random_page_reads: (self.random_page_reads as f64 * factor).round() as u64,
+            page_writes: (self.page_writes as f64 * factor).round() as u64,
+        }
+    }
+}
+
+impl Add for ResourceDemand {
+    type Output = ResourceDemand;
+    fn add(self, rhs: ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cycles: self.cpu_cycles + rhs.cpu_cycles,
+            seq_page_reads: self.seq_page_reads + rhs.seq_page_reads,
+            random_page_reads: self.random_page_reads + rhs.random_page_reads,
+            page_writes: self.page_writes + rhs.page_writes,
+        }
+    }
+}
+
+impl AddAssign for ResourceDemand {
+    fn add_assign(&mut self, rhs: ResourceDemand) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ResourceDemand {
+    fn sum<I: Iterator<Item = ResourceDemand>>(iter: I) -> ResourceDemand {
+        iter.fold(ResourceDemand::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceDemand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{cpu {:.2e} cyc, seq {} pg, rand {} pg, write {} pg}}",
+            self.cpu_cycles, self.seq_page_reads, self.random_page_reads, self.page_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut d = ResourceDemand::ZERO;
+        assert!(d.is_zero());
+        d.add_cpu(1000.0);
+        d.add_seq_reads(5);
+        d.add_random_reads(2);
+        d.add_writes(1);
+        assert_eq!(d.total_pages(), 8);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = ResourceDemand {
+            cpu_cycles: 10.0,
+            seq_page_reads: 1,
+            random_page_reads: 2,
+            page_writes: 3,
+        };
+        let b = ResourceDemand::cpu(5.0);
+        let c = a + b;
+        assert_eq!(c.cpu_cycles, 15.0);
+        assert_eq!(c.seq_page_reads, 1);
+        let total: ResourceDemand = [a, b, c].into_iter().sum();
+        assert_eq!(total.cpu_cycles, 30.0);
+        assert_eq!(total.page_writes, 6);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = ResourceDemand {
+            cpu_cycles: 100.0,
+            seq_page_reads: 10,
+            random_page_reads: 4,
+            page_writes: 2,
+        };
+        let s = d.scaled(3.0);
+        assert_eq!(s.cpu_cycles, 300.0);
+        assert_eq!(s.seq_page_reads, 30);
+        assert_eq!(s.random_page_reads, 12);
+        assert_eq!(s.page_writes, 6);
+        assert!(d.scaled(0.0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn scaling_rejects_negative() {
+        let _ = ResourceDemand::cpu(1.0).scaled(-1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the VMM simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or validating virtualized configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmmError {
+    /// A share value was outside `[0, 1]` or not finite.
+    InvalidShare {
+        /// The offending value.
+        value: f64,
+    },
+    /// The shares of one resource across all VMs exceed the whole machine.
+    Oversubscribed {
+        /// Which resource column is oversubscribed.
+        resource: &'static str,
+        /// The column sum that exceeded 1.
+        total: f64,
+    },
+    /// An allocation matrix had no rows, or a row index was out of range.
+    EmptyAllocation,
+    /// A machine parameter was non-positive or otherwise nonsensical.
+    InvalidMachine {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// The co-scheduler was given inconsistent input.
+    InvalidSchedule {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::InvalidShare { value } => {
+                write!(f, "share must be a finite value in [0, 1], got {value}")
+            }
+            VmmError::Oversubscribed { resource, total } => write!(
+                f,
+                "allocation oversubscribes {resource}: shares sum to {total:.4} > 1"
+            ),
+            VmmError::EmptyAllocation => write!(f, "allocation matrix has no workloads"),
+            VmmError::InvalidMachine { reason } => write!(f, "invalid machine spec: {reason}"),
+            VmmError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+        }
+    }
+}
+
+impl Error for VmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VmmError::InvalidShare { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = VmmError::Oversubscribed {
+            resource: "cpu",
+            total: 1.25,
+        };
+        assert!(e.to_string().contains("cpu"));
+        assert!(e.to_string().contains("1.25"));
+    }
+}

@@ -1,0 +1,517 @@
+//! Fluid-approximation credit scheduler for co-running VMs.
+//!
+//! The paper's Figure 5 experiment runs two database workloads *at the same
+//! time* in two Xen VMs and measures each workload's completion time under
+//! different CPU splits. This module provides the equivalent facility: a
+//! deterministic fluid simulation of several VMs sharing one
+//! [`MachineSpec`], where each VM executes a sequence of queries (each a
+//! [`ResourceDemand`]) phase by phase.
+//!
+//! Two scheduling modes are supported, mirroring the Xen credit scheduler:
+//!
+//! * [`SchedMode::Capped`] — a VM never receives more than its configured
+//!   share, even when the machine is otherwise idle (Xen's `cap` parameter;
+//!   this is the mode the paper's experiments use);
+//! * [`SchedMode::WorkConserving`] — idle capacity is redistributed among
+//!   the VMs currently demanding the resource, in proportion to their
+//!   shares (Xen's default `weight`-based behaviour).
+
+use crate::{
+    AllocationMatrix, MachineSpec, ResourceDemand, SimDuration, SimTime, VirtualMachine, VmmError,
+};
+
+/// How unclaimed resource capacity is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Shares are hard caps (Xen `cap`); unclaimed capacity is wasted.
+    Capped,
+    /// Unclaimed capacity is shared among demanding VMs in proportion to
+    /// their configured shares (Xen `weight`).
+    WorkConserving,
+}
+
+/// One VM's job: execute `queries` in order under `shares`.
+#[derive(Debug, Clone)]
+pub struct VmJob {
+    /// The demands of the queries to run, in order.
+    pub queries: Vec<ResourceDemand>,
+}
+
+impl VmJob {
+    /// Creates a job from a sequence of query demands.
+    pub fn new(queries: Vec<ResourceDemand>) -> VmJob {
+        VmJob { queries }
+    }
+}
+
+/// Completion report for one VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmOutcome {
+    /// Instant at which each query finished, in order.
+    pub query_completions: Vec<SimTime>,
+    /// Instant at which the whole job finished (equals the last query
+    /// completion, or `t = 0` for an empty job).
+    pub completion: SimTime,
+}
+
+impl VmOutcome {
+    /// Total simulated time the VM's job took.
+    pub fn makespan(&self) -> SimDuration {
+        self.completion.duration_since(SimTime::ZERO)
+    }
+}
+
+/// Which resource a phase consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    SeqRead,
+    RandRead,
+    Write,
+    Cpu,
+}
+
+impl PhaseKind {
+    fn uses_disk(self) -> bool {
+        !matches!(self, PhaseKind::Cpu)
+    }
+}
+
+/// Remaining work of a phase, in phase units (pages or cycles).
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    kind: PhaseKind,
+    remaining: f64,
+}
+
+fn phases_of(demand: &ResourceDemand) -> Vec<Phase> {
+    // A query thread alternates between disk waits and computation; since
+    // the fluid model only cares about totals per resource, we order the
+    // phases deterministically: reads, then CPU, then write-back.
+    let mut out = Vec::with_capacity(4);
+    if demand.seq_page_reads > 0 {
+        out.push(Phase {
+            kind: PhaseKind::SeqRead,
+            remaining: demand.seq_page_reads as f64,
+        });
+    }
+    if demand.random_page_reads > 0 {
+        out.push(Phase {
+            kind: PhaseKind::RandRead,
+            remaining: demand.random_page_reads as f64,
+        });
+    }
+    if demand.cpu_cycles > 0.0 {
+        out.push(Phase {
+            kind: PhaseKind::Cpu,
+            remaining: demand.cpu_cycles,
+        });
+    }
+    if demand.page_writes > 0 {
+        out.push(Phase {
+            kind: PhaseKind::Write,
+            remaining: demand.page_writes as f64,
+        });
+    }
+    out
+}
+
+struct VmState {
+    /// Queries not yet started, in reverse order (pop from the back).
+    pending: Vec<ResourceDemand>,
+    /// Phases of the in-flight query, in reverse order.
+    current: Vec<Phase>,
+    completions: Vec<SimTime>,
+    done: bool,
+}
+
+impl VmState {
+    fn new(job: &VmJob) -> VmState {
+        let mut pending: Vec<ResourceDemand> = job.queries.clone();
+        pending.reverse();
+        let mut state = VmState {
+            pending,
+            current: Vec::new(),
+            completions: Vec::new(),
+            done: false,
+        };
+        state.advance_query(SimTime::ZERO);
+        state
+    }
+
+    /// Loads the next query (recording completions for any queries whose
+    /// demand is empty), marking the VM done when the job is exhausted.
+    fn advance_query(&mut self, now: SimTime) {
+        while self.current.is_empty() {
+            match self.pending.pop() {
+                Some(demand) => {
+                    let mut phases = phases_of(&demand);
+                    phases.reverse();
+                    if phases.is_empty() {
+                        // Zero-demand query completes instantly.
+                        self.completions.push(now);
+                    }
+                    self.current = phases;
+                }
+                None => {
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn current_phase(&self) -> Option<&Phase> {
+        self.current.last()
+    }
+}
+
+/// Runs `jobs` concurrently on `spec` under `allocation`, one VM per job,
+/// and reports each VM's query completion instants.
+///
+/// Row `i` of `allocation` gives VM `i`'s shares. The number of jobs must
+/// match the number of allocation rows, and every VM needs strictly positive
+/// shares (enforced via [`VirtualMachine::new`]).
+///
+/// The simulation is a deterministic fluid model: at every instant each
+/// in-flight phase progresses at a rate set by its VM's effective share of
+/// the relevant resource; the simulator repeatedly advances to the next
+/// phase-completion event. With a single VM in [`SchedMode::Capped`] mode
+/// the result is identical to summing [`VirtualMachine::demand_duration`]
+/// over the job, which is checked by tests.
+pub fn co_schedule(
+    spec: MachineSpec,
+    allocation: &AllocationMatrix,
+    jobs: &[VmJob],
+    mode: SchedMode,
+) -> Result<Vec<VmOutcome>, VmmError> {
+    spec.validate()?;
+    if jobs.len() != allocation.num_workloads() {
+        return Err(VmmError::InvalidSchedule {
+            reason: format!(
+                "{} jobs but {} allocation rows",
+                jobs.len(),
+                allocation.num_workloads()
+            ),
+        });
+    }
+    // Validate each VM up front (positive shares etc.).
+    let vms: Vec<VirtualMachine> = (0..jobs.len())
+        .map(|i| VirtualMachine::new(spec, allocation.row(i)))
+        .collect::<Result<_, _>>()?;
+
+    let mut states: Vec<VmState> = jobs.iter().map(VmState::new).collect();
+    let mut now = SimTime::ZERO;
+
+    // Hard bound on events: every phase of every query completes exactly once.
+    let max_events: usize = jobs
+        .iter()
+        .flat_map(|j| j.queries.iter())
+        .map(|q| phases_of(q).len().max(1))
+        .sum::<usize>()
+        + jobs.len()
+        + 1;
+
+    for _ in 0..max_events {
+        if states.iter().all(|s| s.done) {
+            break;
+        }
+
+        // Effective share per active VM for each resource.
+        let cpu_demand_total: f64 = states
+            .iter()
+            .zip(&vms)
+            .filter(|(s, _)| matches!(s.current_phase().map(|p| p.kind), Some(PhaseKind::Cpu)))
+            .map(|(_, vm)| vm.shares().cpu().fraction())
+            .sum();
+        let disk_demand_total: f64 = states
+            .iter()
+            .zip(&vms)
+            .filter(|(s, _)| {
+                s.current_phase()
+                    .map(|p| p.kind.uses_disk())
+                    .unwrap_or(false)
+            })
+            .map(|(_, vm)| vm.shares().disk().fraction())
+            .sum();
+
+        // Rate (phase units per second) for each active VM's current phase.
+        let rates: Vec<Option<f64>> = states
+            .iter()
+            .zip(&vms)
+            .map(|(s, vm)| {
+                let phase = s.current_phase()?;
+                let configured = if phase.kind == PhaseKind::Cpu {
+                    vm.shares().cpu().fraction()
+                } else {
+                    vm.shares().disk().fraction()
+                };
+                let eff_share = match mode {
+                    SchedMode::Capped => configured,
+                    SchedMode::WorkConserving => {
+                        let total = if phase.kind == PhaseKind::Cpu {
+                            cpu_demand_total
+                        } else {
+                            disk_demand_total
+                        };
+                        if total > 0.0 {
+                            configured / total
+                        } else {
+                            configured
+                        }
+                    }
+                };
+                let rate = match phase.kind {
+                    PhaseKind::Cpu => spec.total_cycles_per_sec() * eff_share,
+                    PhaseKind::SeqRead | PhaseKind::Write => {
+                        eff_share * spec.disk_seq_bytes_per_sec / spec.page_size as f64
+                    }
+                    PhaseKind::RandRead => eff_share * spec.disk_random_iops,
+                };
+                Some(rate)
+            })
+            .collect();
+
+        // Time until the earliest phase completion.
+        let dt = states
+            .iter()
+            .zip(&rates)
+            .filter_map(|(s, rate)| {
+                let phase = s.current_phase()?;
+                let rate = (*rate)?;
+                (rate > 0.0).then(|| phase.remaining / rate)
+            })
+            .fold(f64::INFINITY, f64::min);
+        if !dt.is_finite() {
+            return Err(VmmError::InvalidSchedule {
+                reason: "no VM can make progress".to_string(),
+            });
+        }
+        now += SimDuration::from_secs_f64(dt);
+
+        // Advance every active VM by dt, popping completed phases/queries.
+        for (state, rate) in states.iter_mut().zip(&rates) {
+            let Some(rate) = *rate else { continue };
+            let Some(phase) = state.current.last_mut() else {
+                continue;
+            };
+            phase.remaining -= rate * dt;
+            // Absorb float fuzz: a phase within half a unit of zero is done.
+            if phase.remaining <= 1e-6 {
+                state.current.pop();
+                if state.current.is_empty() {
+                    state.completions.push(now);
+                    state.advance_query(now);
+                }
+            }
+        }
+    }
+
+    if !states.iter().all(|s| s.done) {
+        return Err(VmmError::InvalidSchedule {
+            reason: "simulation failed to converge (event budget exhausted)".to_string(),
+        });
+    }
+
+    Ok(states
+        .into_iter()
+        .map(|s| VmOutcome {
+            completion: s.completions.last().copied().unwrap_or(SimTime::ZERO),
+            query_completions: s.completions,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ResourceVector, Share};
+
+    fn demand(cpu: f64, seq: u64, rand: u64) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cycles: cpu,
+            seq_page_reads: seq,
+            random_page_reads: rand,
+            page_writes: 0,
+        }
+    }
+
+    #[test]
+    fn single_vm_matches_direct_model() {
+        let spec = MachineSpec::paper_testbed();
+        let shares = ResourceVector::from_fractions(0.5, 0.5, 0.5).unwrap();
+        let alloc = AllocationMatrix::new(vec![shares]).unwrap();
+        let queries = vec![demand(2.8e9, 1000, 50), demand(1.0e9, 0, 10)];
+        let job = VmJob::new(queries.clone());
+        let out = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap();
+
+        let vm = VirtualMachine::new(spec, shares).unwrap();
+        let expect: f64 = queries.iter().map(|q| vm.demand_seconds(q)).sum();
+        let got = out[0].completion.as_secs_f64();
+        assert!(
+            (got - expect).abs() / expect < 1e-6,
+            "fluid sim {got} vs direct {expect}"
+        );
+        assert_eq!(out[0].query_completions.len(), 2);
+    }
+
+    #[test]
+    fn capped_vms_do_not_interfere() {
+        // Two CPU-bound VMs at 50% each finish exactly when they would alone.
+        let spec = MachineSpec::paper_testbed();
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let job = VmJob::new(vec![demand(5.6e9, 0, 0)]);
+        let out = co_schedule(spec, &alloc, &[job.clone(), job], SchedMode::Capped).unwrap();
+        // 5.6e9 cycles at 50% of 5.6e9 cycles/s = 2 seconds.
+        for o in &out {
+            assert!((o.completion.as_secs_f64() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn work_conserving_redistributes_idle_capacity() {
+        let spec = MachineSpec::paper_testbed();
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let long = VmJob::new(vec![demand(11.2e9, 0, 0)]);
+        let short = VmJob::new(vec![demand(2.8e9, 0, 0)]);
+        let out = co_schedule(spec, &alloc, &[long, short], SchedMode::WorkConserving).unwrap();
+        // While both run, each gets 50% (2.8e9 cyc/s). The short job needs
+        // 2.8e9 cycles -> 1s. Then the long job gets 100%: it has consumed
+        // 2.8e9 of 11.2e9, so 8.4e9 remain at 5.6e9 cyc/s -> 1.5s more.
+        assert!((out[1].completion.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((out[0].completion.as_secs_f64() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_and_disk_phases_overlap_across_vms() {
+        // One VM doing pure CPU and one doing pure I/O never contend, so in
+        // both modes each finishes at its solo time.
+        let spec = MachineSpec::paper_testbed();
+        let rows = vec![
+            ResourceVector::from_fractions(0.9, 0.5, 0.1).unwrap(),
+            ResourceVector::from_fractions(0.1, 0.5, 0.9).unwrap(),
+        ];
+        let alloc = AllocationMatrix::new(rows.clone()).unwrap();
+        let jobs = [
+            VmJob::new(vec![demand(5.6e9, 0, 0)]),
+            VmJob::new(vec![demand(0.0, 10_000, 0)]),
+        ];
+        for mode in [SchedMode::Capped, SchedMode::WorkConserving] {
+            let out = co_schedule(spec, &alloc, &jobs, mode).unwrap();
+            let vm0 = VirtualMachine::new(spec, rows[0]).unwrap();
+            let vm1 = VirtualMachine::new(spec, rows[1]).unwrap();
+            let solo0 = vm0.demand_seconds(&jobs[0].queries[0]);
+            let solo1 = vm1.demand_seconds(&jobs[1].queries[0]);
+            let relerr = |got: f64, want: f64| (got - want).abs() / want.max(1e-12);
+            if mode == SchedMode::Capped {
+                assert!(relerr(out[0].completion.as_secs_f64(), solo0) < 1e-6);
+                assert!(relerr(out[1].completion.as_secs_f64(), solo1) < 1e-6);
+            } else {
+                // Work-conserving can only be faster than the capped time.
+                assert!(out[0].completion.as_secs_f64() <= solo0 + 1e-9);
+                assert!(out[1].completion.as_secs_f64() <= solo1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn job_count_must_match_allocation() {
+        let spec = MachineSpec::tiny();
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let err = co_schedule(spec, &alloc, &[VmJob::new(vec![])], SchedMode::Capped).unwrap_err();
+        assert!(matches!(err, VmmError::InvalidSchedule { .. }));
+    }
+
+    #[test]
+    fn empty_jobs_complete_at_time_zero() {
+        let spec = MachineSpec::tiny();
+        let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
+        let out = co_schedule(spec, &alloc, &[VmJob::new(vec![])], SchedMode::Capped).unwrap();
+        assert_eq!(out[0].completion, SimTime::ZERO);
+        assert!(out[0].query_completions.is_empty());
+    }
+
+    #[test]
+    fn zero_demand_queries_complete_instantly() {
+        let spec = MachineSpec::tiny();
+        let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
+        let job = VmJob::new(vec![ResourceDemand::ZERO, demand(1e9, 0, 0)]);
+        let out = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap();
+        assert_eq!(out[0].query_completions.len(), 2);
+        assert_eq!(out[0].query_completions[0], SimTime::ZERO);
+        assert!(out[0].completion > SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ResourceVector;
+    use proptest::prelude::*;
+
+    fn arb_demand() -> impl Strategy<Value = ResourceDemand> {
+        (0u64..5_000_000_000, 0u64..2_000, 0u64..200, 0u64..100).prop_map(
+            |(cpu, seq, rand, writes)| ResourceDemand {
+                cpu_cycles: cpu as f64,
+                seq_page_reads: seq,
+                random_page_reads: rand,
+                page_writes: writes,
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// A single capped VM's fluid-simulated completion time equals the
+        /// closed-form demand model, for arbitrary demand sequences.
+        #[test]
+        fn prop_single_vm_fluid_matches_direct(
+            queries in prop::collection::vec(arb_demand(), 1..6),
+            cpu in 0.05f64..1.0,
+            disk in 0.05f64..1.0,
+        ) {
+            let spec = MachineSpec::paper_testbed();
+            let shares = ResourceVector::from_fractions(cpu, 0.5, disk).unwrap();
+            let alloc = AllocationMatrix::new(vec![shares]).unwrap();
+            let out = co_schedule(
+                spec,
+                &alloc,
+                &[VmJob::new(queries.clone())],
+                SchedMode::Capped,
+            )
+            .unwrap();
+            let vm = VirtualMachine::new(spec, shares).unwrap();
+            let expect: f64 = queries.iter().map(|q| vm.demand_seconds(q)).sum();
+            let got = out[0].completion.as_secs_f64();
+            prop_assert!(
+                (got - expect).abs() <= expect.max(1e-9) * 1e-6 + 2e-6,
+                "fluid {got} vs direct {expect}"
+            );
+        }
+
+        /// Work conservation never makes any VM slower than capped mode,
+        /// and query completions are monotone within each VM.
+        #[test]
+        fn prop_work_conserving_dominates_capped(
+            q1 in prop::collection::vec(arb_demand(), 1..4),
+            q2 in prop::collection::vec(arb_demand(), 1..4),
+            split in 0.1f64..0.9,
+        ) {
+            let spec = MachineSpec::paper_testbed();
+            let rows = vec![
+                ResourceVector::from_fractions(split, 0.5, split).unwrap(),
+                ResourceVector::from_fractions(1.0 - split, 0.5, 1.0 - split).unwrap(),
+            ];
+            let alloc = AllocationMatrix::new(rows).unwrap();
+            let jobs = [VmJob::new(q1), VmJob::new(q2)];
+            let capped = co_schedule(spec, &alloc, &jobs, SchedMode::Capped).unwrap();
+            let wc = co_schedule(spec, &alloc, &jobs, SchedMode::WorkConserving).unwrap();
+            for (c, w) in capped.iter().zip(&wc) {
+                let (tc, tw) = (c.completion.as_secs_f64(), w.completion.as_secs_f64());
+                prop_assert!(tw <= tc * (1.0 + 1e-6) + 1e-6, "wc {tw} vs capped {tc}");
+                prop_assert!(w.query_completions.windows(2).all(|p| p[0] <= p[1]));
+                prop_assert!(c.query_completions.windows(2).all(|p| p[0] <= p[1]));
+            }
+        }
+    }
+}

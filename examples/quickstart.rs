@@ -1,0 +1,62 @@
+//! Quickstart: consolidate two database workloads onto one machine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline from the paper: generate two workloads with
+//! different resource appetites, calibrate the optimizer for the target
+//! machine, and ask the advisor how to split the machine between them.
+
+use dbvirt::core::{DesignProblem, SearchAlgorithm, VirtualizationAdvisor, WorkloadSpec};
+use dbvirt::tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
+use dbvirt::vmm::MachineSpec;
+
+fn main() {
+    // 1. The physical machine the VMs will share (the paper's testbed:
+    //    2 x 2.8 GHz Xeon, 4 GB RAM).
+    let machine = MachineSpec::paper_testbed();
+
+    // 2. Two database workloads: an I/O-leaning one (TPC-H Q4) and a
+    //    CPU-leaning one (TPC-H Q13).
+    println!("Generating a small TPC-H database ...");
+    let t = TpchDb::generate(TpchConfig::tiny()).expect("data generation");
+    let w_io = Workload::compose(&t, &[(TpchQuery::Q4, 2)]);
+    let w_cpu = Workload::compose(&t, &[(TpchQuery::Q13, 6)]);
+    println!("Workload 1: {}   Workload 2: {}", w_io.name, w_cpu.name);
+
+    let problem = DesignProblem::new(
+        machine,
+        vec![
+            WorkloadSpec::new(w_io.name.clone(), &t.db, w_io.queries.clone()),
+            WorkloadSpec::new(w_cpu.name.clone(), &t.db, w_cpu.queries.clone()),
+        ],
+    )
+    .expect("valid problem");
+
+    // 3. Calibrate the optimizer's environment parameters P(R) for this
+    //    machine — done once, reusable for any database and workload.
+    println!("Calibrating the optimizer (once per machine) ...");
+    let advisor = VirtualizationAdvisor::calibrate(machine, 2, 8).expect("calibration");
+
+    // 4. Search the allocation space with the calibrated what-if model.
+    let rec = advisor
+        .recommend(&problem, SearchAlgorithm::DynamicProgramming)
+        .expect("recommendation");
+
+    println!("\nRecommended allocation:");
+    for (i, name) in [&w_io.name, &w_cpu.name].iter().enumerate() {
+        let row = rec.allocation.row(i);
+        println!(
+            "  {name}: cpu {:.0}%, memory {:.0}%, disk {:.0}%  (predicted {:.3}s)",
+            row.cpu().percent(),
+            row.memory().percent(),
+            row.disk().percent(),
+            rec.per_workload_costs[i],
+        );
+    }
+    println!(
+        "Total predicted cost {:.3}s after {} what-if evaluations.",
+        rec.total_cost, rec.evaluations
+    );
+}

@@ -1,0 +1,64 @@
+//! # dbvirt — database virtualization design
+//!
+//! A full implementation of the system described in Soror, Aboulnaga,
+//! Salem: *Database Virtualization: A New Frontier for Database Tuning and
+//! Physical Design* (ICDE 2007), including every substrate it runs on:
+//!
+//! * [`vmm`] — a deterministic virtual-machine-monitor simulator (resource
+//!   shares, credit scheduling, demand→time conversion);
+//! * [`storage`] — slotted pages, heap files, a clock-sweep buffer pool,
+//!   B+tree indexes, `ANALYZE` statistics;
+//! * [`engine`] — a volcano-style relational executor that meters its
+//!   physical work;
+//! * [`optimizer`] — a PostgreSQL-style cost-based optimizer with the
+//!   paper's **virtualization-aware what-if mode**;
+//! * [`calibrate`] — the experimental calibration of the optimizer's
+//!   environment parameters `P(R)`;
+//! * [`tpch`] — a TPC-H-like data generator and query suite;
+//! * [`core`] — the paper's contribution: the **virtualization design
+//!   problem** and its solution (calibrated cost model + allocation
+//!   search);
+//! * [`sql`] — a SQL front-end (lexer/parser/binder) so workloads can be
+//!   written as the paper writes them: "a sequence of SQL statements".
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbvirt::core::{DesignProblem, SearchAlgorithm, VirtualizationAdvisor, WorkloadSpec};
+//! use dbvirt::tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
+//! use dbvirt::vmm::MachineSpec;
+//!
+//! // A machine, two database workloads, one consolidation question.
+//! let machine = MachineSpec::paper_testbed();
+//! let t = TpchDb::generate(TpchConfig::tiny()).unwrap();
+//! let w1 = Workload::compose(&t, &[(TpchQuery::Q4, 1)]);
+//! let w2 = Workload::compose(&t, &[(TpchQuery::Q13, 3)]);
+//! let problem = DesignProblem::new(
+//!     machine,
+//!     vec![
+//!         WorkloadSpec::new(w1.name.clone(), &t.db, w1.queries.clone()),
+//!         WorkloadSpec::new(w2.name.clone(), &t.db, w2.queries.clone()),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // Calibrate once per machine, then ask for an allocation.
+//! let advisor = VirtualizationAdvisor::calibrate(machine, 2, 4).unwrap();
+//! let rec = advisor
+//!     .recommend(&problem, SearchAlgorithm::DynamicProgramming)
+//!     .unwrap();
+//! assert_eq!(rec.allocation.num_workloads(), 2);
+//! assert!(rec.total_cost > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dbvirt_calibrate as calibrate;
+pub use dbvirt_core as core;
+pub use dbvirt_engine as engine;
+pub use dbvirt_optimizer as optimizer;
+pub use dbvirt_sql as sql;
+pub use dbvirt_storage as storage;
+pub use dbvirt_tpch as tpch;
+pub use dbvirt_vmm as vmm;

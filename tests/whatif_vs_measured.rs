@@ -1,0 +1,117 @@
+//! Integration: the calibrated what-if model ranks allocations the same
+//! way actual (simulated) execution does — the property the paper's
+//! Section 6 experiment establishes and the design search depends on.
+
+use dbvirt::calibrate::CalibrationGrid;
+use dbvirt::core::measure::measure_workload_seconds;
+use dbvirt::optimizer::whatif::estimate_workload_seconds;
+use dbvirt::tpch::{TpchConfig, TpchDb, TpchQuery};
+use dbvirt::vmm::{MachineSpec, ResourceVector};
+
+/// The memory-scarce experiment machine (same shape as the bench harness).
+fn machine() -> MachineSpec {
+    MachineSpec {
+        memory_bytes: 32 * 1024 * 1024,
+        disk_seq_bytes_per_sec: 25.0 * 1024.0 * 1024.0,
+        disk_random_iops: 100.0,
+        ..MachineSpec::paper_testbed()
+    }
+}
+
+fn ranking(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    idx
+}
+
+#[test]
+fn estimated_and_measured_rankings_agree_for_q4_and_q13() {
+    let machine = machine();
+    let mut t = TpchDb::generate(TpchConfig::experiment()).unwrap();
+    let cpu_points = vec![0.25, 0.5, 0.75];
+    let grid = CalibrationGrid::calibrate(machine, cpu_points.clone(), vec![0.5], 0.5).unwrap();
+
+    for q in [TpchQuery::Q4, TpchQuery::Q13] {
+        let logical = vec![q.plan(&t), q.plan(&t)]; // two copies: steady state
+        let mut est = Vec::new();
+        let mut act = Vec::new();
+        for &cpu in &cpu_points {
+            let shares = ResourceVector::from_fractions(cpu, 0.5, 0.5).unwrap();
+            let params = grid.params_for(shares).unwrap();
+            est.push(estimate_workload_seconds(&t.db, &logical, &params).unwrap());
+            act.push(measure_workload_seconds(&mut t.db, &logical, machine, shares).unwrap());
+        }
+        assert_eq!(
+            ranking(&est),
+            ranking(&act),
+            "{q}: estimated {est:?} vs measured {act:?}"
+        );
+        // More CPU never makes anything slower.
+        assert!(est.windows(2).all(|w| w[0] >= w[1]), "{q} est {est:?}");
+        assert!(act.windows(2).all(|w| w[0] >= w[1]), "{q} act {act:?}");
+    }
+}
+
+#[test]
+fn q13_is_more_cpu_sensitive_than_q4_in_both_views() {
+    let machine = machine();
+    let mut t = TpchDb::generate(TpchConfig::experiment()).unwrap();
+    let grid = CalibrationGrid::calibrate(machine, vec![0.25, 0.75], vec![0.5], 0.5).unwrap();
+
+    let sensitivity = |vals: &[f64]| vals[0] / vals[1]; // t(25%) / t(75%)
+    let mut est_sens = Vec::new();
+    let mut act_sens = Vec::new();
+    for q in [TpchQuery::Q4, TpchQuery::Q13] {
+        let logical = vec![q.plan(&t), q.plan(&t)];
+        let mut est = Vec::new();
+        let mut act = Vec::new();
+        for cpu in [0.25, 0.75] {
+            let shares = ResourceVector::from_fractions(cpu, 0.5, 0.5).unwrap();
+            let params = grid.params_for(shares).unwrap();
+            est.push(estimate_workload_seconds(&t.db, &logical, &params).unwrap());
+            act.push(measure_workload_seconds(&mut t.db, &logical, machine, shares).unwrap());
+        }
+        est_sens.push(sensitivity(&est));
+        act_sens.push(sensitivity(&act));
+    }
+    // The paper's Figure 4 contrast: Q13 (index 1) much more sensitive
+    // than Q4 (index 0), in estimates and in measurements.
+    assert!(
+        est_sens[1] > est_sens[0] + 0.3,
+        "estimated sensitivities: Q4 {} vs Q13 {}",
+        est_sens[0],
+        est_sens[1]
+    );
+    assert!(
+        act_sens[1] > act_sens[0] + 0.3,
+        "measured sensitivities: Q4 {} vs Q13 {}",
+        act_sens[0],
+        act_sens[1]
+    );
+}
+
+#[test]
+fn memory_share_matters_to_both_views_for_cacheable_workloads() {
+    let machine = machine();
+    let mut t = TpchDb::generate(TpchConfig::experiment()).unwrap();
+    let grid = CalibrationGrid::calibrate(machine, vec![0.5], vec![0.125, 0.75], 0.5).unwrap();
+    // Q13's working set (orders + customer) fits a 75% cache but not a
+    // 12.5% one on this machine at tiny scale.
+    let logical = vec![TpchQuery::Q13.plan(&t), TpchQuery::Q13.plan(&t)];
+    let mut est = Vec::new();
+    let mut act = Vec::new();
+    for mem in [0.125, 0.75] {
+        let shares = ResourceVector::from_fractions(0.5, mem, 0.5).unwrap();
+        let params = grid.params_for(shares).unwrap();
+        est.push(estimate_workload_seconds(&t.db, &logical, &params).unwrap());
+        act.push(measure_workload_seconds(&mut t.db, &logical, machine, shares).unwrap());
+    }
+    assert!(
+        est[0] > est[1] * 1.1,
+        "estimates should favor more memory: {est:?}"
+    );
+    assert!(
+        act[0] > act[1] * 1.1,
+        "measurements should favor more memory: {act:?}"
+    );
+}
