@@ -1,13 +1,19 @@
-//! Search-algorithm benchmarks over a synthetic (instant) cost model, so
-//! the numbers isolate enumeration overhead — the EXT-SEARCH experiment
-//! covers solution *quality* with the real calibrated model.
+//! Search-algorithm benchmarks. The synthetic (instant) cost model
+//! isolates enumeration overhead; the calibrated what-if group measures
+//! the serial-vs-parallel evaluation speedup on a real model, where each
+//! cell re-optimizes a TPC-H workload — the EXT-SEARCH experiment covers
+//! solution *quality*.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dbvirt_bench::experiment_machine;
 use dbvirt_core::search::{run_search, SearchAlgorithm, SearchConfig};
-use dbvirt_core::{CoreError, CostModel, DesignProblem, WorkloadSpec};
+use dbvirt_core::{
+    CalibratedCostModel, CoreError, CostModel, DesignProblem, VirtualizationAdvisor, WorkloadSpec,
+};
 use dbvirt_engine::Database;
 use dbvirt_optimizer::LogicalPlan;
 use dbvirt_storage::{DataType, Datum, Field, Schema, Tuple};
+use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 use dbvirt_vmm::{MachineSpec, ResourceVector};
 use std::hint::black_box;
 
@@ -68,5 +74,42 @@ fn bench_search(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_search);
+/// Serial vs parallel what-if evaluation on the calibrated model: every
+/// run starts from a cold cache, so DP pays for its full cost table and
+/// the parallel precompute's speedup is visible end to end.
+fn bench_parallel_whatif(c: &mut Criterion) {
+    let machine = experiment_machine();
+    let t = TpchDb::generate(TpchConfig::experiment()).expect("tpch generation");
+    let advisor =
+        VirtualizationAdvisor::calibrate(machine, 2, 8).expect("advisor calibration");
+    let model = CalibratedCostModel::new(advisor.grid());
+    let w_io = Workload::compose(&t, &[(TpchQuery::Q4, 3)]);
+    let w_cpu = Workload::compose(&t, &[(TpchQuery::Q13, 9)]);
+    let problem = DesignProblem::new(
+        machine,
+        vec![
+            WorkloadSpec::new(w_io.name.clone(), &t.db, w_io.queries.clone()),
+            WorkloadSpec::new(w_cpu.name.clone(), &t.db, w_cpu.queries.clone()),
+        ],
+    )
+    .expect("problem");
+
+    for (label, parallelism) in [("serial", 1usize), ("parallel", 0)] {
+        let config = advisor.config().with_parallelism(parallelism);
+        c.bench_function(&format!("search/whatif_dp_{label}"), |b| {
+            b.iter(|| {
+                let rec = run_search(
+                    SearchAlgorithm::DynamicProgramming,
+                    &problem,
+                    &model,
+                    config,
+                )
+                .unwrap();
+                black_box(rec.total_cost);
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_search, bench_parallel_whatif);
 criterion_main!(benches);

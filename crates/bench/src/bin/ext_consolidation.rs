@@ -9,7 +9,7 @@
 //! the recommended shares (the validation side of the paper's
 //! methodology).
 
-use dbvirt_bench::{experiment_machine, print_table};
+use dbvirt_bench::{experiment_machine, print_table, report_parallel_speedup};
 use dbvirt_core::measure::measure_workload_seconds;
 use dbvirt_core::{
     metrics, CalibratedCostModel, DesignProblem, SearchAlgorithm, VirtualizationAdvisor,
@@ -51,6 +51,15 @@ fn main() {
         .expect("recommendation");
     let model = CalibratedCostModel::new(advisor.grid());
     let equal_costs = metrics::equal_split_costs(&problem, &model).expect("baseline");
+
+    println!("\nSerial vs parallel what-if evaluation (cold caches each run):");
+    report_parallel_speedup(
+        "EXT-CONSOL",
+        SearchAlgorithm::DynamicProgramming,
+        &problem,
+        &model,
+        advisor.config(),
+    );
 
     let equal_share = Share::new(1.0 / n as f64).expect("share");
     let mut rows = Vec::new();

@@ -7,7 +7,7 @@
 //! workload vs a CPU-bound Q13 workload), comparing solution quality and
 //! the number of distinct what-if cost evaluations each needs.
 
-use dbvirt_bench::{experiment_machine, print_table};
+use dbvirt_bench::{experiment_machine, print_table, report_parallel_speedup};
 use dbvirt_core::measure::measure_workload_seconds;
 use dbvirt_core::{
     metrics, CalibratedCostModel, DesignProblem, SearchAlgorithm, VirtualizationAdvisor,
@@ -114,6 +114,15 @@ fn main() {
         ],
         &rows,
     );
+    println!("\nSerial vs parallel what-if evaluation (cold caches each run):");
+    for alg in [
+        SearchAlgorithm::Exhaustive,
+        SearchAlgorithm::Greedy,
+        SearchAlgorithm::DynamicProgramming,
+    ] {
+        report_parallel_speedup("EXT-SEARCH", alg, &problem, &model, advisor.config());
+    }
+
     println!(
         "\nShape check: DP and exhaustive agree on the optimum ({optimum:.3}s) and their \
          allocation wins on *measured* time too; greedy uses far fewer evaluations but can \

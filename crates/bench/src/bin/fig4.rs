@@ -48,8 +48,8 @@ fn main() {
             );
         }
         // Normalize to the 50% point, as in the paper.
-        let est_norm = normalize_to(&estimated, 1);
-        let act_norm = normalize_to(&actual, 1);
+        let est_norm = normalize_to(&estimated, 1).expect("normalize estimated");
+        let act_norm = normalize_to(&actual, 1).expect("normalize actual");
         for (i, &cpu) in cpu_points.iter().enumerate() {
             table_rows.push(vec![
                 q.to_string(),

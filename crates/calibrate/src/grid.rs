@@ -4,21 +4,21 @@
 //! be calibrated off-line over a grid of allocations and reused for every
 //! database and workload. This module implements that grid, its bilinear
 //! interpolation for off-grid allocations (the paper's "reduce the number
-//! of calibration experiments" next step), and a serde-based cache so a
-//! machine is calibrated once.
+//! of calibration experiments" next step), and a JSON cache so a machine
+//! is calibrated once.
 //!
 //! Axes are CPU share × memory share, matching the knobs the paper's
 //! experiments vary; the disk share is a fixed policy per grid (the 2007
 //! Xen testbed could not throttle disk independently).
 
+use crate::json::Json;
 use crate::runner::calibrate_with;
 use crate::{CalError, ProbeDb};
 use dbvirt_optimizer::OptimizerParams;
 use dbvirt_vmm::{MachineSpec, ResourceVector, VmmError};
-use serde::{Deserialize, Serialize};
 
 /// A calibrated `P(R)` surface over CPU × memory shares.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationGrid {
     machine: MachineSpec,
     cpu_points: Vec<f64>,
@@ -70,7 +70,11 @@ fn lerp(a: f64, b: f64, t: f64) -> f64 {
 fn lerp_params(a: &OptimizerParams, b: &OptimizerParams, t: f64) -> OptimizerParams {
     OptimizerParams {
         unit_seconds: lerp(a.unit_seconds, b.unit_seconds, t),
-        seq_page_cost: 1.0,
+        // `seq_page_cost` is pinned to 1 by the calibration solver, but the
+        // grid must not assume that: a cache file or hand-built grid can
+        // carry rescaled endpoints, and resetting the interpolant to 1.0
+        // would silently break `cost * unit_seconds` consistency.
+        seq_page_cost: lerp(a.seq_page_cost, b.seq_page_cost, t),
         random_page_cost: lerp(a.random_page_cost, b.random_page_cost, t),
         cpu_tuple_cost: lerp(a.cpu_tuple_cost, b.cpu_tuple_cost, t),
         cpu_index_tuple_cost: lerp(a.cpu_index_tuple_cost, b.cpu_index_tuple_cost, t),
@@ -111,7 +115,7 @@ impl CalibrationGrid {
             .min(combos.len())
             .max(1);
         let results: Vec<Result<(usize, usize, OptimizerParams), CalError>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let chunks: Vec<Vec<(usize, usize)>> = combos
                     .chunks(combos.len().div_ceil(n_workers))
                     .map(<[(usize, usize)]>::to_vec)
@@ -121,7 +125,7 @@ impl CalibrationGrid {
                     .map(|chunk| {
                         let cpu_points = &cpu_points;
                         let mem_points = &mem_points;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut pdb = ProbeDb::build().map_err(|e| CalError::ProbeFailed {
                                 probe: "<probe-db>".to_string(),
                                 reason: e.to_string(),
@@ -151,8 +155,7 @@ impl CalibrationGrid {
                         Err(e) => vec![Err(e)],
                     })
                     .collect()
-            })
-            .expect("calibration scope panicked");
+            });
 
         let default = OptimizerParams::postgres_defaults();
         let mut entries = vec![vec![default; mem_points.len()]; cpu_points.len()];
@@ -216,15 +219,50 @@ impl CalibrationGrid {
 
     /// Serializes the grid to JSON.
     pub fn to_json(&self) -> Result<String, CalError> {
-        serde_json::to_string_pretty(self).map_err(|e| CalError::CacheIo {
-            reason: e.to_string(),
-        })
+        let doc = Json::obj([
+            ("machine", machine_to_json(&self.machine)),
+            ("cpu_points", f64s_to_json(&self.cpu_points)),
+            ("mem_points", f64s_to_json(&self.mem_points)),
+            ("disk_share", Json::Num(self.disk_share)),
+            (
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(params_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        Ok(doc.pretty())
     }
 
     /// Deserializes a grid from JSON.
     pub fn from_json(json: &str) -> Result<CalibrationGrid, CalError> {
-        serde_json::from_str(json).map_err(|e| CalError::CacheIo {
-            reason: e.to_string(),
+        let bad = |reason: String| CalError::CacheIo { reason };
+        let doc = Json::parse(json).map_err(bad)?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing entries".to_string()))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad("entries row is not an array".to_string()))?
+                    .iter()
+                    .map(params_from_json)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CalibrationGrid {
+            machine: machine_from_json(
+                doc.get("machine")
+                    .ok_or_else(|| bad("missing machine".to_string()))?,
+            )?,
+            cpu_points: f64s_from_json(&doc, "cpu_points")?,
+            mem_points: f64s_from_json(&doc, "mem_points")?,
+            disk_share: get_num(&doc, "disk_share")?,
+            entries,
         })
     }
 
@@ -242,6 +280,84 @@ impl CalibrationGrid {
         })?;
         CalibrationGrid::from_json(&json)
     }
+}
+
+fn get_num(obj: &Json, key: &str) -> Result<f64, CalError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| CalError::CacheIo {
+            reason: format!("missing or non-numeric field {key:?}"),
+        })
+}
+
+fn f64s_to_json(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+fn f64s_from_json(obj: &Json, key: &str) -> Result<Vec<f64>, CalError> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CalError::CacheIo {
+            reason: format!("missing array field {key:?}"),
+        })?
+        .iter()
+        .map(|v| {
+            v.as_f64().ok_or_else(|| CalError::CacheIo {
+                reason: format!("non-numeric element in {key:?}"),
+            })
+        })
+        .collect()
+}
+
+fn machine_to_json(m: &MachineSpec) -> Json {
+    Json::obj([
+        ("cores", Json::Num(m.cores as f64)),
+        ("cycles_per_sec", Json::Num(m.cycles_per_sec)),
+        ("memory_bytes", Json::Num(m.memory_bytes as f64)),
+        ("disk_seq_bytes_per_sec", Json::Num(m.disk_seq_bytes_per_sec)),
+        ("disk_random_iops", Json::Num(m.disk_random_iops)),
+        ("page_size", Json::Num(m.page_size as f64)),
+    ])
+}
+
+fn machine_from_json(doc: &Json) -> Result<MachineSpec, CalError> {
+    Ok(MachineSpec {
+        cores: get_num(doc, "cores")? as u32,
+        cycles_per_sec: get_num(doc, "cycles_per_sec")?,
+        memory_bytes: get_num(doc, "memory_bytes")? as u64,
+        disk_seq_bytes_per_sec: get_num(doc, "disk_seq_bytes_per_sec")?,
+        disk_random_iops: get_num(doc, "disk_random_iops")?,
+        page_size: get_num(doc, "page_size")? as u32,
+    })
+}
+
+fn params_to_json(p: &OptimizerParams) -> Json {
+    Json::obj([
+        ("unit_seconds", Json::Num(p.unit_seconds)),
+        ("seq_page_cost", Json::Num(p.seq_page_cost)),
+        ("random_page_cost", Json::Num(p.random_page_cost)),
+        ("cpu_tuple_cost", Json::Num(p.cpu_tuple_cost)),
+        ("cpu_index_tuple_cost", Json::Num(p.cpu_index_tuple_cost)),
+        ("cpu_operator_cost", Json::Num(p.cpu_operator_cost)),
+        (
+            "effective_cache_size_pages",
+            Json::Num(p.effective_cache_size_pages),
+        ),
+        ("work_mem_bytes", Json::Num(p.work_mem_bytes)),
+    ])
+}
+
+fn params_from_json(doc: &Json) -> Result<OptimizerParams, CalError> {
+    Ok(OptimizerParams {
+        unit_seconds: get_num(doc, "unit_seconds")?,
+        seq_page_cost: get_num(doc, "seq_page_cost")?,
+        random_page_cost: get_num(doc, "random_page_cost")?,
+        cpu_tuple_cost: get_num(doc, "cpu_tuple_cost")?,
+        cpu_index_tuple_cost: get_num(doc, "cpu_index_tuple_cost")?,
+        cpu_operator_cost: get_num(doc, "cpu_operator_cost")?,
+        effective_cache_size_pages: get_num(doc, "effective_cache_size_pages")?,
+        work_mem_bytes: get_num(doc, "work_mem_bytes")?,
+    })
 }
 
 #[cfg(test)]
@@ -296,6 +412,28 @@ mod tests {
             .params_for(ResourceVector::from_fractions(0.5, 0.5, 0.9).unwrap())
             .unwrap_err();
         assert!(matches!(err, CalError::OutOfGrid { axis: "disk", .. }));
+    }
+
+    #[test]
+    fn lerp_interpolates_every_parameter() {
+        // Regression: `lerp_params` used to hard-reset `seq_page_cost` to
+        // 1.0, silently discarding rescaled endpoints.
+        let mut a = OptimizerParams::postgres_defaults();
+        let mut b = OptimizerParams::postgres_defaults();
+        a.seq_page_cost = 0.8;
+        b.seq_page_cost = 1.6;
+        a.random_page_cost = 2.0;
+        b.random_page_cost = 6.0;
+        let mid = lerp_params(&a, &b, 0.25);
+        assert!((mid.seq_page_cost - 1.0).abs() < 1e-12);
+        assert!((mid.random_page_cost - 3.0).abs() < 1e-12);
+        // t = 0 and t = 1 reproduce the endpoints exactly.
+        assert_eq!(lerp_params(&a, &b, 0.0), a);
+        assert_eq!(lerp_params(&a, &b, 1.0), b);
+        // A midpoint of 0.25 would have been the *wrong* answer under the
+        // old behavior only by luck; check an asymmetric case too.
+        let q = lerp_params(&a, &b, 0.75);
+        assert!((q.seq_page_cost - 1.4).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! * [`runner`] — [`runner::calibrate`]: probes → measurements → solve →
 //!   [`dbvirt_optimizer::OptimizerParams`];
 //! * [`grid`] — [`grid::CalibrationGrid`]: `P(R)` over a share grid with
-//!   bilinear interpolation for off-grid allocations and a serde cache, the
+//!   bilinear interpolation for off-grid allocations and a JSON cache, the
 //!   paper's "calibrate once per machine, reuse everywhere" and its
 //!   "reduce the number of calibration experiments" next step;
 //! * [`vmdb`] — the deployment policy mapping a VM to database memory
@@ -34,6 +34,7 @@
 
 mod error;
 pub mod grid;
+pub mod json;
 pub mod probedb;
 pub mod probes;
 pub mod runner;

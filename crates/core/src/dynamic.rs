@@ -14,9 +14,10 @@
 //! time — switching is not free, so a sensible controller doesn't chase
 //! noise).
 
-use crate::search::{run_search, SearchAlgorithm, SearchConfig};
+use crate::search::{run_search_cached, CostCache, SearchAlgorithm, SearchConfig};
 use crate::{CoreError, CostModel, DesignProblem};
 use dbvirt_vmm::AllocationMatrix;
+use std::sync::Arc;
 
 /// A sequence of workload phases over the same `N` virtual machines.
 #[derive(Debug)]
@@ -104,6 +105,18 @@ pub struct DynamicOutcome {
     pub static_first_phase_cost: f64,
 }
 
+/// True if two phases describe the same what-if inputs per VM — same
+/// machine, same database instances, same query plans — differing at most
+/// in workload weights. Cached cell costs are unweighted, so such phases
+/// can share one [`CostCache`] and re-solve against warm entries.
+fn phases_share_model_inputs(a: &DesignProblem<'_>, b: &DesignProblem<'_>) -> bool {
+    a.machine == b.machine
+        && a.workloads.len() == b.workloads.len()
+        && a.workloads.iter().zip(&b.workloads).all(|(x, y)| {
+            std::ptr::eq(x.db, y.db) && x.queries == y.queries
+        })
+}
+
 /// Cost of running `problem` under a fixed `allocation` (weighted, like
 /// the search objective).
 fn phase_cost(
@@ -137,8 +150,21 @@ pub fn run_dynamic(
             .collect::<Result<Vec<_>, _>>()?,
     )?;
 
+    // One warm what-if cache for the whole timeline: consecutive phases
+    // usually re-price the same databases and queries (only the mix of
+    // weights shifts), so later re-solves mostly hit cells phase 0
+    // already paid for. Phases with genuinely different inputs get a
+    // fresh cache.
+    let base_cache = Arc::new(CostCache::new());
+
     // Phase 0: initial placement (not counted as a reconfiguration).
-    let first_rec = run_search(policy.algorithm, &timeline.phases[0], model, policy.config)?;
+    let first_rec = run_search_cached(
+        policy.algorithm,
+        &timeline.phases[0],
+        model,
+        policy.config,
+        &base_cache,
+    )?;
     let mut current = first_rec.allocation.clone();
 
     let mut phases = Vec::with_capacity(timeline.phases.len());
@@ -155,7 +181,12 @@ pub fn run_dynamic(
         let (allocation, cost, reconfigured) = if i == 0 {
             (current.clone(), keep_cost, false)
         } else {
-            let rec = run_search(policy.algorithm, problem, model, policy.config)?;
+            let cache = if phases_share_model_inputs(problem, &timeline.phases[0]) {
+                Arc::clone(&base_cache)
+            } else {
+                Arc::new(CostCache::new())
+            };
+            let rec = run_search_cached(policy.algorithm, problem, model, policy.config, &cache)?;
             let gain = keep_cost - rec.objective - policy.switch_overhead_seconds;
             if gain > policy.min_relative_gain * keep_cost {
                 reconfigurations += 1;

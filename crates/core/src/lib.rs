@@ -47,4 +47,6 @@ pub use advisor::VirtualizationAdvisor;
 pub use cost_model::{CalibratedCostModel, CostModel};
 pub use error::CoreError;
 pub use problem::{DesignProblem, WorkloadSpec};
-pub use search::{Recommendation, SearchAlgorithm, SearchConfig};
+pub use search::{
+    CostCache, ParallelEvaluator, Recommendation, SearchAlgorithm, SearchConfig,
+};

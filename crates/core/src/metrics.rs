@@ -29,18 +29,37 @@ pub fn allocation_costs(
 
 /// `baseline / candidate` — how many times faster the candidate is
 /// (> 1 means the candidate wins).
+///
+/// Costs are execution times, so only non-negative finite inputs are
+/// meaningful: a zero candidate against a positive baseline is an infinite
+/// speedup, `0 / 0` is undefined (NaN), and a negative or non-finite input
+/// on either side yields NaN rather than masquerading as a huge win.
 pub fn speedup(baseline: f64, candidate: f64) -> f64 {
-    if candidate <= 0.0 {
-        return f64::INFINITY;
+    if !(baseline.is_finite() && candidate.is_finite()) || baseline < 0.0 || candidate < 0.0 {
+        return f64::NAN;
+    }
+    if candidate == 0.0 {
+        return if baseline > 0.0 { f64::INFINITY } else { f64::NAN };
     }
     baseline / candidate
 }
 
 /// Normalizes a series to one of its entries (the paper's Figures 4 and 5
 /// normalize to the default 50% allocation).
-pub fn normalize_to(series: &[f64], reference_idx: usize) -> Vec<f64> {
-    let reference = series[reference_idx];
-    series
+///
+/// Errors if `reference_idx` is out of range; a non-positive reference
+/// value makes every entry NaN (there is no meaningful scale).
+pub fn normalize_to(series: &[f64], reference_idx: usize) -> Result<Vec<f64>, CoreError> {
+    let reference = *series
+        .get(reference_idx)
+        .ok_or_else(|| CoreError::BadProblem {
+            reason: format!(
+                "normalize_to reference index {reference_idx} out of range for a series of \
+                 length {}",
+                series.len()
+            ),
+        })?;
+    Ok(series
         .iter()
         .map(|&v| {
             if reference > 0.0 {
@@ -49,7 +68,7 @@ pub fn normalize_to(series: &[f64], reference_idx: usize) -> Vec<f64> {
                 f64::NAN
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -74,7 +93,34 @@ mod tests {
     fn speedup_and_normalize() {
         assert!((speedup(2.0, 1.0) - 2.0).abs() < 1e-12);
         assert_eq!(speedup(1.0, 0.0), f64::INFINITY);
-        let norm = normalize_to(&[2.0, 4.0, 1.0], 0);
+        let norm = normalize_to(&[2.0, 4.0, 1.0], 0).unwrap();
         assert_eq!(norm, vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn speedup_edge_cases() {
+        // Regression: a negative candidate used to report an *infinite*
+        // speedup; negative "times" are invalid on either side.
+        assert!(speedup(1.0, -2.0).is_nan());
+        assert!(speedup(-1.0, 2.0).is_nan());
+        // 0 / 0 has no meaningful value.
+        assert!(speedup(0.0, 0.0).is_nan());
+        // Non-finite inputs never produce a number.
+        assert!(speedup(f64::NAN, 1.0).is_nan());
+        assert!(speedup(f64::INFINITY, 1.0).is_nan());
+        assert!(speedup(1.0, f64::INFINITY).is_nan());
+        // Zero baseline against a real candidate is simply 0x.
+        assert_eq!(speedup(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn normalize_rejects_out_of_range_reference() {
+        // Regression: this used to panic instead of returning an error.
+        let err = normalize_to(&[1.0, 2.0], 2).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        assert!(normalize_to(&[], 0).is_err());
+        // A non-positive reference yields NaNs, not a panic or +-inf.
+        let norm = normalize_to(&[0.0, 2.0], 0).unwrap();
+        assert!(norm.iter().all(|v| v.is_nan()));
     }
 }

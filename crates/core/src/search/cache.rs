@@ -1,0 +1,145 @@
+//! A sharded, thread-safe memo table for what-if cost evaluations.
+//!
+//! The search algorithms evaluate the same `(workload, cpu units, mem
+//! units)` cell many times across candidates; the cache makes each cell a
+//! single model call. Sharding by key hash keeps lock contention low when
+//! a [`super::ParallelEvaluator`] fills the table from many threads.
+//!
+//! The cache stores **unweighted** model costs (no SLO weight folded in).
+//! That makes entries reusable across design problems that differ only in
+//! workload weights — in particular across the phases of a
+//! [`crate::dynamic::DynamicTimeline`], which share databases and queries
+//! but shift service-level objectives.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A cache key: `(workload index, cpu units, mem units)`.
+pub type CellKey = (usize, u32, u32);
+
+const SHARDS: usize = 16;
+
+/// Sharded concurrent map from allocation cells to unweighted costs.
+///
+/// `evaluations()` counts *distinct* cells inserted, not insert calls: if
+/// two threads race to compute the same cell, the loser's insert is
+/// dropped and not counted, so the count is identical to a serial run
+/// touching the same cell set.
+pub struct CostCache {
+    shards: [Mutex<HashMap<CellKey, f64>>; SHARDS],
+    evals: AtomicUsize,
+}
+
+impl Default for CostCache {
+    fn default() -> CostCache {
+        CostCache::new()
+    }
+}
+
+impl CostCache {
+    /// An empty cache.
+    pub fn new() -> CostCache {
+        CostCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            evals: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CellKey) -> &Mutex<HashMap<CellKey, f64>> {
+        // Cells cluster along rows (same workload, nearby units), so mix
+        // all three components rather than taking one modulo.
+        let h = key
+            .0
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add((key.1 as usize).wrapping_mul(0x85EB_CA6B))
+            .wrapping_add((key.2 as usize).wrapping_mul(0xC2B2_AE35));
+        &self.shards[h % SHARDS]
+    }
+
+    /// The cached unweighted cost of a cell, if present.
+    pub fn get(&self, key: &CellKey) -> Option<f64> {
+        self.shard(key).lock().unwrap().get(key).copied()
+    }
+
+    /// Inserts a freshly computed cell cost. Returns `true` (and counts
+    /// one evaluation) only if the cell was not already present.
+    pub fn insert(&self, key: CellKey, cost: f64) -> bool {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.contains_key(&key) {
+            return false;
+        }
+        shard.insert(key, cost);
+        drop(shard);
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of distinct cells evaluated into this cache so far.
+    pub fn evaluations(&self) -> usize {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Total number of cached cells (equals [`CostCache::evaluations`]).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_counts_distinct_cells_only() {
+        let cache = CostCache::new();
+        assert!(cache.insert((0, 1, 2), 1.5));
+        assert!(!cache.insert((0, 1, 2), 1.5));
+        assert!(cache.insert((1, 1, 2), 2.5));
+        assert_eq!(cache.evaluations(), 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&(0, 1, 2)), Some(1.5));
+        assert_eq!(cache.get(&(2, 1, 2)), None);
+    }
+
+    #[test]
+    fn concurrent_hammering_keeps_exact_counts() {
+        // Many threads racing over an overlapping key set: every key must
+        // end up present exactly once, with the evaluation count equal to
+        // the number of distinct keys regardless of interleaving.
+        let cache = Arc::new(CostCache::new());
+        let n_threads = 8;
+        let keys_per_thread = 500usize;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..keys_per_thread {
+                        // Overlap: every thread also writes the shared
+                        // stripe (workload 0), plus its own stripe.
+                        let shared = (0usize, (i % 50) as u32, (i / 50) as u32);
+                        cache.insert(shared, (i % 50) as f64);
+                        let own = (t + 1, i as u32, (t * 31) as u32);
+                        cache.insert(own, i as f64);
+                    }
+                });
+            }
+        });
+        let distinct_shared = 50 * (keys_per_thread / 50);
+        let distinct_own = n_threads * keys_per_thread;
+        assert_eq!(cache.len(), distinct_shared + distinct_own);
+        assert_eq!(cache.evaluations(), cache.len());
+        // Values are the deterministic function of the key, not of the
+        // winning thread.
+        for i in 0..keys_per_thread {
+            let key = (0usize, (i % 50) as u32, (i / 50) as u32);
+            assert_eq!(cache.get(&key), Some((i % 50) as f64));
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! and the last workload absorbing the remainder (allocations that waste
 //! units are dominated, since cost is non-increasing in resources).
 
-use super::{Evaluator, UnitAssignment};
+use super::{ParallelEvaluator, UnitAssignment};
 use crate::CoreError;
 use std::collections::HashMap;
 
@@ -22,14 +22,14 @@ use std::collections::HashMap;
 /// remaining cost plus the chosen `(cpu, mem)` units at this level.
 type Memo = HashMap<(usize, u32, u32), (f64, (u32, u32))>;
 
-pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
+pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
     let n = eval.problem.num_workloads();
     let cfg = eval.config;
     // memo[(i, c, m)] = (best cost of workloads i.., chosen (cᵢ, mᵢ)).
     let mut memo: Memo = Memo::new();
 
     fn solve(
-        eval: &Evaluator<'_, '_>,
+        eval: &ParallelEvaluator<'_, '_>,
         memo: &mut Memo,
         i: usize,
         cpu_left: u32,

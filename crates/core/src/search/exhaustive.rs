@@ -4,7 +4,7 @@
 //! baseline for the EXT-SEARCH experiment): every composition of the CPU
 //! units crossed with every composition of the memory units.
 
-use super::{Evaluator, UnitAssignment};
+use super::{ParallelEvaluator, UnitAssignment};
 use crate::CoreError;
 
 /// Generates all compositions of `total` units into `n` parts, each at
@@ -34,7 +34,7 @@ fn compositions(total: u32, n: usize, min: u32) -> Vec<Vec<u32>> {
 }
 
 /// Searches every candidate; returns the cheapest.
-pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
+pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
     let n = eval.problem.num_workloads();
     let cfg = eval.config;
     let cpu_splits = compositions(cfg.units, n, cfg.min_units);

@@ -6,7 +6,7 @@
 //! cost. This is exactly the manual reasoning in the paper's Section 6
 //! ("take CPU away from Q4 and give it to Q13"), automated.
 
-use super::{equal_assignment, Evaluator, UnitAssignment};
+use super::{equal_assignment, CellKey, ParallelEvaluator, UnitAssignment};
 use crate::CoreError;
 
 /// Which resource a transfer moves.
@@ -16,9 +16,32 @@ enum Res {
     Mem,
 }
 
-pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
+/// The two cells a transfer changes, or `None` if the donor sits at the
+/// minimum and cannot give.
+fn moved_cells(
+    current: &UnitAssignment,
+    donor: usize,
+    recipient: usize,
+    res: Res,
+    min_units: u32,
+) -> Option<[CellKey; 2]> {
+    let (dc, dm) = current[donor];
+    let (rc, rm) = current[recipient];
+    match res {
+        Res::Cpu if dc > min_units => {
+            Some([(donor, dc - 1, dm), (recipient, rc + 1, rm)])
+        }
+        Res::Mem if dm > min_units => {
+            Some([(donor, dc, dm - 1), (recipient, rc, rm + 1)])
+        }
+        _ => None,
+    }
+}
+
+pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
     let n = eval.problem.num_workloads();
     let cfg = eval.config;
+    let parallel = cfg.effective_parallelism() > 1;
     let mut current = equal_assignment(n, cfg.units);
     let mut current_cost = eval.total(&current)?;
 
@@ -27,6 +50,28 @@ pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreErr
     // a defensive bound only.
     let max_moves = (cfg.units as usize * n * 4).max(64);
     for _ in 0..max_moves {
+        if parallel {
+            // Batch-evaluate this iteration's move frontier — exactly the
+            // cells the serial scan below would touch — across workers.
+            let mut frontier: Vec<CellKey> = Vec::new();
+            for donor in 0..n {
+                for recipient in 0..n {
+                    if donor == recipient {
+                        continue;
+                    }
+                    for res in [Res::Cpu, Res::Mem] {
+                        if let Some(cells) =
+                            moved_cells(&current, donor, recipient, res, cfg.min_units)
+                        {
+                            frontier.extend(cells);
+                        }
+                    }
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            eval.batch_evaluate(&frontier)?;
+        }
         let mut best_move: Option<(f64, usize, usize, Res)> = None;
         for donor in 0..n {
             for recipient in 0..n {
@@ -34,15 +79,9 @@ pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreErr
                     continue;
                 }
                 for res in [Res::Cpu, Res::Mem] {
-                    let (dc, dm) = current[donor];
-                    let units_held = match res {
-                        Res::Cpu => dc,
-                        Res::Mem => dm,
-                    };
-                    if units_held <= cfg.min_units {
+                    if moved_cells(&current, donor, recipient, res, cfg.min_units).is_none() {
                         continue;
                     }
-                    // Only donor and recipient change; reuse the rest.
                     let mut candidate = current.clone();
                     match res {
                         Res::Cpu => {
@@ -54,12 +93,15 @@ pub(super) fn search(eval: &Evaluator<'_, '_>) -> Result<UnitAssignment, CoreErr
                             candidate[recipient].1 += 1;
                         }
                     }
-                    let delta = eval.cost(donor, candidate[donor].0, candidate[donor].1)?
-                        + eval.cost(recipient, candidate[recipient].0, candidate[recipient].1)?
-                        - eval.cost(donor, current[donor].0, current[donor].1)?
-                        - eval.cost(recipient, current[recipient].0, current[recipient].1)?;
-                    if delta < -1e-12 {
-                        let cost = current_cost + delta;
+                    // The candidate's exact objective, re-summed from the
+                    // cache in workload order. Summing per-move deltas
+                    // instead lets the tracked total drift away from the
+                    // true objective after many moves.
+                    let cost = eval.total(&candidate)?;
+                    if cost < current_cost - 1e-12 {
+                        // Strict `<` keeps the first improving move on
+                        // exact ties: lowest donor, then recipient, then
+                        // CPU before memory — a deterministic tie-break.
                         let better = best_move.as_ref().is_none_or(|(b, ..)| cost < *b);
                         if better {
                             best_move = Some((cost, donor, recipient, res));

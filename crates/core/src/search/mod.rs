@@ -20,16 +20,25 @@
 //!
 //! Cost evaluations are cached per `(workload, cpu units, mem units)` —
 //! the what-if optimizer is cheap but not free, and the same cell recurs
-//! across candidates.
+//! across candidates. The cache ([`CostCache`]) is sharded and
+//! thread-safe, and [`SearchConfig::parallelism`] turns on parallel
+//! what-if evaluation: DP and exhaustive search precompute their full
+//! per-workload cost tables across worker threads, greedy batch-evaluates
+//! each iteration's move frontier. Parallel runs touch exactly the cell
+//! set a serial run would, so the returned [`Recommendation`] — including
+//! its `evaluations` count — is bit-identical either way (see DESIGN.md
+//! for the determinism contract).
 
+mod cache;
 mod dynprog;
 mod exhaustive;
 mod greedy;
 
+pub use cache::{CellKey, CostCache};
+
 use crate::{CoreError, CostModel, DesignProblem};
 use dbvirt_vmm::{AllocationMatrix, ResourceVector};
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,16 +50,38 @@ pub struct SearchConfig {
     /// Minimum units of each resource per workload (≥ 1 so every VM can
     /// make progress).
     pub min_units: u32,
+    /// Worker threads for what-if evaluation: `1` runs serially, `0` uses
+    /// one worker per available core, `n` uses exactly `n`. The result is
+    /// identical at every setting; only wall-clock time changes.
+    pub parallelism: usize,
 }
 
 impl SearchConfig {
     /// A config with `units` steps, equal-split disk for `n` workloads,
-    /// and a 1-unit floor.
+    /// a 1-unit floor, and serial evaluation.
     pub fn for_workloads(units: u32, n: usize) -> SearchConfig {
         SearchConfig {
             units,
             disk_share: 1.0 / n as f64,
             min_units: 1,
+            parallelism: 1,
+        }
+    }
+
+    /// Returns the config with the parallelism knob set (`0` = one worker
+    /// per available core).
+    pub fn with_parallelism(mut self, parallelism: usize) -> SearchConfig {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The number of evaluation workers this config resolves to.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            p => p,
         }
     }
 
@@ -112,7 +143,8 @@ pub struct Recommendation {
     /// The optimized objective: the service-level-weighted cost sum
     /// (equals `total_cost` when every weight is 1).
     pub objective: f64,
-    /// Distinct what-if cost evaluations performed.
+    /// Distinct what-if cost evaluations performed by this search (cells
+    /// already present in a shared warm cache are not counted).
     pub evaluations: usize,
     /// The algorithm that produced this recommendation.
     pub algorithm: &'static str,
@@ -121,30 +153,54 @@ pub struct Recommendation {
 /// Per-workload integer allocation: `(cpu units, mem units)`.
 pub(crate) type UnitAssignment = Vec<(u32, u32)>;
 
-/// Shared evaluation machinery: share conversion + memoized cost calls.
-pub(crate) struct Evaluator<'p, 'm> {
+/// Shared evaluation machinery: share conversion plus memoized —
+/// optionally parallel — what-if cost calls over a [`CostCache`].
+///
+/// The cache holds *unweighted* model costs; the SLO weight is applied on
+/// every read. `CostModel::cost` must therefore not itself depend on
+/// workload weights (none of the in-tree models do), and entries stay
+/// valid across problems that differ only in weights.
+pub struct ParallelEvaluator<'p, 'm> {
+    /// The problem being solved.
     pub problem: &'p DesignProblem<'p>,
+    /// The cost model pricing each cell.
     pub model: &'m dyn CostModel,
+    /// The search configuration (units, disk policy, parallelism).
     pub config: SearchConfig,
-    cache: RefCell<HashMap<(usize, u32, u32), f64>>,
-    evals: Cell<usize>,
+    cache: Arc<CostCache>,
+    evals_at_start: usize,
 }
 
-impl<'p, 'm> Evaluator<'p, 'm> {
+impl<'p, 'm> ParallelEvaluator<'p, 'm> {
+    /// An evaluator with its own fresh cache.
     pub fn new(
         problem: &'p DesignProblem<'p>,
         model: &'m dyn CostModel,
         config: SearchConfig,
-    ) -> Evaluator<'p, 'm> {
-        Evaluator {
+    ) -> ParallelEvaluator<'p, 'm> {
+        ParallelEvaluator::with_cache(problem, model, config, Arc::new(CostCache::new()))
+    }
+
+    /// An evaluator over a shared (possibly pre-warmed) cache. Its
+    /// [`ParallelEvaluator::evaluations`] counts only cells this
+    /// evaluator's searches added.
+    pub fn with_cache(
+        problem: &'p DesignProblem<'p>,
+        model: &'m dyn CostModel,
+        config: SearchConfig,
+        cache: Arc<CostCache>,
+    ) -> ParallelEvaluator<'p, 'm> {
+        let evals_at_start = cache.evaluations();
+        ParallelEvaluator {
             problem,
             model,
             config,
-            cache: RefCell::new(HashMap::new()),
-            evals: Cell::new(0),
+            cache,
+            evals_at_start,
         }
     }
 
+    /// The resource shares a `(cpu units, mem units)` cell denotes.
     pub fn shares(&self, cpu_units: u32, mem_units: u32) -> Result<ResourceVector, CoreError> {
         let u = self.config.units as f64;
         Ok(ResourceVector::from_fractions(
@@ -158,22 +214,87 @@ impl<'p, 'm> Evaluator<'p, 'm> {
     /// search algorithms minimize (the paper's objective when every weight
     /// is 1; the SLO extension otherwise).
     pub fn cost(&self, w: usize, cpu_units: u32, mem_units: u32) -> Result<f64, CoreError> {
+        let weight = self.problem.workloads[w].weight;
         let key = (w, cpu_units, mem_units);
-        if let Some(&c) = self.cache.borrow().get(&key) {
-            return Ok(c);
+        if let Some(c) = self.cache.get(&key) {
+            return Ok(c * weight);
         }
         let shares = self.shares(cpu_units, mem_units)?;
-        let c = self.model.cost(self.problem, w, shares)? * self.problem.workloads[w].weight;
-        self.cache.borrow_mut().insert(key, c);
-        self.evals.set(self.evals.get() + 1);
-        Ok(c)
+        let c = self.model.cost(self.problem, w, shares)?;
+        self.cache.insert(key, c);
+        Ok(c * weight)
     }
 
+    /// Distinct what-if evaluations this evaluator has added to its cache.
     pub fn evaluations(&self) -> usize {
-        self.evals.get()
+        self.cache.evaluations() - self.evals_at_start
     }
 
-    /// Total cost of a full unit assignment.
+    /// Evaluates a set of cells into the cache, splitting the work across
+    /// [`SearchConfig::parallelism`] threads. Already-cached cells cost a
+    /// lookup only. On failure the error for the lowest-indexed failing
+    /// cell is returned, regardless of thread interleaving, so error
+    /// behavior is deterministic too.
+    pub fn batch_evaluate(&self, cells: &[CellKey]) -> Result<(), CoreError> {
+        let workers = self.config.effective_parallelism().min(cells.len());
+        if workers <= 1 {
+            for &(w, c, m) in cells {
+                self.cost(w, c, m)?;
+            }
+            return Ok(());
+        }
+        let failures: Mutex<Vec<(usize, CoreError)>> = Mutex::new(Vec::new());
+        let chunk_len = cells.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in cells.chunks(chunk_len).enumerate() {
+                let failures = &failures;
+                scope.spawn(move || {
+                    for (offset, &(w, c, m)) in chunk.iter().enumerate() {
+                        if let Err(e) = self.cost(w, c, m) {
+                            failures
+                                .lock()
+                                .unwrap()
+                                .push((chunk_idx * chunk_len + offset, e));
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().unwrap();
+        failures.sort_by_key(|(idx, _)| *idx);
+        match failures.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The exact cell set a serial DP or exhaustive search evaluates: for
+    /// `n ≥ 2` every workload's full feasible rectangle
+    /// `[min_units, units − (n−1)·min_units]²` (both enumerate every
+    /// feasible per-workload cell), for `n = 1` the single all-units cell.
+    /// Precomputing it in parallel therefore leaves the evaluation count
+    /// identical to a serial run.
+    fn full_table_cells(&self) -> Vec<CellKey> {
+        let n = self.problem.num_workloads();
+        let cfg = self.config;
+        if n == 1 {
+            return vec![(0, cfg.units, cfg.units)];
+        }
+        let lo = cfg.min_units;
+        let hi = cfg.units - cfg.min_units * (n as u32 - 1);
+        let mut cells = Vec::with_capacity(n * ((hi - lo + 1) as usize).pow(2));
+        for w in 0..n {
+            for c in lo..=hi {
+                for m in lo..=hi {
+                    cells.push((w, c, m));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total cost of a full unit assignment, summed in workload order.
     pub fn total(&self, assignment: &UnitAssignment) -> Result<f64, CoreError> {
         assignment
             .iter()
@@ -227,15 +348,43 @@ pub(crate) fn equal_assignment(n: usize, units: u32) -> UnitAssignment {
         .collect()
 }
 
-/// Runs the requested search.
+/// Runs the requested search with a fresh evaluation cache.
 pub fn run_search(
     algorithm: SearchAlgorithm,
     problem: &DesignProblem<'_>,
     model: &dyn CostModel,
     config: SearchConfig,
 ) -> Result<Recommendation, CoreError> {
+    run_search_cached(algorithm, problem, model, config, &Arc::new(CostCache::new()))
+}
+
+/// Runs the requested search against a caller-owned [`CostCache`], so
+/// repeated solves over the same databases and queries (e.g. consecutive
+/// [`crate::dynamic::DynamicTimeline`] phases) reuse each other's what-if
+/// evaluations. The cache stores unweighted costs, so sharing is sound
+/// across problems that differ only in workload weights; the caller must
+/// not share a cache across different databases, queries, machines, or
+/// share discretizations.
+pub fn run_search_cached(
+    algorithm: SearchAlgorithm,
+    problem: &DesignProblem<'_>,
+    model: &dyn CostModel,
+    config: SearchConfig,
+    cache: &Arc<CostCache>,
+) -> Result<Recommendation, CoreError> {
     config.validate(problem.num_workloads())?;
-    let eval = Evaluator::new(problem, model, config);
+    let eval = ParallelEvaluator::with_cache(problem, model, config, Arc::clone(cache));
+    if config.effective_parallelism() > 1
+        && matches!(
+            algorithm,
+            SearchAlgorithm::Exhaustive | SearchAlgorithm::DynamicProgramming
+        )
+    {
+        // DP and exhaustive search deterministically touch their full
+        // per-workload cost tables; fill those tables with all workers
+        // before the (cheap) combinatorial pass runs over warm cells.
+        eval.batch_evaluate(&eval.full_table_cells())?;
+    }
     let assignment = match algorithm {
         SearchAlgorithm::Exhaustive => exhaustive::search(&eval)?,
         SearchAlgorithm::Greedy => greedy::search(&eval)?,
@@ -297,6 +446,7 @@ pub(crate) mod tests_support {
 mod tests {
     use super::tests_support::*;
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn equal_assignment_distributes_remainder() {
@@ -315,12 +465,14 @@ mod tests {
             units: 2,
             disk_share: 0.33,
             min_units: 1,
+            parallelism: 1,
         };
         assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
         let bad = SearchConfig {
             units: 8,
             disk_share: 0.0,
             min_units: 1,
+            parallelism: 1,
         };
         assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
     }
@@ -449,7 +601,7 @@ mod tests {
         let config = SearchConfig::for_workloads(9, 3);
         let greedy = run_search(SearchAlgorithm::Greedy, &problem, &model, config).unwrap();
         let exhaustive = run_search(SearchAlgorithm::Exhaustive, &problem, &model, config).unwrap();
-        let eval = Evaluator::new(&problem, &model, config);
+        let eval = ParallelEvaluator::new(&problem, &model, config);
         let eq = eval.total(&equal_assignment(3, 9)).unwrap();
         assert!(greedy.total_cost <= eq + 1e-9);
         assert!(greedy.total_cost >= exhaustive.total_cost - 1e-9);
@@ -459,5 +611,210 @@ mod tests {
             greedy.evaluations,
             exhaustive.evaluations
         );
+    }
+
+    #[test]
+    fn greedy_reports_the_exact_objective_and_breaks_ties_low() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 3);
+        // Workload 0 barely needs anything; 1 and 2 are identical and
+        // hungry, so donations from 0 tie between recipients 1 and 2 and
+        // the tracked total crosses many magnitudes of delta.
+        let model = SyntheticModel {
+            weights: vec![(0.1, 0.1), (4.0, 4.0), (4.0, 4.0)],
+        };
+        let config = SearchConfig::for_workloads(10, 3);
+        let rec = run_search(SearchAlgorithm::Greedy, &problem, &model, config).unwrap();
+        // Regression (float drift): the reported objective must equal the
+        // objective recomputed from scratch, bit for bit — the search
+        // tracks totals by re-summing cached cells, never by accumulating
+        // per-move deltas.
+        let eval = ParallelEvaluator::new(&problem, &model, config);
+        let units = config.units as f64;
+        let assignment: UnitAssignment = (0..3)
+            .map(|w| {
+                let row = rec.allocation.row(w);
+                (
+                    (row.cpu().fraction() * units).round() as u32,
+                    (row.memory().fraction() * units).round() as u32,
+                )
+            })
+            .collect();
+        let exact = eval.total(&assignment).unwrap();
+        assert_eq!(rec.objective.to_bits(), exact.to_bits());
+        // Deterministic tie-break: equal-cost moves resolve to the lowest
+        // donor, then the lowest recipient, so workload 1 never ends up
+        // behind its identical twin 2 — and a re-run reproduces the same
+        // result exactly.
+        assert!(rec.allocation.row(1).cpu() >= rec.allocation.row(2).cpu());
+        assert!(rec.allocation.row(1).memory() >= rec.allocation.row(2).memory());
+        let again = run_search(SearchAlgorithm::Greedy, &problem, &model, config).unwrap();
+        assert_eq!(rec.objective.to_bits(), again.objective.to_bits());
+        assert_eq!(rec.allocation.to_string(), again.allocation.to_string());
+    }
+
+    /// Asserts two recommendations are identical to the bit.
+    fn assert_bit_identical(a: &Recommendation, b: &Recommendation, context: &str) {
+        assert_eq!(a.algorithm, b.algorithm, "{context}");
+        assert_eq!(a.evaluations, b.evaluations, "{context}: evaluations");
+        assert_eq!(
+            a.total_cost.to_bits(),
+            b.total_cost.to_bits(),
+            "{context}: total_cost {} vs {}",
+            a.total_cost,
+            b.total_cost
+        );
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{context}");
+        assert_eq!(a.per_workload_costs.len(), b.per_workload_costs.len());
+        for (x, y) in a.per_workload_costs.iter().zip(&b.per_workload_costs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: per-workload cost");
+        }
+        for w in 0..a.per_workload_costs.len() {
+            let (ra, rb) = (a.allocation.row(w), b.allocation.row(w));
+            assert_eq!(
+                ra.cpu().fraction().to_bits(),
+                rb.cpu().fraction().to_bits(),
+                "{context}: cpu row {w}"
+            );
+            assert_eq!(
+                ra.memory().fraction().to_bits(),
+                rb.memory().fraction().to_bits(),
+                "{context}: mem row {w}"
+            );
+            assert_eq!(
+                ra.disk().fraction().to_bits(),
+                rb.disk().fraction().to_bits(),
+                "{context}: disk row {w}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn parallel_results_are_bit_identical_to_serial(
+            weights in prop::collection::vec((0.05f64..16.0, 0.05f64..16.0), 1..5),
+            units in 6u32..11,
+            threads in 2usize..7,
+        ) {
+            let db = dummy_db();
+            let n = weights.len();
+            let problem = dummy_problem(&db, n);
+            let model = SyntheticModel { weights };
+            let serial_cfg = SearchConfig::for_workloads(units, n);
+            let parallel_cfg = serial_cfg.with_parallelism(threads);
+            for alg in [
+                SearchAlgorithm::Exhaustive,
+                SearchAlgorithm::Greedy,
+                SearchAlgorithm::DynamicProgramming,
+            ] {
+                let serial = run_search(alg, &problem, &model, serial_cfg).unwrap();
+                let parallel = run_search(alg, &problem, &model, parallel_cfg).unwrap();
+                assert_bit_identical(
+                    &serial,
+                    &parallel,
+                    &format!("{} n={n} units={units} threads={threads}", alg.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_parallelism_resolves_to_available_cores() {
+        let auto = SearchConfig::for_workloads(8, 2).with_parallelism(0);
+        assert!(auto.effective_parallelism() >= 1);
+        let fixed = SearchConfig::for_workloads(8, 2).with_parallelism(3);
+        assert_eq!(fixed.effective_parallelism(), 3);
+        assert_eq!(SearchConfig::for_workloads(8, 2).effective_parallelism(), 1);
+    }
+
+    #[test]
+    fn shared_cache_warms_across_searches() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        let model = SyntheticModel {
+            weights: vec![(3.0, 1.0), (1.0, 3.0)],
+        };
+        let config = SearchConfig::for_workloads(8, 2);
+        let cache = Arc::new(CostCache::new());
+        let first = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &problem,
+            &model,
+            config,
+            &cache,
+        )
+        .unwrap();
+        assert!(first.evaluations > 0);
+        // Re-solving against the warm cache costs zero new evaluations and
+        // returns the identical recommendation.
+        let second = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &problem,
+            &model,
+            config,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(first.total_cost.to_bits(), second.total_cost.to_bits());
+        // Weights live outside the cache: a differently-weighted problem
+        // over the same cells also needs no new evaluations.
+        let mut reweighted = dummy_problem(&db, 2);
+        reweighted.workloads[0].weight = 7.5;
+        let third = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &reweighted,
+            &model,
+            config,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(third.evaluations, 0);
+        assert!((third.objective - 7.5 * third.per_workload_costs[0] - third.per_workload_costs[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_evaluate_reports_the_lowest_failing_cell() {
+        struct FailsAboveCpu(f64);
+        impl CostModel for FailsAboveCpu {
+            fn cost(
+                &self,
+                _problem: &DesignProblem<'_>,
+                _w: usize,
+                shares: ResourceVector,
+            ) -> Result<f64, CoreError> {
+                if shares.cpu().fraction() > self.0 {
+                    return Err(CoreError::BadProblem {
+                        reason: format!("cpu {} too high", shares.cpu().fraction()),
+                    });
+                }
+                Ok(1.0 / shares.cpu().fraction())
+            }
+        }
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        let model = FailsAboveCpu(0.5);
+        let config = SearchConfig::for_workloads(8, 2).with_parallelism(4);
+        let eval = ParallelEvaluator::new(&problem, &model, config);
+        let cells = eval.full_table_cells();
+        // The lowest-indexed failing cell is the first with cpu > 4 units.
+        let expected_idx = cells
+            .iter()
+            .position(|&(_, c, _)| c > 4)
+            .expect("some cell fails");
+        let expected = match eval.shares(cells[expected_idx].1, cells[expected_idx].2) {
+            Ok(shares) => format!("cpu {} too high", shares.cpu().fraction()),
+            Err(_) => unreachable!(),
+        };
+        for _ in 0..8 {
+            let fresh = ParallelEvaluator::new(&problem, &model, config);
+            let err = fresh.batch_evaluate(&cells).unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                format!("bad problem: {expected}"),
+                "error must be the lowest failing cell on every run"
+            );
+        }
     }
 }

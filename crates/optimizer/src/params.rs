@@ -9,12 +9,11 @@
 //! so workload cost estimates come out in seconds, which is what the
 //! virtualization design problem minimizes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The parameter vector `P`: everything the cost model knows about the
 /// physical environment. One `P` per calibrated resource allocation `R`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimizerParams {
     /// Seconds per sequential page fetch — the size of one cost unit.
     pub unit_seconds: f64,

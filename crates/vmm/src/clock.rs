@@ -5,14 +5,13 @@
 //! exactly reproducible and hashable; conversions to floating-point seconds
 //! are provided for reporting and for the calibration least-squares solver.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of simulated time, in integer microseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 
@@ -109,7 +108,7 @@ impl fmt::Display for SimDuration {
 
 /// An instant on the simulated clock, as microseconds since simulation start.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 

@@ -8,13 +8,12 @@
 //! shares. Keeping demand separate from time is what lets the same executed
 //! query be "re-measured" under many different allocations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 /// Physical work performed by an execution, independent of any allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceDemand {
     /// CPU cycles consumed.
     pub cpu_cycles: f64,

@@ -1,14 +1,13 @@
 //! Physical machine description.
 
 use crate::VmmError;
-use serde::{Deserialize, Serialize};
 
 /// Specification of the physical machine that hosts the virtual machines.
 ///
 /// The defaults mirror the paper's testbed: two 2.8 GHz Xeon CPUs, 4 GB of
 /// memory, and a 2007-era SCSI disk (modeled as ~80 MB/s sequential
 /// bandwidth and ~130 random IOPS).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineSpec {
     /// Number of physical cores.
     pub cores: u32,

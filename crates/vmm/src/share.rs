@@ -8,12 +8,11 @@
 //! and [`AllocationMatrix`] (the paper's `R`, all rows).
 
 use crate::VmmError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The controllable physical resources (the paper's `m = 3` case:
 /// CPU, memory, and I/O bandwidth).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU time share (Xen credit-scheduler cap in the paper).
     Cpu,
@@ -63,8 +62,7 @@ impl fmt::Display for ResourceKind {
 /// `r_ij >= 0` constraint (and the physical upper bound of the whole
 /// machine). Comparisons are exact on the underlying float, which is safe
 /// because shares are only produced by deterministic constructors.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Share(f64);
 
 impl Share {
@@ -126,7 +124,7 @@ impl fmt::Display for Share {
 
 /// The paper's `R_i = [r_i1, ..., r_im]`: the share of each resource given
 /// to one workload's virtual machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceVector {
     cpu: Share,
     memory: Share,
@@ -221,7 +219,7 @@ impl fmt::Display for ResourceVector {
 /// The paper states `sum_i r_ij = 1`; we validate `<= 1 + eps` so that
 /// partial allocations (holding capacity back) are representable, and expose
 /// [`AllocationMatrix::is_fully_utilized`] to check the equality case.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocationMatrix {
     rows: Vec<ResourceVector>,
 }

@@ -1,7 +1,6 @@
 //! The virtual machine model: shares × machine → effective resources.
 
 use crate::{MachineSpec, ResourceDemand, ResourceVector, SimDuration, VmmError};
-use serde::{Deserialize, Serialize};
 
 /// Fraction of a VM's memory available to the database as page cache
 /// (standing in for `shared_buffers` plus the OS file cache that PostgreSQL
@@ -24,7 +23,7 @@ pub(crate) const MIN_BUFFER_PAGES: usize = 64;
 ///   disk share;
 /// * **Memory**: the memory share bounds the VM's page cache, which in turn
 ///   determines how many logical reads become physical reads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VirtualMachine {
     spec: MachineSpec,
     shares: ResourceVector,
