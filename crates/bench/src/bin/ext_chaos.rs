@@ -1,0 +1,276 @@
+//! EXT-CHAOS — the calibration pipeline under injected faults.
+//!
+//! Replays point calibrations and full grid sweeps across a sweep of
+//! fault-injection seeds and noise intensities, and fails (non-zero exit)
+//! on any panic, unexpected error, or out-of-tolerance fit. This is the
+//! chaos gate behind `scripts/chaos.sh`: because the [`FaultInjector`] is
+//! seeded and stateless, any failure it finds is replayable by seed.
+//!
+//! Environment knobs:
+//!
+//! * `CHAOS_SEEDS` — how many seeds per intensity (default 6);
+//! * `CHAOS_BASE_SEED` — first seed (default 1).
+//!
+//! Tolerances (vs. the noise-free fit, non-degraded cells only):
+//! `unit_seconds` within 15%, `random_page_cost` within 40%,
+//! `cpu_tuple_cost` within 50%. These match the documented bounds in
+//! DESIGN.md and the integration suite.
+
+use dbvirt_calibrate::runner::{calibrate_with, calibrate_with_config};
+use dbvirt_calibrate::{CalibrationConfig, CalibrationGrid, ProbeDb};
+use dbvirt_bench::print_table;
+use dbvirt_vmm::{FaultInjector, MachineSpec, NoiseModel, ResourceVector};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn within(a: f64, b: f64, tol: f64) -> bool {
+    a > 0.0 && b > 0.0 && a / b < 1.0 + tol && b / a < 1.0 + tol
+}
+
+struct Outcome {
+    label: String,
+    cells: usize,
+    degraded: usize,
+    retries: usize,
+    outliers: usize,
+    ridge: usize,
+    violations: Vec<String>,
+}
+
+/// One grid sweep under the composite fault model; returns per-sweep
+/// accounting plus every tolerance violation found.
+fn chaos_grid_sweep(
+    machine: MachineSpec,
+    clean: &CalibrationGrid,
+    jitter: f64,
+    seed: u64,
+) -> Result<Outcome, String> {
+    let injector = FaultInjector::new(NoiseModel::realistic(jitter), seed);
+    let rcfg = CalibrationConfig::robust().with_injector(injector);
+    let (cpu_axis, mem_axis) = clean.axes();
+    let noisy = CalibrationGrid::calibrate_with_config(
+        machine,
+        cpu_axis.to_vec(),
+        mem_axis.to_vec(),
+        clean.disk_share(),
+        &rcfg,
+    )
+    .map_err(|e| format!("jitter {jitter} seed {seed}: sweep failed: {e}"))?;
+    let health = noisy.health();
+    let mut violations = Vec::new();
+    for c in 0..cpu_axis.len() {
+        for m in 0..mem_axis.len() {
+            let report = noisy.report_at(c, m);
+            if report.degraded {
+                continue; // interpolated, flagged, and excluded from tolerance
+            }
+            let p = noisy.at_point(c, m);
+            let q = clean.at_point(c, m);
+            for (name, a, b, tol) in [
+                ("unit_seconds", p.unit_seconds, q.unit_seconds, 0.15),
+                (
+                    "random_page_cost",
+                    p.random_page_cost,
+                    q.random_page_cost,
+                    0.40,
+                ),
+                ("cpu_tuple_cost", p.cpu_tuple_cost, q.cpu_tuple_cost, 0.50),
+            ] {
+                if !within(a, b, tol) {
+                    violations.push(format!(
+                        "jitter {jitter} seed {seed} cell ({c},{m}): {name} {a:.4e} vs clean {b:.4e} (tol {tol})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Outcome {
+        label: format!("grid j={jitter:.2} s={seed}"),
+        cells: health.cells,
+        degraded: health.degraded_cells,
+        retries: health.total_retries,
+        outliers: health.total_rejected_outliers,
+        ridge: health.ridge_cells,
+        violations,
+    })
+}
+
+/// Point calibrations at a few allocations; same tolerances.
+fn chaos_points(
+    pdb: &mut ProbeDb,
+    machine: MachineSpec,
+    jitter: f64,
+    seed: u64,
+) -> Result<Outcome, String> {
+    let injector = FaultInjector::new(NoiseModel::realistic(jitter), seed);
+    let rcfg = CalibrationConfig::robust().with_injector(injector);
+    let mut retries = 0;
+    let mut outliers = 0;
+    let mut ridge = 0;
+    let mut violations = Vec::new();
+    let allocations = [(0.5, 0.5, 0.5), (0.25, 0.75, 0.5), (0.75, 0.25, 0.5)];
+    for (cpu, mem, disk) in allocations {
+        let shares = ResourceVector::from_fractions(cpu, mem, disk)
+            .map_err(|e| format!("shares: {e}"))?;
+        let clean = calibrate_with(pdb, machine, shares)
+            .map_err(|e| format!("clean calibration failed: {e}"))?;
+        let noisy = calibrate_with_config(pdb, machine, shares, &rcfg).map_err(|e| {
+            format!("jitter {jitter} seed {seed} at ({cpu},{mem},{disk}): {e}")
+        })?;
+        retries += noisy.report.total_retries();
+        outliers += noisy.report.rejected_outliers.len();
+        ridge += usize::from(noisy.report.used_ridge);
+        for (name, a, b, tol) in [
+            (
+                "unit_seconds",
+                noisy.params.unit_seconds,
+                clean.params.unit_seconds,
+                0.15,
+            ),
+            (
+                "random_page_cost",
+                noisy.params.random_page_cost,
+                clean.params.random_page_cost,
+                0.40,
+            ),
+            (
+                "cpu_tuple_cost",
+                noisy.params.cpu_tuple_cost,
+                clean.params.cpu_tuple_cost,
+                0.50,
+            ),
+        ] {
+            if !within(a, b, tol) {
+                violations.push(format!(
+                    "jitter {jitter} seed {seed} at ({cpu},{mem},{disk}): {name} {a:.4e} vs clean {b:.4e} (tol {tol})"
+                ));
+            }
+        }
+    }
+    Ok(Outcome {
+        label: format!("point j={jitter:.2} s={seed}"),
+        cells: allocations.len(),
+        degraded: 0,
+        retries,
+        outliers,
+        ridge,
+        violations,
+    })
+}
+
+fn main() {
+    let n_seeds = env_u64("CHAOS_SEEDS", 6);
+    let base_seed = env_u64("CHAOS_BASE_SEED", 1);
+    let machine = MachineSpec::paper_testbed();
+    let intensities = [0.02, 0.05, 0.10];
+
+    println!(
+        "Chaos sweep: {n_seeds} seeds x {} intensities (base seed {base_seed})",
+        intensities.len()
+    );
+    let mut pdb = ProbeDb::build().expect("probe db");
+    pdb.validate().expect("probe db layout");
+
+    println!("Calibrating the noise-free reference grid ...");
+    let clean = CalibrationGrid::calibrate(machine, vec![0.25, 0.5, 0.75], vec![0.25, 0.75], 0.5)
+        .expect("clean grid");
+
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &jitter in &intensities {
+        for seed in base_seed..base_seed + n_seeds {
+            for outcome in [
+                chaos_points(&mut pdb, machine, jitter, seed),
+                chaos_grid_sweep(machine, &clean, jitter, seed),
+            ] {
+                match outcome {
+                    Ok(o) => {
+                        rows.push(vec![
+                            o.label.clone(),
+                            o.cells.to_string(),
+                            o.degraded.to_string(),
+                            o.retries.to_string(),
+                            o.outliers.to_string(),
+                            o.ridge.to_string(),
+                            o.violations.len().to_string(),
+                        ]);
+                        failures.extend(o.violations);
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+        }
+    }
+
+    // Hostile mode: 50% transient failures, no retries, single trials. The
+    // sweep may degrade cells or return a typed InsufficientProbes error —
+    // both are graceful — but it must never panic.
+    for seed in base_seed..base_seed + n_seeds {
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(0.5), seed);
+        let rcfg = CalibrationConfig {
+            trials: 1,
+            max_retries: 0,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let res = CalibrationGrid::calibrate_with_config(
+            machine,
+            vec![0.25, 0.5, 0.75],
+            vec![0.25, 0.75],
+            0.5,
+            &rcfg,
+        );
+        let note = match res {
+            Ok(g) => {
+                let h = g.health();
+                rows.push(vec![
+                    format!("hostile s={seed}"),
+                    h.cells.to_string(),
+                    h.degraded_cells.to_string(),
+                    h.total_retries.to_string(),
+                    h.total_rejected_outliers.to_string(),
+                    h.ridge_cells.to_string(),
+                    "0".to_string(),
+                ]);
+                continue;
+            }
+            Err(dbvirt_calibrate::CalError::InsufficientProbes { .. }) => "typed error (ok)",
+            Err(e) => {
+                failures.push(format!("hostile seed {seed}: unexpected error {e}"));
+                "UNEXPECTED"
+            }
+        };
+        rows.push(vec![
+            format!("hostile s={seed}"),
+            "6".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            note.to_string(),
+        ]);
+    }
+
+    print_table(
+        "calibration under injected faults",
+        &[
+            "scenario", "cells", "degraded", "retries", "outliers", "ridge", "violations",
+        ],
+        &rows,
+    );
+
+    if failures.is_empty() {
+        println!("\nCHAOS PASS: no panics, no unexpected errors, all fits within tolerance.");
+    } else {
+        println!("\nCHAOS FAIL: {} violation(s):", failures.len());
+        for f in &failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

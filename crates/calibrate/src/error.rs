@@ -34,6 +34,20 @@ pub enum CalError {
         /// Axis name.
         axis: &'static str,
     },
+    /// Too few usable probe measurements survived to identify the
+    /// parameters (dropped probes, filtered rows, or an empty system).
+    InsufficientProbes {
+        /// Equations kept after drops and filters.
+        kept: usize,
+        /// Minimum equations needed (the number of unknowns).
+        needed: usize,
+    },
+    /// A linear system had inconsistent dimensions (ragged rows or a
+    /// row-count mismatch between the matrix and the right-hand side).
+    ShapeMismatch {
+        /// What was malformed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CalError {
@@ -57,6 +71,15 @@ impl fmt::Display for CalError {
                     f,
                     "share {value} on axis {axis} is outside the calibrated grid"
                 )
+            }
+            CalError::InsufficientProbes { kept, needed } => {
+                write!(
+                    f,
+                    "only {kept} usable probe equations for {needed} unknowns"
+                )
+            }
+            CalError::ShapeMismatch { reason } => {
+                write!(f, "malformed linear system: {reason}")
             }
         }
     }

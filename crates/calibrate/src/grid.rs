@@ -10,12 +10,132 @@
 //! Axes are CPU share × memory share, matching the knobs the paper's
 //! experiments vary; the disk share is a fixed policy per grid (the 2007
 //! Xen testbed could not throttle disk independently).
+//!
+//! ## Graceful degradation
+//!
+//! Under fault injection (or on a real, flaky VM) individual grid cells
+//! can fail to calibrate: too many probes dropped, a singular system, or
+//! a non-physical fit. [`CalibrationGrid::calibrate_with_config`] does not
+//! fail the whole sweep for one bad cell. Instead it applies the last rung
+//! of the degradation ladder:
+//!
+//! * a cell whose own fit *succeeded* but left parameters clamped at the
+//!   numerical floor gets those parameters re-filled by averaging the
+//!   nearest cells that identified them, and the parameter names move to
+//!   [`CalibrationReport::degraded_params`];
+//! * a cell whose fit *failed* outright gets every measured parameter
+//!   averaged from the nearest healthy cells, its memory-derived settings
+//!   recomputed from the deployment policy (those never need measurement),
+//!   and its report marked [`CalibrationReport::degraded`] with the
+//!   original error preserved in [`CalibrationReport::failure`].
+//!
+//! Only if *every* cell fails does the sweep return an error. Per-cell
+//! health is kept alongside the parameters, serialized in the JSON cache,
+//! and summarized by [`CalibrationGrid::health`].
 
 use crate::json::Json;
-use crate::runner::calibrate_with;
+use crate::report::CalibrationReport;
+use crate::runner::{calibrate_with_config, CalibrationConfig};
+use crate::vmdb::DbVmConfig;
 use crate::{CalError, ProbeDb};
 use dbvirt_optimizer::OptimizerParams;
-use dbvirt_vmm::{MachineSpec, ResourceVector, VmmError};
+use dbvirt_vmm::{MachineSpec, ResourceVector, VirtualMachine, VmmError};
+use std::fmt;
+
+/// The parameters the probe system actually measures (everything else in
+/// [`OptimizerParams`] is policy-derived from the memory share).
+const MEASURED_PARAMS: [&str; 5] = [
+    "unit_seconds",
+    "random_page_cost",
+    "cpu_tuple_cost",
+    "cpu_index_tuple_cost",
+    "cpu_operator_cost",
+];
+
+fn get_param(p: &OptimizerParams, name: &str) -> f64 {
+    match name {
+        "unit_seconds" => p.unit_seconds,
+        "random_page_cost" => p.random_page_cost,
+        "cpu_tuple_cost" => p.cpu_tuple_cost,
+        "cpu_index_tuple_cost" => p.cpu_index_tuple_cost,
+        "cpu_operator_cost" => p.cpu_operator_cost,
+        other => unreachable!("unknown measured parameter {other}"),
+    }
+}
+
+fn set_param(p: &mut OptimizerParams, name: &str, v: f64) {
+    match name {
+        "unit_seconds" => p.unit_seconds = v,
+        "random_page_cost" => p.random_page_cost = v,
+        "cpu_tuple_cost" => p.cpu_tuple_cost = v,
+        "cpu_index_tuple_cost" => p.cpu_index_tuple_cost = v,
+        "cpu_operator_cost" => p.cpu_operator_cost = v,
+        other => unreachable!("unknown measured parameter {other}"),
+    }
+}
+
+/// Errors a single cell may recover from by neighbor interpolation;
+/// anything else (engine failures, bad axes) aborts the sweep.
+fn degradable(e: &CalError) -> bool {
+    matches!(
+        e,
+        CalError::InsufficientProbes { .. }
+            | CalError::SingularSystem
+            | CalError::BadParameter { .. }
+    )
+}
+
+/// Aggregate health of a calibrated grid, for callers who want one line
+/// instead of a per-cell report matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridHealth {
+    /// Total grid cells.
+    pub cells: usize,
+    /// Cells whose calibration needed no fallback at all.
+    pub clean_cells: usize,
+    /// Cells that failed outright and were fully interpolated from
+    /// neighbors.
+    pub degraded_cells: usize,
+    /// Cells with at least one neighbor-interpolated parameter (includes
+    /// the fully degraded ones).
+    pub cells_with_degraded_params: usize,
+    /// Cells whose fit needed the Tikhonov-ridge fallback.
+    pub ridge_cells: usize,
+    /// Retries spent recovering transient probe faults, summed over cells.
+    pub total_retries: usize,
+    /// Probe timeouts observed, summed over cells.
+    pub total_timeouts: usize,
+    /// Outlier equations rejected by the robust refit, summed over cells.
+    pub total_rejected_outliers: usize,
+    /// Probes that contributed no equation, summed over cells.
+    pub total_dropped_probes: usize,
+}
+
+impl GridHealth {
+    /// True if every cell calibrated without any fallback.
+    pub fn is_clean(&self) -> bool {
+        self.clean_cells == self.cells
+    }
+}
+
+impl fmt::Display for GridHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid health: {}/{} cells clean, {} degraded, {} with interpolated params, \
+             {} ridge; {} retries, {} timeouts, {} outliers rejected, {} probes dropped",
+            self.clean_cells,
+            self.cells,
+            self.degraded_cells,
+            self.cells_with_degraded_params,
+            self.ridge_cells,
+            self.total_retries,
+            self.total_timeouts,
+            self.total_rejected_outliers,
+            self.total_dropped_probes,
+        )
+    }
+}
 
 /// A calibrated `P(R)` surface over CPU × memory shares.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +147,8 @@ pub struct CalibrationGrid {
     /// `entries[ci][mi]` is the calibration at `(cpu_points[ci],
     /// mem_points[mi])`.
     entries: Vec<Vec<OptimizerParams>>,
+    /// `reports[ci][mi]` is the health report for the same cell.
+    reports: Vec<Vec<CalibrationReport>>,
 }
 
 fn validate_axis(points: &[f64], axis: &'static str) -> Result<(), CalError> {
@@ -88,14 +210,44 @@ fn lerp_params(a: &OptimizerParams, b: &OptimizerParams, t: f64) -> OptimizerPar
     }
 }
 
+/// The donors nearest to `(c, m)` in index space (Manhattan distance; all
+/// donors at the minimum distance, so corners and edges average
+/// symmetrically). Empty if `donors` is empty.
+fn nearest_donors(donors: &[(usize, usize)], c: usize, m: usize) -> Vec<(usize, usize)> {
+    let dist = |&(x, y): &(usize, usize)| x.abs_diff(c) + y.abs_diff(m);
+    let Some(min) = donors.iter().map(dist).min() else {
+        return Vec::new();
+    };
+    donors.iter().filter(|d| dist(d) == min).copied().collect()
+}
+
 impl CalibrationGrid {
-    /// Calibrates a grid, running the grid points in parallel (each worker
-    /// builds its own probe database).
+    /// Calibrates a grid with clean single-shot measurements, running the
+    /// grid points in parallel (each worker builds its own probe
+    /// database).
     pub fn calibrate(
         machine: MachineSpec,
         cpu_points: Vec<f64>,
         mem_points: Vec<f64>,
         disk_share: f64,
+    ) -> Result<CalibrationGrid, CalError> {
+        CalibrationGrid::calibrate_with_config(
+            machine,
+            cpu_points,
+            mem_points,
+            disk_share,
+            &CalibrationConfig::default(),
+        )
+    }
+
+    /// Calibrates a grid under an explicit robustness/fault configuration,
+    /// with per-cell graceful degradation (see the module docs).
+    pub fn calibrate_with_config(
+        machine: MachineSpec,
+        cpu_points: Vec<f64>,
+        mem_points: Vec<f64>,
+        disk_share: f64,
+        rcfg: &CalibrationConfig,
     ) -> Result<CalibrationGrid, CalError> {
         validate_axis(&cpu_points, "cpu")?;
         validate_axis(&mem_points, "memory")?;
@@ -109,66 +261,169 @@ impl CalibrationGrid {
             .flat_map(|c| (0..mem_points.len()).map(move |m| (c, m)))
             .collect();
 
+        type CellOutcome = (usize, usize, Result<crate::runner::Calibration, CalError>);
         let n_workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2)
             .min(combos.len())
             .max(1);
-        let results: Vec<Result<(usize, usize, OptimizerParams), CalError>> =
-            std::thread::scope(|scope| {
-                let chunks: Vec<Vec<(usize, usize)>> = combos
-                    .chunks(combos.len().div_ceil(n_workers))
-                    .map(<[(usize, usize)]>::to_vec)
-                    .collect();
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        let cpu_points = &cpu_points;
-                        let mem_points = &mem_points;
-                        scope.spawn(move || {
-                            let mut pdb = ProbeDb::build().map_err(|e| CalError::ProbeFailed {
-                                probe: "<probe-db>".to_string(),
+        let results: Vec<Result<CellOutcome, CalError>> = std::thread::scope(|scope| {
+            let chunks: Vec<Vec<(usize, usize)>> = combos
+                .chunks(combos.len().div_ceil(n_workers))
+                .map(<[(usize, usize)]>::to_vec)
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let cpu_points = &cpu_points;
+                    let mem_points = &mem_points;
+                    let rcfg = *rcfg;
+                    scope.spawn(move || {
+                        let mut pdb = ProbeDb::build().map_err(|e| CalError::ProbeFailed {
+                            probe: "<probe-db>".to_string(),
+                            reason: e.to_string(),
+                        })?;
+                        pdb.validate().map_err(|reason| CalError::ProbeFailed {
+                            probe: "<probe-db>".to_string(),
+                            reason,
+                        })?;
+                        let mut out: Vec<CellOutcome> = Vec::new();
+                        for (c, m) in chunk {
+                            let shares = ResourceVector::from_fractions(
+                                cpu_points[c],
+                                mem_points[m],
+                                disk_share,
+                            )
+                            .map_err(|e: VmmError| CalError::ProbeFailed {
+                                probe: "<shares>".to_string(),
                                 reason: e.to_string(),
                             })?;
-                            let mut out = Vec::new();
-                            for (c, m) in chunk {
-                                let shares = ResourceVector::from_fractions(
-                                    cpu_points[c],
-                                    mem_points[m],
-                                    disk_share,
-                                )
-                                .map_err(|e: VmmError| CalError::ProbeFailed {
-                                    probe: "<shares>".to_string(),
-                                    reason: e.to_string(),
-                                })?;
-                                let cal = calibrate_with(&mut pdb, machine, shares)?;
-                                out.push((c, m, cal.params));
+                            match calibrate_with_config(&mut pdb, machine, shares, &rcfg) {
+                                Ok(cal) => out.push((c, m, Ok(cal))),
+                                // Degradable failures are per-cell data, not
+                                // sweep-enders; anything else aborts.
+                                Err(e) if degradable(&e) => out.push((c, m, Err(e))),
+                                Err(e) => return Err(e),
                             }
-                            Ok(out)
-                        })
+                        }
+                        Ok(out)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| match h.join().expect("worker panicked") {
-                        Ok(v) => v.into_iter().map(Ok).collect::<Vec<_>>(),
-                        Err(e) => vec![Err(e)],
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join().expect("worker panicked") {
+                    Ok(v) => v.into_iter().map(Ok).collect::<Vec<_>>(),
+                    Err(e) => vec![Err(e)],
+                })
+                .collect()
+        });
 
         let default = OptimizerParams::postgres_defaults();
         let mut entries = vec![vec![default; mem_points.len()]; cpu_points.len()];
+        let mut reports =
+            vec![vec![CalibrationReport::pristine(Vec::new()); mem_points.len()]; cpu_points.len()];
+        let mut healthy: Vec<(usize, usize)> = Vec::new();
+        let mut failed: Vec<(usize, usize, CalError)> = Vec::new();
         for r in results {
-            let (c, m, p) = r?;
-            entries[c][m] = p;
+            let (c, m, outcome) = r?;
+            match outcome {
+                Ok(cal) => {
+                    entries[c][m] = cal.params;
+                    reports[c][m] = cal.report;
+                    healthy.push((c, m));
+                }
+                Err(e) => failed.push((c, m, e)),
+            }
         }
+        if healthy.is_empty() {
+            // No rung of the ladder left: every cell failed, so report the
+            // first failure (row-major order) as the sweep's error.
+            let (_, _, e) = failed
+                .into_iter()
+                .min_by_key(|&(c, m, _)| (c, m))
+                .expect("a non-empty grid has at least one cell");
+            return Err(e);
+        }
+        healthy.sort_unstable();
+
+        // Rung 4a: parameters a healthy cell could not identify (clamped at
+        // the floor) are re-filled from the nearest cells that did identify
+        // them.
+        for &(c, m) in &healthy {
+            let clamped = reports[c][m].clamped_params.clone();
+            for name in clamped {
+                let donors: Vec<(usize, usize)> = healthy
+                    .iter()
+                    .filter(|&&(dc, dm)| {
+                        (dc, dm) != (c, m) && !reports[dc][dm].clamped_params.contains(&name)
+                    })
+                    .copied()
+                    .collect();
+                let nearest = nearest_donors(&donors, c, m);
+                if nearest.is_empty() {
+                    continue; // nobody identified it; the floor stands
+                }
+                let mean = nearest
+                    .iter()
+                    .map(|&(dc, dm)| get_param(&entries[dc][dm], &name))
+                    .sum::<f64>()
+                    / nearest.len() as f64;
+                set_param(&mut entries[c][m], &name, mean);
+                reports[c][m].degraded_params.push(name);
+            }
+        }
+
+        // Rung 4b: cells that failed outright get every measured parameter
+        // from their nearest healthy neighbors; memory-derived settings are
+        // recomputed from the deployment policy, which needs no
+        // measurement.
+        for (c, m, err) in failed {
+            let nearest = nearest_donors(&healthy, c, m);
+            let mut p = OptimizerParams::postgres_defaults();
+            for name in MEASURED_PARAMS {
+                let mean = nearest
+                    .iter()
+                    .map(|&(dc, dm)| get_param(&entries[dc][dm], name))
+                    .sum::<f64>()
+                    / nearest.len() as f64;
+                set_param(&mut p, name, mean);
+            }
+            p.seq_page_cost = 1.0;
+            let shares = ResourceVector::from_fractions(cpu_points[c], mem_points[m], disk_share)
+                .map_err(|e| CalError::ProbeFailed {
+                probe: "<shares>".to_string(),
+                reason: e.to_string(),
+            })?;
+            let vm =
+                VirtualMachine::new(machine, shares).map_err(|e| CalError::ProbeFailed {
+                    probe: "<setup>".to_string(),
+                    reason: e.to_string(),
+                })?;
+            let cfg = DbVmConfig::for_vm(&vm);
+            p.effective_cache_size_pages = cfg.effective_cache_pages as f64;
+            p.work_mem_bytes = cfg.work_mem_bytes as f64;
+            entries[c][m] = p;
+            reports[c][m] = CalibrationReport {
+                probes: Vec::new(),
+                dropped_probes: 0,
+                rejected_outliers: Vec::new(),
+                condition_number: f64::INFINITY,
+                used_ridge: false,
+                clamped_params: Vec::new(),
+                degraded_params: MEASURED_PARAMS.iter().map(|s| s.to_string()).collect(),
+                degraded: true,
+                failure: Some(err.to_string()),
+            };
+        }
+
         Ok(CalibrationGrid {
             machine,
             cpu_points,
             mem_points,
             disk_share,
             entries,
+            reports,
         })
     }
 
@@ -217,7 +472,39 @@ impl CalibrationGrid {
         &self.entries[cpu_idx][mem_idx]
     }
 
-    /// Serializes the grid to JSON.
+    /// The health report at a grid point.
+    pub fn report_at(&self, cpu_idx: usize, mem_idx: usize) -> &CalibrationReport {
+        &self.reports[cpu_idx][mem_idx]
+    }
+
+    /// Aggregate health over every cell.
+    pub fn health(&self) -> GridHealth {
+        let all = self.reports.iter().flatten();
+        let mut h = GridHealth {
+            cells: self.num_points(),
+            clean_cells: 0,
+            degraded_cells: 0,
+            cells_with_degraded_params: 0,
+            ridge_cells: 0,
+            total_retries: 0,
+            total_timeouts: 0,
+            total_rejected_outliers: 0,
+            total_dropped_probes: 0,
+        };
+        for r in all {
+            h.clean_cells += usize::from(r.is_clean());
+            h.degraded_cells += usize::from(r.degraded);
+            h.cells_with_degraded_params += usize::from(!r.degraded_params.is_empty());
+            h.ridge_cells += usize::from(r.used_ridge);
+            h.total_retries += r.total_retries();
+            h.total_timeouts += r.total_timeouts();
+            h.total_rejected_outliers += r.rejected_outliers.len();
+            h.total_dropped_probes += r.dropped_probes;
+        }
+        h
+    }
+
+    /// Serializes the grid (parameters and per-cell health) to JSON.
     pub fn to_json(&self) -> Result<String, CalError> {
         let doc = Json::obj([
             ("machine", machine_to_json(&self.machine)),
@@ -233,11 +520,22 @@ impl CalibrationGrid {
                         .collect(),
                 ),
             ),
+            (
+                "reports",
+                Json::Arr(
+                    self.reports
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(report_to_json).collect()))
+                        .collect(),
+                ),
+            ),
         ]);
         Ok(doc.pretty())
     }
 
-    /// Deserializes a grid from JSON.
+    /// Deserializes a grid from JSON. Caches written before health
+    /// reporting existed (no `"reports"` key) load with empty pristine
+    /// reports.
     pub fn from_json(json: &str) -> Result<CalibrationGrid, CalError> {
         let bad = |reason: String| CalError::CacheIo { reason };
         let doc = Json::parse(json).map_err(bad)?;
@@ -253,7 +551,34 @@ impl CalibrationGrid {
                     .map(params_from_json)
                     .collect::<Result<Vec<_>, _>>()
             })
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<Vec<_>>, _>>()?;
+        let reports = match doc.get("reports") {
+            None | Some(Json::Null) => entries
+                .iter()
+                .map(|row| vec![CalibrationReport::pristine(Vec::new()); row.len()])
+                .collect(),
+            Some(v) => {
+                let rows = v
+                    .as_arr()
+                    .ok_or_else(|| bad("reports is not an array".to_string()))?;
+                let parsed = rows
+                    .iter()
+                    .map(|row| {
+                        row.as_arr()
+                            .ok_or_else(|| bad("reports row is not an array".to_string()))?
+                            .iter()
+                            .map(report_from_json)
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<Vec<_>>, _>>()?;
+                let shape_ok = parsed.len() == entries.len()
+                    && parsed.iter().zip(&entries).all(|(r, e)| r.len() == e.len());
+                if !shape_ok {
+                    return Err(bad("reports shape does not match entries".to_string()));
+                }
+                parsed
+            }
+        };
         Ok(CalibrationGrid {
             machine: machine_from_json(
                 doc.get("machine")
@@ -263,6 +588,7 @@ impl CalibrationGrid {
             mem_points: f64s_from_json(&doc, "mem_points")?,
             disk_share: get_num(&doc, "disk_share")?,
             entries,
+            reports,
         })
     }
 
@@ -307,6 +633,146 @@ fn f64s_from_json(obj: &Json, key: &str) -> Result<Vec<f64>, CalError> {
             })
         })
         .collect()
+}
+
+/// Serializes an `f64` that may legitimately be non-finite (condition
+/// numbers, dropped-probe seconds). JSON has no NaN/Inf, so those are
+/// tagged strings; plain numbers stay numbers.
+fn special_num_to_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".to_string())
+    } else if v > 0.0 {
+        Json::Str("inf".to_string())
+    } else {
+        Json::Str("-inf".to_string())
+    }
+}
+
+fn special_num_from_json(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Str(s) => match s.as_str() {
+            "nan" => Some(f64::NAN),
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn strings_to_json(values: &[String]) -> Json {
+    Json::Arr(values.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn strings_from_json(obj: &Json, key: &str) -> Result<Vec<String>, CalError> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CalError::CacheIo {
+            reason: format!("missing array field {key:?}"),
+        })?
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_string).ok_or_else(|| CalError::CacheIo {
+                reason: format!("non-string element in {key:?}"),
+            })
+        })
+        .collect()
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, CalError> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| CalError::CacheIo {
+            reason: format!("missing or non-boolean field {key:?}"),
+        })
+}
+
+fn report_to_json(r: &CalibrationReport) -> Json {
+    Json::obj([
+        (
+            "probes",
+            Json::Arr(
+                r.probes
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("name", Json::Str(p.name.clone())),
+                            ("trials", Json::Num(p.trials as f64)),
+                            ("retries", Json::Num(p.retries as f64)),
+                            ("timeouts", Json::Num(p.timeouts as f64)),
+                            ("dropped", Json::Bool(p.dropped)),
+                            ("seconds", special_num_to_json(p.seconds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("dropped_probes", Json::Num(r.dropped_probes as f64)),
+        ("rejected_outliers", strings_to_json(&r.rejected_outliers)),
+        ("condition_number", special_num_to_json(r.condition_number)),
+        ("used_ridge", Json::Bool(r.used_ridge)),
+        ("clamped_params", strings_to_json(&r.clamped_params)),
+        ("degraded_params", strings_to_json(&r.degraded_params)),
+        ("degraded", Json::Bool(r.degraded)),
+        (
+            "failure",
+            match &r.failure {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn report_from_json(doc: &Json) -> Result<CalibrationReport, CalError> {
+    let bad = |reason: String| CalError::CacheIo { reason };
+    let probes = doc
+        .get("probes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("report missing probes".to_string()))?
+        .iter()
+        .map(|p| {
+            Ok(crate::report::ProbeStat {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("probe stat missing name".to_string()))?
+                    .to_string(),
+                trials: get_num(p, "trials")? as usize,
+                retries: get_num(p, "retries")? as usize,
+                timeouts: get_num(p, "timeouts")? as usize,
+                dropped: get_bool(p, "dropped")?,
+                seconds: p
+                    .get("seconds")
+                    .and_then(special_num_from_json)
+                    .ok_or_else(|| bad("probe stat missing seconds".to_string()))?,
+            })
+        })
+        .collect::<Result<Vec<_>, CalError>>()?;
+    Ok(CalibrationReport {
+        probes,
+        dropped_probes: get_num(doc, "dropped_probes")? as usize,
+        rejected_outliers: strings_from_json(doc, "rejected_outliers")?,
+        condition_number: doc
+            .get("condition_number")
+            .and_then(special_num_from_json)
+            .ok_or_else(|| bad("report missing condition_number".to_string()))?,
+        used_ridge: get_bool(doc, "used_ridge")?,
+        clamped_params: strings_from_json(doc, "clamped_params")?,
+        degraded_params: strings_from_json(doc, "degraded_params")?,
+        degraded: get_bool(doc, "degraded")?,
+        failure: match doc.get("failure") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| bad("failure is not a string".to_string()))?
+                    .to_string(),
+            ),
+        },
+    })
 }
 
 fn machine_to_json(m: &MachineSpec) -> Json {
@@ -363,6 +829,7 @@ fn params_from_json(doc: &Json) -> Result<OptimizerParams, CalError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbvirt_vmm::{FaultInjector, NoiseModel};
 
     fn small_grid() -> CalibrationGrid {
         CalibrationGrid::calibrate(
@@ -399,6 +866,21 @@ mod tests {
         let c50 = grid.at_point(1, 0).cpu_tuple_cost;
         let c75 = grid.at_point(2, 0).cpu_tuple_cost;
         assert!(c25 > c50 && c50 > c75, "{c25} > {c50} > {c75} expected");
+    }
+
+    #[test]
+    fn clean_sweep_reports_clean_health() {
+        let grid = small_grid();
+        let h = grid.health();
+        assert!(h.is_clean(), "{h}");
+        assert_eq!(h.cells, 6);
+        assert_eq!(h.degraded_cells, 0);
+        assert_eq!(h.total_retries, 0);
+        for c in 0..3 {
+            for m in 0..2 {
+                assert!(grid.report_at(c, m).is_clean());
+            }
+        }
     }
 
     #[test]
@@ -445,10 +927,175 @@ mod tests {
     }
 
     #[test]
+    fn old_cache_without_reports_still_loads() {
+        let grid = small_grid();
+        let json = grid.to_json().unwrap();
+        // Simulate a pre-health cache by deleting the reports field from
+        // the parsed document.
+        let mut doc = Json::parse(&json).unwrap();
+        if let Json::Obj(m) = &mut doc {
+            m.remove("reports");
+        }
+        let back = CalibrationGrid::from_json(&doc.pretty()).unwrap();
+        assert_eq!(back.at_point(1, 1), grid.at_point(1, 1));
+        // Loaded reports are pristine placeholders.
+        assert!(back.report_at(0, 0).probes.is_empty());
+        assert!(!back.report_at(0, 0).degraded);
+    }
+
+    #[test]
     fn invalid_axes_are_rejected() {
         let m = MachineSpec::tiny();
         assert!(CalibrationGrid::calibrate(m, vec![], vec![0.5], 0.5).is_err());
         assert!(CalibrationGrid::calibrate(m, vec![0.5, 0.25], vec![0.5], 0.5).is_err());
         assert!(CalibrationGrid::calibrate(m, vec![0.5], vec![0.5], 0.0).is_err());
+    }
+
+    #[test]
+    fn nearest_donor_selection_is_symmetric() {
+        let donors = vec![(0, 0), (0, 2), (2, 0), (2, 2)];
+        // Center of a square: all four corners tie.
+        assert_eq!(nearest_donors(&donors, 1, 1).len(), 4);
+        // On top of a donor: just that donor.
+        assert_eq!(nearest_donors(&donors, 0, 0), vec![(0, 0)]);
+        assert!(nearest_donors(&[], 1, 1).is_empty());
+    }
+
+    #[test]
+    fn clamped_parameter_is_refilled_from_neighbors() {
+        // Single-trial measurements under ±30% jitter with the outlier
+        // refit disabled: at seed 14 exactly one cell recovers a
+        // non-positive parameter (clamped at the floor), which the grid
+        // must re-fill from the nearest cells that identified it.
+        let injector = FaultInjector::new(NoiseModel::uniform_jitter(0.3), 14);
+        let rcfg = CalibrationConfig {
+            trials: 1,
+            max_outlier_drops: 0,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let grid = CalibrationGrid::calibrate_with_config(
+            MachineSpec::paper_testbed(),
+            vec![0.25, 0.5, 0.75],
+            vec![0.25, 0.75],
+            0.5,
+            &rcfg,
+        )
+        .unwrap();
+        let h = grid.health();
+        assert_eq!(h.degraded_cells, 0, "{h}");
+        assert_eq!(h.cells_with_degraded_params, 1, "{h}");
+
+        let (c, m) = (0..3)
+            .flat_map(|c| (0..2).map(move |m| (c, m)))
+            .find(|&(c, m)| !grid.report_at(c, m).clamped_params.is_empty())
+            .expect("one cell with a clamped parameter");
+        let report = grid.report_at(c, m);
+        // The clamp is recorded AND the parameter was interpolated.
+        assert_eq!(report.clamped_params, report.degraded_params);
+        assert!(!report.degraded, "a partial fill is not a degraded cell");
+        let name = report.clamped_params[0].clone();
+        let v = get_param(grid.at_point(c, m), &name);
+        assert!(
+            v > crate::runner::RATIO_FLOOR * 10.0,
+            "{name} should be neighbor-filled, not stuck at the floor: {v}"
+        );
+    }
+
+    #[test]
+    fn failed_cell_degrades_to_neighbor_interpolation() {
+        // Seed 0 at p(fail) = 0.5, one trial, no retries: exactly one of
+        // the six cells loses too many probes to fit and must be filled
+        // from its neighbors (verified fixed by the injector's
+        // determinism contract).
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(0.5), 0);
+        let rcfg = CalibrationConfig {
+            trials: 1,
+            max_retries: 0,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let grid = CalibrationGrid::calibrate_with_config(
+            MachineSpec::paper_testbed(),
+            vec![0.25, 0.5, 0.75],
+            vec![0.25, 0.75],
+            0.5,
+            &rcfg,
+        )
+        .unwrap();
+        let h = grid.health();
+        assert_eq!(h.degraded_cells, 1, "{h}");
+        assert!(!h.is_clean());
+
+        let (c, m) = (0..3)
+            .flat_map(|c| (0..2).map(move |m| (c, m)))
+            .find(|&(c, m)| grid.report_at(c, m).degraded)
+            .expect("one degraded cell");
+        let report = grid.report_at(c, m);
+        assert!(report.failure.is_some(), "{report}");
+        assert_eq!(report.degraded_params.len(), MEASURED_PARAMS.len());
+        // The interpolated cell carries physical, validated parameters.
+        let p = grid.at_point(c, m);
+        p.validate().unwrap();
+        // And they lie within the envelope of the healthy cells they were
+        // averaged from.
+        let healthy: Vec<&OptimizerParams> = (0..3)
+            .flat_map(|hc| (0..2).map(move |hm| (hc, hm)))
+            .filter(|&(hc, hm)| !grid.report_at(hc, hm).degraded)
+            .map(|(hc, hm)| grid.at_point(hc, hm))
+            .collect();
+        for name in MEASURED_PARAMS {
+            let v = get_param(p, name);
+            let lo = healthy.iter().map(|q| get_param(q, name)).fold(f64::MAX, f64::min);
+            let hi = healthy.iter().map(|q| get_param(q, name)).fold(f64::MIN, f64::max);
+            assert!(v >= lo && v <= hi, "{name}: {v} outside [{lo}, {hi}]");
+        }
+        // Every allocation still resolves — the sweep degraded instead of
+        // failing.
+        grid.params_for(ResourceVector::from_fractions(0.4, 0.6, 0.5).unwrap())
+            .unwrap();
+
+        // A degraded grid's health survives the JSON cache. (Compared via
+        // re-serialization: dropped probes carry NaN seconds, which are
+        // unequal to themselves under PartialEq.)
+        let json = grid.to_json().unwrap();
+        let back = CalibrationGrid::from_json(&json).unwrap();
+        assert_eq!(json, back.to_json().unwrap());
+        assert_eq!(back.health(), h);
+        assert!(back.report_at(c, m).degraded);
+    }
+
+    #[test]
+    fn all_cells_failing_is_an_error_not_a_panic() {
+        // Every measurement fails with no retries: every cell drops all
+        // probes, no donor exists, and the sweep must surface
+        // InsufficientProbes.
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(1.0), 7);
+        let rcfg = CalibrationConfig {
+            trials: 1,
+            max_retries: 0,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let err = CalibrationGrid::calibrate_with_config(
+            MachineSpec::paper_testbed(),
+            vec![0.25, 0.75],
+            vec![0.5],
+            0.5,
+            &rcfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CalError::InsufficientProbes { .. }), "{err}");
+    }
+
+    #[test]
+    fn special_numbers_roundtrip_through_json() {
+        for v in [1.5, 0.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = special_num_from_json(&special_num_to_json(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+        assert!(special_num_from_json(&special_num_to_json(f64::NAN))
+            .unwrap()
+            .is_nan());
     }
 }

@@ -37,12 +37,14 @@ pub mod grid;
 pub mod json;
 pub mod probedb;
 pub mod probes;
+pub mod report;
 pub mod runner;
 pub mod solver;
 pub mod vmdb;
 
 pub use error::CalError;
-pub use grid::CalibrationGrid;
+pub use grid::{CalibrationGrid, GridHealth};
 pub use probedb::ProbeDb;
-pub use runner::calibrate;
+pub use report::{CalibrationReport, ProbeStat};
+pub use runner::{calibrate, Aggregation, Calibration, CalibrationConfig};
 pub use vmdb::DbVmConfig;

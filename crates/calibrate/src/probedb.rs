@@ -79,6 +79,51 @@ impl ProbeDb {
             b_index,
         })
     }
+
+    /// Checks the physical-layout assumptions the probe design and its
+    /// linear system rely on. The calibration runner refuses to fit
+    /// against a database that violates them — a misbuilt probe database
+    /// would not crash the solver, it would silently produce garbage
+    /// parameters, which is worse.
+    pub fn validate(&self) -> Result<(), String> {
+        let narrow = self
+            .db
+            .table(self.narrow)
+            .stats
+            .as_ref()
+            .ok_or("cal_narrow has no statistics")?;
+        let wide = self
+            .db
+            .table(self.wide)
+            .stats
+            .as_ref()
+            .ok_or("cal_wide has no statistics")?;
+        if narrow.n_rows != NARROW_ROWS as u64 || wide.n_rows != WIDE_ROWS as u64 {
+            return Err(format!(
+                "calibration tables have {} / {} rows, expected {NARROW_ROWS} / {WIDE_ROWS}",
+                narrow.n_rows, wide.n_rows
+            ));
+        }
+        // The wide table's job is separating per-page from per-tuple
+        // costs; without a large rows-per-page gap the columns of the
+        // linear system become near-collinear.
+        if wide.rows_per_page() * 10.0 > narrow.rows_per_page() {
+            return Err(format!(
+                "wide table packs {:.1} rows/page vs narrow {:.1}; \
+                 per-page and per-tuple costs are not separable",
+                wide.rows_per_page(),
+                narrow.rows_per_page()
+            ));
+        }
+        // The random-I/O probes assume the index covers every row.
+        let indexed = self.db.index_tree(self.b_index).len();
+        if indexed != NARROW_ROWS as usize {
+            return Err(format!(
+                "index cal_narrow_b covers {indexed} of {NARROW_ROWS} rows"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +143,21 @@ mod tests {
         assert_eq!(p.db.index_tree(p.b_index).len(), NARROW_ROWS as usize);
         // b values are a scatter: ndv == rows (48271 is coprime with 40000).
         assert_eq!(narrow.columns[1].n_distinct, NARROW_ROWS as u64);
+    }
+
+    #[test]
+    fn a_fresh_build_validates() {
+        ProbeDb::build().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_a_misbuilt_database() {
+        // Point the wide handle at the narrow table: rows-per-page
+        // separation vanishes and validation must refuse.
+        let mut p = ProbeDb::build().unwrap();
+        p.wide = p.narrow;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("rows"), "{err}");
     }
 
     #[test]

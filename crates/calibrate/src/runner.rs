@@ -9,17 +9,128 @@
 //! (`effective_cache_size`, `work_mem`) come from the deployment policy in
 //! [`crate::vmdb`] — they are configured, not measured, just as a DBA sets
 //! them from the machine's known RAM.
+//!
+//! Real probe timings are noisy, so the runner also supports a robust
+//! mode ([`CalibrationConfig::robust`]) designed to survive the faults a
+//! [`FaultInjector`] (or a real VM) produces:
+//!
+//! 1. **multi-trial probes** — each probe is measured several times and
+//!    the trials aggregated by median or trimmed mean;
+//! 2. **bounded retries** — transient failures and timeouts are retried
+//!    up to `max_retries` times per trial before the trial is lost;
+//! 3. **condition diagnostics + ridge** — the weighted normal matrix's
+//!    1-norm condition number is checked, and a Tikhonov-ridge fallback
+//!    solves near-singular systems;
+//! 4. **outlier rejection** — equations whose relative residual exceeds a
+//!    MAD-based threshold are dropped (worst first, bounded) and the
+//!    system refit.
+//!
+//! Every fallback taken is recorded in the returned
+//! [`CalibrationReport`]. With no injector and the default single-shot
+//! config, the pipeline is bit-identical to the historical noise-free
+//! implementation.
 
 use crate::probes::{build_probes, NUM_UNKNOWNS};
+use crate::report::{CalibrationReport, ProbeStat};
 use crate::{solver, CalError, DbVmConfig, ProbeDb};
 use dbvirt_engine::{run_plan, CpuCosts};
 use dbvirt_optimizer::OptimizerParams;
 use dbvirt_storage::BufferPool;
-use dbvirt_vmm::{MachineSpec, ResourceVector, VirtualMachine};
+use dbvirt_vmm::{FaultInjector, MachineSpec, ProbeFault, ResourceVector, VirtualMachine};
 
 /// Floor applied to recovered cost ratios so noise can never produce a
-/// non-positive parameter.
-const RATIO_FLOOR: f64 = 1e-6;
+/// non-positive parameter. A parameter stuck at this floor is
+/// unidentifiable and is reported in
+/// [`CalibrationReport::clamped_params`].
+pub const RATIO_FLOOR: f64 = 1e-6;
+
+/// How multiple trial measurements of one probe are combined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// The median (even counts average the middle two).
+    Median,
+    /// The mean after trimming `trim` of the samples from each end.
+    TrimmedMean {
+        /// Fraction trimmed from each end, in `[0, 0.5)`.
+        trim: f64,
+    },
+}
+
+/// Knobs for the robust calibration loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// Fault injection on the measurement path (`None` = clean
+    /// measurements).
+    pub injector: Option<FaultInjector>,
+    /// Trial measurements per probe.
+    pub trials: usize,
+    /// Trial aggregation.
+    pub aggregation: Aggregation,
+    /// Retries per trial on a transient fault or timeout.
+    pub max_retries: usize,
+    /// Maximum outlier equations the robust refit may reject.
+    pub max_outlier_drops: usize,
+    /// An equation is an outlier if its relative residual exceeds
+    /// `outlier_sigmas × 1.4826 × MAD` of all residuals…
+    pub outlier_sigmas: f64,
+    /// …and also this absolute floor (so tight clean fits never reject).
+    pub min_outlier_residual: f64,
+    /// Condition-number limit above which the ridge fallback is used.
+    pub condition_limit: f64,
+    /// Relative Tikhonov ridge strength (`λ = ridge_lambda ×
+    /// mean(diag(aᵀa))`).
+    pub ridge_lambda: f64,
+}
+
+impl CalibrationConfig {
+    /// The historical single-shot path: one clean measurement per probe,
+    /// no retries, no outlier rejection, ridge only if the plain normal
+    /// equations are numerically singular. This is the default.
+    pub fn fast() -> CalibrationConfig {
+        CalibrationConfig {
+            injector: None,
+            trials: 1,
+            aggregation: Aggregation::Median,
+            max_retries: 0,
+            max_outlier_drops: 0,
+            outlier_sigmas: 4.0,
+            min_outlier_residual: 0.25,
+            condition_limit: f64::INFINITY,
+            ridge_lambda: 1e-8,
+        }
+    }
+
+    /// The noise-hardened loop: five trials with median aggregation,
+    /// three retries per trial, up to three outlier rejections, and a
+    /// ridge fallback past a condition number of `1e12`.
+    pub fn robust() -> CalibrationConfig {
+        CalibrationConfig {
+            trials: 5,
+            max_retries: 3,
+            max_outlier_drops: 3,
+            condition_limit: 1e12,
+            ..CalibrationConfig::fast()
+        }
+    }
+
+    /// Returns the config with the fault injector installed.
+    pub fn with_injector(mut self, injector: FaultInjector) -> CalibrationConfig {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Returns the config with `trials` trial measurements per probe.
+    pub fn with_trials(mut self, trials: usize) -> CalibrationConfig {
+        self.trials = trials.max(1);
+        self
+    }
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> CalibrationConfig {
+        CalibrationConfig::fast()
+    }
+}
 
 /// Calibration result with diagnostics.
 #[derive(Debug, Clone)]
@@ -28,44 +139,75 @@ pub struct Calibration {
     pub params: OptimizerParams,
     /// Root-mean-square residual of the fit, in seconds.
     pub rms_residual_seconds: f64,
-    /// Per-probe measured seconds (diagnostic).
+    /// Per-probe measured (aggregated) seconds for probes that
+    /// contributed an equation (diagnostic).
     pub measured_seconds: Vec<f64>,
+    /// Health diagnostics: trials, retries, rejected outliers, condition
+    /// number, clamped/degraded parameters.
+    pub report: CalibrationReport,
 }
 
-/// Calibrates `P` for one allocation, reusing an existing probe database
-/// (the cheap path when sweeping a grid).
-pub fn calibrate_with(
-    pdb: &mut ProbeDb,
-    spec: MachineSpec,
-    shares: ResourceVector,
-) -> Result<Calibration, CalError> {
-    let vm = VirtualMachine::new(spec, shares).map_err(|e| CalError::ProbeFailed {
-        probe: "<setup>".to_string(),
-        reason: e.to_string(),
-    })?;
-    let cfg = DbVmConfig::for_vm(&vm);
-    let probes = build_probes(pdb);
+/// Mixes a share vector into a fault-injection context key, so each
+/// allocation's measurement campaign draws an independent noise stream.
+fn share_context(shares: &ResourceVector) -> u64 {
+    let mut h = shares.cpu().fraction().to_bits();
+    h ^= shares.memory().fraction().to_bits().rotate_left(21);
+    h ^= shares.disk().fraction().to_bits().rotate_left(42);
+    h
+}
 
-    let mut design: Vec<Vec<f64>> = Vec::with_capacity(probes.len());
-    let mut measured: Vec<f64> = Vec::with_capacity(probes.len());
-    for probe in &probes {
-        // Cold cache per probe, as in the paper's controlled measurements;
-        // warm probes run once unmeasured first to populate the cache.
-        let mut pool = BufferPool::new(cfg.buffer_pool_pages);
-        if probe.cache == crate::probes::CacheState::Warm {
-            run_plan(
-                &mut pdb.db,
-                &mut pool,
-                &probe.plan,
-                cfg.work_mem_bytes,
-                CpuCosts::default(),
-            )
-            .map_err(|e| CalError::ProbeFailed {
-                probe: probe.name.to_string(),
-                reason: format!("warm-up failed: {e}"),
-            })?;
+/// Aggregates trial samples. `samples` must be non-empty.
+fn aggregate(samples: &mut [f64], how: Aggregation) -> f64 {
+    debug_assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    match how {
+        Aggregation::Median => {
+            if n % 2 == 1 {
+                samples[n / 2]
+            } else {
+                (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+            }
         }
-        let out = run_plan(
+        Aggregation::TrimmedMean { trim } => {
+            let cut = ((n as f64) * trim.clamp(0.0, 0.499)) as usize;
+            let kept = &samples[cut..n - cut];
+            kept.iter().sum::<f64>() / kept.len() as f64
+        }
+    }
+}
+
+/// Median of a non-empty slice (copies; used for the MAD outlier scale).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Measures one probe: executes the plan once (the simulator is
+/// deterministic, so the true demand is a constant) and draws `trials`
+/// noisy measurements from the injector, retrying transient faults.
+/// Returns the aggregated seconds, or `None` if every trial was lost.
+fn measure_probe(
+    pdb: &mut ProbeDb,
+    vm: &VirtualMachine,
+    cfg: &DbVmConfig,
+    probe: &crate::probes::Probe,
+    probe_idx: usize,
+    context: u64,
+    rcfg: &CalibrationConfig,
+    stat: &mut ProbeStat,
+) -> Result<Option<f64>, CalError> {
+    // Cold cache per probe, as in the paper's controlled measurements;
+    // warm probes run once unmeasured first to populate the cache.
+    let mut pool = BufferPool::new(cfg.buffer_pool_pages);
+    if probe.cache == crate::probes::CacheState::Warm {
+        run_plan(
             &mut pdb.db,
             &mut pool,
             &probe.plan,
@@ -74,25 +216,175 @@ pub fn calibrate_with(
         )
         .map_err(|e| CalError::ProbeFailed {
             probe: probe.name.to_string(),
-            reason: e.to_string(),
+            reason: format!("warm-up failed: {e}"),
         })?;
-        design.push(probe.coeffs.to_vec());
-        measured.push(vm.demand_seconds(&out.demand));
     }
+    let out = run_plan(
+        &mut pdb.db,
+        &mut pool,
+        &probe.plan,
+        cfg.work_mem_bytes,
+        CpuCosts::default(),
+    )
+    .map_err(|e| CalError::ProbeFailed {
+        probe: probe.name.to_string(),
+        reason: e.to_string(),
+    })?;
+    let (cpu, seq, rand, writes) = vm.demand_seconds_breakdown(&out.demand);
+
+    let Some(injector) = &rcfg.injector else {
+        // Clean path: the component sum matches
+        // `VirtualMachine::demand_seconds` bit for bit, and aggregation
+        // over identical trials is the identity.
+        stat.trials = 1;
+        return Ok(Some(cpu + seq + rand + writes));
+    };
+
+    let mut samples = Vec::with_capacity(rcfg.trials);
+    for trial in 0..rcfg.trials.max(1) {
+        for attempt in 0..=rcfg.max_retries {
+            match injector.measure(context, probe_idx, trial, attempt, (cpu, seq, rand, writes)) {
+                Ok(seconds) => {
+                    samples.push(seconds);
+                    break;
+                }
+                Err(fault) => {
+                    if matches!(fault, ProbeFault::Timeout { .. }) {
+                        stat.timeouts += 1;
+                    }
+                    if attempt < rcfg.max_retries {
+                        stat.retries += 1;
+                    }
+                }
+            }
+        }
+    }
+    stat.trials = samples.len();
+    if samples.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(aggregate(&mut samples, rcfg.aggregation)))
+}
+
+/// The robust fit: solve with condition diagnostics and ridge fallback,
+/// then iteratively reject the worst outlier equation (bounded) and
+/// refit.
+fn robust_fit(
+    mut rows: Vec<Vec<f64>>,
+    mut names: Vec<String>,
+    rcfg: &CalibrationConfig,
+    report: &mut CalibrationReport,
+) -> Result<Vec<f64>, CalError> {
+    let targets = |n: usize| vec![1.0; n];
+    let mut fit =
+        solver::least_squares_diagnosed(&rows, &targets(rows.len()), rcfg.condition_limit, rcfg.ridge_lambda)?;
+    for _ in 0..rcfg.max_outlier_drops {
+        if rows.len() <= NUM_UNKNOWNS {
+            break;
+        }
+        // Relative residuals: rows are normalized to a target of 1, so a
+        // residual of 0.3 means the equation misses by 30%.
+        let resid: Vec<f64> = rows
+            .iter()
+            .map(|row| {
+                row.iter().zip(&fit.x).map(|(a, x)| a * x).sum::<f64>() - 1.0
+            })
+            .collect();
+        let abs: Vec<f64> = resid.iter().map(|r| r.abs()).collect();
+        let scale = 1.4826 * median(&abs);
+        let threshold = (rcfg.outlier_sigmas * scale).max(rcfg.min_outlier_residual);
+        let worst = abs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty residuals");
+        if abs[worst] <= threshold {
+            break;
+        }
+        report.rejected_outliers.push(names.remove(worst));
+        rows.remove(worst);
+        fit = solver::least_squares_diagnosed(
+            &rows,
+            &targets(rows.len()),
+            rcfg.condition_limit,
+            rcfg.ridge_lambda,
+        )?;
+    }
+    report.condition_number = fit.condition;
+    report.used_ridge = fit.used_ridge;
+    Ok(fit.x)
+}
+
+/// Calibrates `P` for one allocation with explicit robustness knobs,
+/// reusing an existing probe database.
+pub fn calibrate_with_config(
+    pdb: &mut ProbeDb,
+    spec: MachineSpec,
+    shares: ResourceVector,
+    rcfg: &CalibrationConfig,
+) -> Result<Calibration, CalError> {
+    let vm = VirtualMachine::new(spec, shares).map_err(|e| CalError::ProbeFailed {
+        probe: "<setup>".to_string(),
+        reason: e.to_string(),
+    })?;
+    let cfg = DbVmConfig::for_vm(&vm);
+    let probes = build_probes(pdb);
+    let context = share_context(&shares);
+
+    let mut design: Vec<Vec<f64>> = Vec::with_capacity(probes.len());
+    let mut measured: Vec<f64> = Vec::with_capacity(probes.len());
+    let mut stats: Vec<ProbeStat> = Vec::with_capacity(probes.len());
+    for (pi, probe) in probes.iter().enumerate() {
+        let mut stat = ProbeStat {
+            name: probe.name.to_string(),
+            trials: 0,
+            retries: 0,
+            timeouts: 0,
+            dropped: false,
+            seconds: f64::NAN,
+        };
+        match measure_probe(pdb, &vm, &cfg, probe, pi, context, rcfg, &mut stat)? {
+            Some(seconds) => {
+                stat.seconds = seconds;
+                design.push(probe.coeffs.to_vec());
+                measured.push(seconds);
+            }
+            None => stat.dropped = true,
+        }
+        stats.push(stat);
+    }
+    let mut report = CalibrationReport::pristine(stats);
 
     // Weight each equation by 1/measured so the fit minimizes *relative*
     // error: probes span four orders of magnitude (a warm 300-tuple index
     // probe vs. a cold full scan), and unweighted least squares would let
     // the big cold probes' model error swamp the parameters that only the
-    // small warm probes can identify.
-    let weighted: Vec<(Vec<f64>, f64)> = design
+    // small warm probes can identify. Non-positive measurements carry no
+    // usable signal and are dropped (and accounted for).
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(design.len());
+    let mut row_names: Vec<String> = Vec::with_capacity(design.len());
+    for ((row, &b), stat) in design
         .iter()
         .zip(&measured)
-        .filter(|(_, &b)| b > 0.0)
-        .map(|(row, &b)| (row.iter().map(|a| a / b).collect(), 1.0))
-        .collect();
-    let (w_design, w_b): (Vec<Vec<f64>>, Vec<f64>) = weighted.into_iter().unzip();
-    let x = solver::least_squares(&w_design, &w_b)?;
+        .zip(report.probes.iter_mut().filter(|s| !s.dropped))
+    {
+        if b > 0.0 {
+            rows.push(row.iter().map(|a| a / b).collect());
+            row_names.push(stat.name.clone());
+        } else {
+            stat.dropped = true;
+        }
+    }
+    report.dropped_probes = report.probes.iter().filter(|s| s.dropped).count();
+    if rows.len() < NUM_UNKNOWNS {
+        return Err(CalError::InsufficientProbes {
+            kept: rows.len(),
+            needed: NUM_UNKNOWNS,
+        });
+    }
+
+    let x = robust_fit(rows, row_names, rcfg, &mut report)?;
     debug_assert_eq!(x.len(), NUM_UNKNOWNS);
     let rms = solver::rms_residual(&design, &measured, &x);
 
@@ -103,17 +395,27 @@ pub fn calibrate_with(
             value: seq_page_s,
         });
     }
-    let ratio = |v: f64| (v / seq_page_s).max(RATIO_FLOOR);
+    let mut clamped: Vec<String> = Vec::new();
+    let mut ratio = |name: &'static str, v: f64| {
+        let r = v / seq_page_s;
+        if r < RATIO_FLOOR {
+            clamped.push(name.to_string());
+            RATIO_FLOOR
+        } else {
+            r
+        }
+    };
     let params = OptimizerParams {
         unit_seconds: seq_page_s,
         seq_page_cost: 1.0,
-        random_page_cost: ratio(x[1]),
-        cpu_tuple_cost: ratio(x[2]),
-        cpu_index_tuple_cost: ratio(x[3]),
-        cpu_operator_cost: ratio(x[4]),
+        random_page_cost: ratio("random_page_cost", x[1]),
+        cpu_tuple_cost: ratio("cpu_tuple_cost", x[2]),
+        cpu_index_tuple_cost: ratio("cpu_index_tuple_cost", x[3]),
+        cpu_operator_cost: ratio("cpu_operator_cost", x[4]),
         effective_cache_size_pages: cfg.effective_cache_pages as f64,
         work_mem_bytes: cfg.work_mem_bytes as f64,
     };
+    report.clamped_params = clamped;
     params.validate().map_err(|_| CalError::BadParameter {
         name: "params",
         value: f64::NAN,
@@ -122,7 +424,19 @@ pub fn calibrate_with(
         params,
         rms_residual_seconds: rms,
         measured_seconds: measured,
+        report,
     })
+}
+
+/// Calibrates `P` for one allocation, reusing an existing probe database
+/// (the cheap path when sweeping a grid). Single-shot clean measurements —
+/// see [`calibrate_with_config`] for the noise-robust loop.
+pub fn calibrate_with(
+    pdb: &mut ProbeDb,
+    spec: MachineSpec,
+    shares: ResourceVector,
+) -> Result<Calibration, CalError> {
+    calibrate_with_config(pdb, spec, shares, &CalibrationConfig::default())
 }
 
 /// Calibrates `P` for one allocation, building a fresh probe database.
@@ -131,13 +445,17 @@ pub fn calibrate(spec: MachineSpec, shares: ResourceVector) -> Result<OptimizerP
         probe: "<probe-db>".to_string(),
         reason: e.to_string(),
     })?;
+    pdb.validate().map_err(|reason| CalError::ProbeFailed {
+        probe: "<probe-db>".to_string(),
+        reason,
+    })?;
     Ok(calibrate_with(&mut pdb, spec, shares)?.params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbvirt_vmm::Share;
+    use dbvirt_vmm::{NoiseModel, Share};
 
     fn shares(cpu: f64, mem: f64, disk: f64) -> ResourceVector {
         ResourceVector::from_fractions(cpu, mem, disk).unwrap()
@@ -161,6 +479,9 @@ mod tests {
             "rms {} vs scale {scale}",
             cal.rms_residual_seconds
         );
+        // And the clean path reports a clean bill of health.
+        assert!(cal.report.is_clean(), "{}", cal.report);
+        assert_eq!(cal.report.total_retries(), 0);
     }
 
     #[test]
@@ -260,5 +581,196 @@ mod tests {
         )
         .unwrap();
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn robust_config_without_injector_is_bit_identical_to_fast() {
+        // The acceptance bar for the whole robustness layer: with the
+        // fault injector disabled, every robust-mode mechanism (trials,
+        // aggregation, outlier screening, condition diagnostics) must
+        // reduce to the historical single-shot answer, to the bit.
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        for s in [shares(0.5, 0.5, 0.5), shares(0.25, 0.75, 0.5)] {
+            let fast = calibrate_with(&mut pdb, spec, s).unwrap();
+            let robust =
+                calibrate_with_config(&mut pdb, spec, s, &CalibrationConfig::robust()).unwrap();
+            let f = fast.params;
+            let r = robust.params;
+            for (name, a, b) in [
+                ("unit_seconds", f.unit_seconds, r.unit_seconds),
+                ("random_page_cost", f.random_page_cost, r.random_page_cost),
+                ("cpu_tuple_cost", f.cpu_tuple_cost, r.cpu_tuple_cost),
+                (
+                    "cpu_index_tuple_cost",
+                    f.cpu_index_tuple_cost,
+                    r.cpu_index_tuple_cost,
+                ),
+                ("cpu_operator_cost", f.cpu_operator_cost, r.cpu_operator_cost),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} vs {b}");
+            }
+            assert!(robust.report.is_clean(), "{}", robust.report);
+            assert!(robust.report.rejected_outliers.is_empty());
+        }
+    }
+
+    #[test]
+    fn aggregation_median_and_trimmed_mean() {
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(aggregate(&mut v, Aggregation::Median), 3.0);
+        let mut v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(aggregate(&mut v, Aggregation::Median), 2.5);
+        // Trimmed mean drops the 100.0 outlier.
+        let mut v = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let t = aggregate(&mut v, Aggregation::TrimmedMean { trim: 0.2 });
+        assert_eq!(t, 3.0);
+        // trim = 0 is the plain mean.
+        let mut v = [1.0, 3.0];
+        assert_eq!(aggregate(&mut v, Aggregation::TrimmedMean { trim: 0.0 }), 2.0);
+    }
+
+    #[test]
+    fn jittered_measurements_still_recover_parameters() {
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        let clean = calibrate_with(&mut pdb, spec, shares(0.5, 0.5, 0.5)).unwrap();
+        let injector = FaultInjector::new(NoiseModel::uniform_jitter(0.10), 17);
+        let cfg = CalibrationConfig::robust().with_injector(injector);
+        let noisy = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap();
+        let within = |a: f64, b: f64, tol: f64| a / b < 1.0 + tol && b / a < 1.0 + tol;
+        assert!(
+            within(noisy.params.unit_seconds, clean.params.unit_seconds, 0.15),
+            "unit_seconds {} vs {}",
+            noisy.params.unit_seconds,
+            clean.params.unit_seconds
+        );
+        assert!(
+            within(
+                noisy.params.random_page_cost,
+                clean.params.random_page_cost,
+                0.30
+            ),
+            "random_page_cost {} vs {}",
+            noisy.params.random_page_cost,
+            clean.params.random_page_cost
+        );
+        assert!(
+            within(noisy.params.cpu_tuple_cost, clean.params.cpu_tuple_cost, 0.50),
+            "cpu_tuple_cost {} vs {}",
+            noisy.params.cpu_tuple_cost,
+            clean.params.cpu_tuple_cost
+        );
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(0.3), 23);
+        let cfg = CalibrationConfig::robust().with_injector(injector);
+        let cal = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap();
+        // p(fail) = 0.3 over 8 probes × 5 trials: retries are essentially
+        // certain, and with 3 retries per trial every trial recovers with
+        // overwhelming probability for this seed.
+        assert!(cal.report.total_retries() > 0, "{}", cal.report);
+        assert_eq!(cal.report.dropped_probes, 0, "{}", cal.report);
+        // The measurements themselves are clean (failures only), so the
+        // parameters match the noise-free fit bit for bit.
+        let clean = calibrate_with(&mut pdb, spec, shares(0.5, 0.5, 0.5)).unwrap();
+        assert_eq!(
+            cal.params.unit_seconds.to_bits(),
+            clean.params.unit_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn forced_ridge_path_stays_close_and_is_reported() {
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        let clean = calibrate_with(&mut pdb, spec, shares(0.5, 0.5, 0.5)).unwrap();
+        // A condition limit of 0 forces the Tikhonov path on a perfectly
+        // solvable system: it must not panic, must flag used_ridge, and
+        // with a tiny λ must land near the plain solution.
+        let cfg = CalibrationConfig {
+            condition_limit: 0.0,
+            ..CalibrationConfig::robust()
+        };
+        let ridged = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap();
+        assert!(ridged.report.used_ridge);
+        assert!(ridged.report.condition_number.is_finite());
+        let rel = (ridged.params.unit_seconds - clean.params.unit_seconds).abs()
+            / clean.params.unit_seconds;
+        assert!(rel < 1e-3, "ridge drifted {rel}");
+    }
+
+    #[test]
+    fn total_loss_of_probes_is_a_typed_error() {
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        // Every measurement fails and there are no retries: all probes
+        // drop, and the runner must return InsufficientProbes, not die on
+        // an underdetermined-system assert.
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(1.0), 1);
+        let cfg = CalibrationConfig {
+            max_retries: 0,
+            trials: 1,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let err = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            CalError::InsufficientProbes {
+                kept: 0,
+                needed: NUM_UNKNOWNS
+            }
+        );
+    }
+
+    #[test]
+    fn outlier_spikes_are_rejected_and_reported() {
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        let clean = calibrate_with(&mut pdb, spec, shares(0.5, 0.5, 0.5)).unwrap();
+        // Single-trial measurements with occasional ≥10x spikes and no
+        // timeout protection: the only defense is the robust refit. Seed
+        // 1 spikes two of the eight probes.
+        let injector = FaultInjector::new(NoiseModel::none().with_outliers(0.25, 10.0), 1);
+        let cfg = CalibrationConfig {
+            trials: 1,
+            ..CalibrationConfig::robust()
+        }
+        .with_injector(injector);
+        let cal = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap();
+        assert_eq!(
+            cal.report.rejected_outliers.len(),
+            2,
+            "seed 1 spikes 2 of 8 probes; report: {}",
+            cal.report
+        );
+        // With the spiked equations rejected, the fit is the clean one.
+        let rel = (cal.params.unit_seconds - clean.params.unit_seconds).abs()
+            / clean.params.unit_seconds;
+        assert!(rel < 1e-6, "unit_seconds drifted {rel} despite rejection");
+    }
+
+    #[test]
+    fn median_trials_suppress_spikes_the_refit_alone_cannot() {
+        // Seed 2 at a single trial spikes five of eight probes — more
+        // than `max_outlier_drops` can reject, and a barely
+        // overdetermined system cannot identify them all from residuals.
+        // The first rung of the degradation ladder (multi-trial median)
+        // handles it: a probe's median only spikes if ≥3 of 5 trials
+        // spike (p ≈ 0.1 at p_spike = 0.25).
+        let spec = MachineSpec::paper_testbed();
+        let mut pdb = ProbeDb::build().unwrap();
+        let clean = calibrate_with(&mut pdb, spec, shares(0.5, 0.5, 0.5)).unwrap();
+        let injector = FaultInjector::new(NoiseModel::none().with_outliers(0.25, 10.0), 2);
+        let cfg = CalibrationConfig::robust().with_injector(injector);
+        let cal = calibrate_with_config(&mut pdb, spec, shares(0.5, 0.5, 0.5), &cfg).unwrap();
+        let rel = (cal.params.unit_seconds - clean.params.unit_seconds).abs()
+            / clean.params.unit_seconds;
+        assert!(rel < 0.05, "median trials should defuse the spikes: {rel}");
     }
 }

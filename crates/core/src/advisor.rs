@@ -7,7 +7,7 @@
 
 use crate::search::{run_search, SearchAlgorithm, SearchConfig};
 use crate::{CalibratedCostModel, CoreError, DesignProblem, Recommendation};
-use dbvirt_calibrate::CalibrationGrid;
+use dbvirt_calibrate::{CalibrationConfig, CalibrationGrid, GridHealth};
 use dbvirt_vmm::MachineSpec;
 
 /// A configured advisor: a machine plus its calibration grid.
@@ -31,11 +31,37 @@ impl VirtualizationAdvisor {
         n_workloads: usize,
         units: u32,
     ) -> Result<VirtualizationAdvisor, CoreError> {
+        VirtualizationAdvisor::calibrate_with_config(
+            machine,
+            n_workloads,
+            units,
+            &CalibrationConfig::default(),
+        )
+    }
+
+    /// Like [`VirtualizationAdvisor::calibrate`], but with explicit
+    /// measurement-robustness knobs (multi-trial probes, retries, outlier
+    /// rejection, fault injection). Cells that cannot be calibrated are
+    /// interpolated from neighbors rather than failing the advisor; check
+    /// [`VirtualizationAdvisor::calibration_health`] before trusting
+    /// recommendations from a noisy calibration.
+    pub fn calibrate_with_config(
+        machine: MachineSpec,
+        n_workloads: usize,
+        units: u32,
+        rcfg: &CalibrationConfig,
+    ) -> Result<VirtualizationAdvisor, CoreError> {
         let config = SearchConfig::for_workloads(units, n_workloads);
         let lo = config.min_units;
         let hi = units - config.min_units * (n_workloads as u32 - 1);
         let points: Vec<f64> = (lo..=hi).map(|u| u as f64 / units as f64).collect();
-        let grid = CalibrationGrid::calibrate(machine, points.clone(), points, config.disk_share)?;
+        let grid = CalibrationGrid::calibrate_with_config(
+            machine,
+            points.clone(),
+            points,
+            config.disk_share,
+            rcfg,
+        )?;
         Ok(VirtualizationAdvisor {
             machine,
             grid,
@@ -74,6 +100,15 @@ impl VirtualizationAdvisor {
     /// The calibration grid (serializable for reuse).
     pub fn grid(&self) -> &CalibrationGrid {
         &self.grid
+    }
+
+    /// Aggregate health of the underlying calibration: retries, rejected
+    /// outliers, ridge fallbacks, degraded cells. A clean health means
+    /// every parameter the advisor searches over was fitted directly from
+    /// probe measurements; degraded cells were interpolated from
+    /// neighbors and their costs carry extra model error.
+    pub fn calibration_health(&self) -> GridHealth {
+        self.grid.health()
     }
 
     /// The search configuration.
@@ -167,6 +202,46 @@ mod tests {
             .iter()
             .sum();
         assert!(rec.total_cost <= eq + 1e-9);
+    }
+
+    #[test]
+    fn noisy_calibration_still_recommends_and_reports_health() {
+        use dbvirt_calibrate::CalibrationConfig;
+        use dbvirt_vmm::{FaultInjector, NoiseModel};
+
+        let db = fixture();
+        let t = db.table_id("t").unwrap();
+        let problem = DesignProblem::new(
+            MachineSpec::paper_testbed(),
+            vec![
+                WorkloadSpec::new("a", &db, vec![LogicalPlan::scan(t)]),
+                WorkloadSpec::new("b", &db, vec![LogicalPlan::scan(t); 2]),
+            ],
+        )
+        .unwrap();
+
+        let clean = VirtualizationAdvisor::calibrate(MachineSpec::paper_testbed(), 2, 4).unwrap();
+        assert!(clean.calibration_health().is_clean());
+
+        // Transient failures only: measurements that survive retry are
+        // exact, so the noisy advisor must reach the identical
+        // recommendation while its health records the recovery work.
+        let injector = FaultInjector::new(NoiseModel::none().with_failures(0.3), 23);
+        let rcfg = CalibrationConfig::robust().with_injector(injector);
+        let noisy =
+            VirtualizationAdvisor::calibrate_with_config(MachineSpec::paper_testbed(), 2, 4, &rcfg)
+                .unwrap();
+        let health = noisy.calibration_health();
+        assert!(health.total_retries > 0, "{health}");
+        assert_eq!(health.degraded_cells, 0, "{health}");
+
+        let want = clean
+            .recommend(&problem, SearchAlgorithm::DynamicProgramming)
+            .unwrap();
+        let got = noisy
+            .recommend(&problem, SearchAlgorithm::DynamicProgramming)
+            .unwrap();
+        assert_eq!(want.allocation, got.allocation);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * a [`VirtualMachine`] that converts demand into simulated wall-clock time
 //!   under a given share vector — CPU time dilates as `1/cpu_share`, disk
 //!   time as `1/io_share`, and the memory share bounds the buffer pool; and
+//! * a seeded [`FaultInjector`]/[`NoiseModel`] ([`fault`]) that perturbs
+//!   measurements with per-resource jitter, heavy-tailed outlier spikes,
+//!   transient failures and timeouts, so the calibration layer can be
+//!   exercised under realistic VM measurement conditions; and
 //! * a fluid-approximation credit scheduler ([`sched`]) that co-schedules
 //!   several VMs on one machine, in capped or work-conserving mode, for the
 //!   experiments where two workloads run concurrently (the paper's Figure 5).
@@ -33,6 +37,7 @@
 mod clock;
 mod demand;
 mod error;
+pub mod fault;
 mod machine;
 pub mod sched;
 mod share;
@@ -40,6 +45,7 @@ mod vm;
 
 pub use clock::{SimDuration, SimTime};
 pub use demand::ResourceDemand;
+pub use fault::{FaultInjector, NoiseModel, ProbeFault};
 pub use error::VmmError;
 pub use machine::MachineSpec;
 pub use share::{AllocationMatrix, ResourceKind, ResourceVector, Share, RESOURCE_KINDS};

@@ -6,3 +6,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
+# under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
+if [[ "${CHAOS:-0}" == "1" ]]; then
+  scripts/chaos.sh
+fi
