@@ -8,11 +8,20 @@
 //! criteria: parameter error, and whether the interpolated what-if model
 //! still ranks candidate CPU allocations for Q13 the same way.
 
-use dbvirt_bench::{experiment_machine, print_table};
+use dbvirt_bench::{
+    experiment_machine, json_array, print_table, write_bench_artifact, JsonObj,
+};
 use dbvirt_calibrate::CalibrationGrid;
 use dbvirt_optimizer::whatif::estimate_query_seconds;
 use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery};
 use dbvirt_vmm::ResourceVector;
+
+/// The calibration probe-run count from the global telemetry registry.
+fn probe_runs() -> u64 {
+    dbvirt_telemetry::snapshot()
+        .counter("calibrate.probe_runs")
+        .unwrap_or(0)
+}
 
 fn cpu_axis(n: usize) -> Vec<f64> {
     // n points spanning 25%..75%.
@@ -22,6 +31,8 @@ fn cpu_axis(n: usize) -> Vec<f64> {
 }
 
 fn main() {
+    dbvirt_telemetry::enable();
+    let wall_start = std::time::Instant::now();
     let machine = experiment_machine();
     println!(
         "Generating TPC-H (SF {:.3}) ...",
@@ -32,8 +43,10 @@ fn main() {
 
     let dense_n = 9;
     println!("Calibrating the dense reference grid ({dense_n} CPU points) ...");
+    let probes_before_dense = probe_runs();
     let dense =
         CalibrationGrid::calibrate(machine, cpu_axis(dense_n), vec![0.5], 0.5).expect("dense grid");
+    let dense_probe_runs = probe_runs() - probes_before_dense;
 
     // Probe allocations: every dense grid point.
     let probes: Vec<f64> = cpu_axis(dense_n);
@@ -47,10 +60,13 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
+    let mut bench_grids = Vec::new();
     for coarse_n in [2usize, 3, 5, 9] {
         println!("Calibrating a {coarse_n}-point grid ...");
+        let probes_before = probe_runs();
         let coarse = CalibrationGrid::calibrate(machine, cpu_axis(coarse_n), vec![0.5], 0.5)
             .expect("coarse grid");
+        let grid_probe_runs = probe_runs() - probes_before;
         let mut max_param_err: f64 = 0.0;
         let mut max_est_err: f64 = 0.0;
         let mut estimates = Vec::new();
@@ -72,6 +88,15 @@ fn main() {
             idx
         };
         let ranking_ok = rank(&estimates) == rank(&reference);
+        bench_grids.push(
+            JsonObj::new()
+                .int("grid_points", coarse_n as u64)
+                .int("probe_runs", grid_probe_runs)
+                .float("max_param_err", max_param_err)
+                .float("max_estimate_err", max_est_err)
+                .str("ranking_preserved", if ranking_ok { "yes" } else { "no" })
+                .render(),
+        );
         rows.push(vec![
             coarse_n.to_string(),
             format!("{:.1}%", max_param_err * 100.0),
@@ -90,4 +115,19 @@ fn main() {
          the allocation ranking, which is all the virtualization design search consumes — \
          the paper's 'only used to rank alternatives' observation carries to P(R) itself."
     );
+
+    let snap = dbvirt_telemetry::snapshot();
+    let bench = JsonObj::new()
+        .str("experiment", "ext_grid")
+        .float("wall_secs", wall_start.elapsed().as_secs_f64())
+        .int("dense_grid_points", dense_n as u64)
+        .int("dense_probe_runs", dense_probe_runs)
+        .raw("grids", json_array(&bench_grids))
+        .int("probe_runs_total", snap.counter("calibrate.probe_runs").unwrap_or(0))
+        .int("retries_total", snap.counter("calibrate.retries").unwrap_or(0))
+        .int(
+            "outliers_dropped_total",
+            snap.counter("calibrate.outliers_dropped").unwrap_or(0),
+        );
+    write_bench_artifact("BENCH_grid.json", &bench.render());
 }

@@ -7,7 +7,10 @@
 //! workload vs a CPU-bound Q13 workload), comparing solution quality and
 //! the number of distinct what-if cost evaluations each needs.
 
-use dbvirt_bench::{experiment_machine, print_table, report_parallel_speedup};
+use dbvirt_bench::{
+    cache_counters, experiment_machine, json_array, print_table, report_parallel_speedup,
+    write_bench_artifact, JsonObj,
+};
 use dbvirt_core::measure::measure_workload_seconds;
 use dbvirt_core::{
     metrics, CalibratedCostModel, DesignProblem, SearchAlgorithm, VirtualizationAdvisor,
@@ -17,6 +20,8 @@ use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 use dbvirt_vmm::AllocationMatrix;
 
 fn main() {
+    dbvirt_telemetry::enable();
+    let wall_start = std::time::Instant::now();
     let machine = experiment_machine();
     println!(
         "Generating TPC-H (SF {:.3}) ...",
@@ -63,13 +68,38 @@ fn main() {
     let measured_equal = measure_total(&equal_alloc);
 
     let mut rows = Vec::new();
+    let mut bench_algorithms = Vec::new();
     let mut optimum = f64::INFINITY;
     for alg in [
         SearchAlgorithm::Exhaustive,
         SearchAlgorithm::Greedy,
         SearchAlgorithm::DynamicProgramming,
     ] {
+        let (hits_before, misses_before) = cache_counters();
+        let alg_start = std::time::Instant::now();
         let rec = advisor.recommend(&problem, alg).expect("search");
+        let alg_secs = alg_start.elapsed().as_secs_f64();
+        let (hits_after, misses_after) = cache_counters();
+        let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
+        let lookups = hits + misses;
+        bench_algorithms.push(
+            JsonObj::new()
+                .str("algorithm", rec.algorithm)
+                .float("wall_secs", alg_secs)
+                .float("predicted_total_secs", rec.total_cost)
+                .int("evaluations", rec.evaluations as u64)
+                .int("cache_hits", hits)
+                .int("cache_misses", misses)
+                .float(
+                    "cache_hit_rate",
+                    if lookups > 0 {
+                        hits as f64 / lookups as f64
+                    } else {
+                        f64::NAN
+                    },
+                )
+                .render(),
+        );
         optimum = optimum.min(rec.total_cost);
         let measured = measure_total(&rec.allocation);
         let r0 = rec.allocation.row(0);
@@ -129,4 +159,24 @@ fn main() {
          stop at a local optimum when the gain requires crossing a cache threshold several \
          share-units away."
     );
+
+    let (total_hits, total_misses) = cache_counters();
+    let total_lookups = total_hits + total_misses;
+    let bench = JsonObj::new()
+        .str("experiment", "ext_search")
+        .float("wall_secs", wall_start.elapsed().as_secs_f64())
+        .int("units", units as u64)
+        .int("workloads", 2)
+        .raw("algorithms", json_array(&bench_algorithms))
+        .int("cache_hits_total", total_hits)
+        .int("cache_misses_total", total_misses)
+        .float(
+            "cache_hit_rate_total",
+            if total_lookups > 0 {
+                total_hits as f64 / total_lookups as f64
+            } else {
+                f64::NAN
+            },
+        );
+    write_bench_artifact("BENCH_search.json", &bench.render());
 }

@@ -14,6 +14,7 @@
 //! | `ext_consolidation` | N-workload consolidation, advisor vs equal split |
 //! | `ext_dynamic` | dynamic reconfiguration controller vs static baselines |
 //! | `ext_ablation` | cost-model ablation: calibrated vs allocation-blind |
+//! | `ext_trace` | telemetry smoke gate: traced consolidation run, writes `TRACE_dump.json` + `TRACE_chrome.json` |
 //!
 //! This library holds what the binaries share: the experiment machine and
 //! measurement/printing helpers.
@@ -156,6 +157,96 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// A tiny insertion-ordered JSON object builder for the machine-readable
+/// `BENCH_*.json` artifacts (no external dependencies). Values are
+/// rendered immediately; nest objects/arrays with [`JsonObj::raw`] and
+/// [`json_array`].
+#[derive(Default, Clone)]
+pub struct JsonObj {
+    parts: Vec<String>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObj {
+        self.parts.push(format!("{}:{}", json_escape(key), json_escape(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonObj {
+        self.parts.push(format!("{}:{}", json_escape(key), value));
+        self
+    }
+
+    /// Adds a float field (non-finite values are rendered as `null`).
+    pub fn float(mut self, key: &str, value: f64) -> JsonObj {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("{}:{rendered}", json_escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object or array).
+    pub fn raw(mut self, key: &str, json: String) -> JsonObj {
+        self.parts.push(format!("{}:{json}", json_escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn json_array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes a `BENCH_*.json`-style artifact to the working directory and
+/// prints where it went.
+pub fn write_bench_artifact(file_name: &str, json: &str) {
+    std::fs::write(file_name, format!("{json}\n")).expect("write bench artifact");
+    println!("Wrote {file_name}");
+}
+
+/// The `(hits, misses)` of the search cost cache from the global telemetry
+/// registry (zeros while telemetry is disabled).
+pub fn cache_counters() -> (u64, u64) {
+    let snap = dbvirt_telemetry::snapshot();
+    (
+        snap.counter("search.cache.hits").unwrap_or(0),
+        snap.counter("search.cache.misses").unwrap_or(0),
+    )
+}
+
 /// Formats a float with three significant decimals.
 pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")
@@ -185,5 +276,19 @@ mod tests {
     fn fmt_helpers() {
         assert_eq!(fmt3(1.23456), "1.235");
         assert_eq!(fmt_pct(0.305), "30.5%");
+    }
+
+    #[test]
+    fn json_obj_renders_ordered_and_escaped() {
+        let obj = JsonObj::new()
+            .str("name", "a \"b\"\n")
+            .int("count", 3)
+            .float("rate", 0.5)
+            .float("bad", f64::NAN)
+            .raw("items", json_array(&["1".to_string(), "2".to_string()]));
+        assert_eq!(
+            obj.render(),
+            "{\"name\":\"a \\\"b\\\"\\n\",\"count\":3,\"rate\":0.5,\"bad\":null,\"items\":[1,2]}"
+        );
     }
 }

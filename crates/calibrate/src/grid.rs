@@ -261,6 +261,10 @@ impl CalibrationGrid {
             .flat_map(|c| (0..mem_points.len()).map(move |m| (c, m)))
             .collect();
 
+        let mut sweep_span = dbvirt_telemetry::span("calibrate.grid_sweep");
+        sweep_span.set_attr("cells", combos.len());
+        let sweep_parent = sweep_span.id();
+
         type CellOutcome = (usize, usize, Result<crate::runner::Calibration, CalError>);
         let n_workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -279,6 +283,12 @@ impl CalibrationGrid {
                     let mem_points = &mem_points;
                     let rcfg = *rcfg;
                     scope.spawn(move || {
+                        // Adopt the sweep span as parent so per-cell spans
+                        // from this worker thread nest under the sweep.
+                        let _worker_span = dbvirt_telemetry::span_with_parent(
+                            "calibrate.grid_worker",
+                            sweep_parent,
+                        );
                         let mut pdb = ProbeDb::build().map_err(|e| CalError::ProbeFailed {
                             probe: "<probe-db>".to_string(),
                             reason: e.to_string(),

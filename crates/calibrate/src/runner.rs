@@ -36,7 +36,17 @@ use crate::{solver, CalError, DbVmConfig, ProbeDb};
 use dbvirt_engine::{run_plan, CpuCosts};
 use dbvirt_optimizer::OptimizerParams;
 use dbvirt_storage::BufferPool;
+use dbvirt_telemetry as telemetry;
 use dbvirt_vmm::{FaultInjector, MachineSpec, ProbeFault, ResourceVector, VirtualMachine};
+
+// Calibration telemetry (no-ops until `dbvirt_telemetry::enable()`).
+static TM_PROBE_RUNS: telemetry::Counter = telemetry::Counter::new("calibrate.probe_runs");
+static TM_RETRIES: telemetry::Counter = telemetry::Counter::new("calibrate.retries");
+static TM_TIMEOUTS: telemetry::Counter = telemetry::Counter::new("calibrate.timeouts");
+static TM_OUTLIER_DROPS: telemetry::Counter =
+    telemetry::Counter::new("calibrate.outliers_dropped");
+static TM_PROBE_VIRT_US: telemetry::Histogram =
+    telemetry::Histogram::new("calibrate.probe_virtual_us");
 
 /// Floor applied to recovered cost ratios so noise can never produce a
 /// non-positive parameter. A parameter stuck at this floor is
@@ -203,6 +213,9 @@ fn measure_probe(
     rcfg: &CalibrationConfig,
     stat: &mut ProbeStat,
 ) -> Result<Option<f64>, CalError> {
+    let mut probe_span = telemetry::span("calibrate.probe");
+    probe_span.set_attr("probe", probe.name);
+    TM_PROBE_RUNS.add(1);
     // Cold cache per probe, as in the paper's controlled measurements;
     // warm probes run once unmeasured first to populate the cache.
     let mut pool = BufferPool::new(cfg.buffer_pool_pages);
@@ -237,7 +250,10 @@ fn measure_probe(
         // `VirtualMachine::demand_seconds` bit for bit, and aggregation
         // over identical trials is the identity.
         stat.trials = 1;
-        return Ok(Some(cpu + seq + rand + writes));
+        let seconds = cpu + seq + rand + writes;
+        telemetry::advance_virtual_secs(seconds);
+        TM_PROBE_VIRT_US.record_micros((seconds * 1e6) as u64);
+        return Ok(Some(seconds));
     };
 
     let mut samples = Vec::with_capacity(rcfg.trials);
@@ -260,10 +276,21 @@ fn measure_probe(
         }
     }
     stat.trials = samples.len();
+    TM_RETRIES.add(stat.retries as u64);
+    TM_TIMEOUTS.add(stat.timeouts as u64);
+    probe_span.set_attr("retries", stat.retries);
     if samples.is_empty() {
+        probe_span.set_attr("dropped", true);
         return Ok(None);
     }
-    Ok(Some(aggregate(&mut samples, rcfg.aggregation)))
+    let seconds = aggregate(&mut samples, rcfg.aggregation);
+    telemetry::advance_virtual_secs(seconds);
+    TM_PROBE_VIRT_US.record_micros(if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e6) as u64
+    } else {
+        0
+    });
+    Ok(Some(seconds))
 }
 
 /// The robust fit: solve with condition diagnostics and ridge fallback,
@@ -302,6 +329,7 @@ fn robust_fit(
         if abs[worst] <= threshold {
             break;
         }
+        TM_OUTLIER_DROPS.add(1);
         report.rejected_outliers.push(names.remove(worst));
         rows.remove(worst);
         fit = solver::least_squares_diagnosed(
@@ -324,6 +352,10 @@ pub fn calibrate_with_config(
     shares: ResourceVector,
     rcfg: &CalibrationConfig,
 ) -> Result<Calibration, CalError> {
+    let mut cell_span = telemetry::span("calibrate.cell");
+    cell_span.set_attr("cpu_share", shares.cpu().fraction());
+    cell_span.set_attr("mem_share", shares.memory().fraction());
+    cell_span.set_attr("disk_share", shares.disk().fraction());
     let vm = VirtualMachine::new(spec, shares).map_err(|e| CalError::ProbeFailed {
         probe: "<setup>".to_string(),
         reason: e.to_string(),
@@ -384,7 +416,10 @@ pub fn calibrate_with_config(
         });
     }
 
-    let x = robust_fit(rows, row_names, rcfg, &mut report)?;
+    let x = {
+        let _fit_span = telemetry::span("calibrate.fit");
+        robust_fit(rows, row_names, rcfg, &mut report)?
+    };
     debug_assert_eq!(x.len(), NUM_UNKNOWNS);
     let rms = solver::rms_residual(&design, &measured, &x);
 

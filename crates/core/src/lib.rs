@@ -43,7 +43,7 @@ pub mod metrics;
 mod problem;
 pub mod search;
 
-pub use advisor::VirtualizationAdvisor;
+pub use advisor::{TelemetrySummary, VirtualizationAdvisor};
 pub use cost_model::{CalibratedCostModel, CostModel};
 pub use error::CoreError;
 pub use problem::{DesignProblem, WorkloadSpec};

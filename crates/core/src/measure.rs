@@ -56,9 +56,16 @@ pub fn measure_workload_seconds(
     machine: MachineSpec,
     shares: ResourceVector,
 ) -> Result<f64, CoreError> {
+    let mut span = dbvirt_telemetry::span("measure.workload");
+    span.set_attr("queries", queries.len());
     let vm = VirtualMachine::new(machine, shares)?;
     let demands = workload_demands(db, queries, machine, shares)?;
-    Ok(demands.iter().map(|d| vm.demand_seconds(d)).sum())
+    let seconds: f64 = demands.iter().map(|d| vm.demand_seconds(d)).sum();
+    // The measured run *is* the simulated time; advance the virtual clock
+    // so spans carry the simulation's timeline alongside wall clock.
+    dbvirt_telemetry::advance_virtual_secs(seconds);
+    span.set_attr("simulated_secs", seconds);
+    Ok(seconds)
 }
 
 /// Measured per-VM completion times when several workloads run
@@ -76,16 +83,24 @@ pub fn measure_concurrent_seconds(
             reason: "databases, workloads, and allocation rows must align".to_string(),
         });
     }
+    let mut span = dbvirt_telemetry::span("measure.concurrent");
+    span.set_attr("vms", workloads.len());
     let mut jobs = Vec::with_capacity(workloads.len());
     for (i, (db, queries)) in dbs.iter_mut().zip(workloads).enumerate() {
         let demands = workload_demands(db, queries, machine, allocation.row(i))?;
         jobs.push(VmJob::new(demands));
     }
     let outcomes = co_schedule(machine, allocation, &jobs, mode)?;
-    Ok(outcomes
+    let times: Vec<f64> = outcomes
         .into_iter()
         .map(|o| o.makespan().as_secs_f64())
-        .collect())
+        .collect();
+    // Concurrent VMs share the simulated wall clock: the run occupies the
+    // longest makespan, not the sum.
+    let longest = times.iter().copied().fold(0.0_f64, f64::max);
+    dbvirt_telemetry::advance_virtual_secs(longest);
+    span.set_attr("simulated_secs", longest);
+    Ok(times)
 }
 
 #[cfg(test)]

@@ -13,7 +13,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Shard lock acquisitions that had to wait behind another thread.
+static TM_SHARD_CONTENTION: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("search.cache.shard_contention");
 
 /// A cache key: `(workload index, cpu units, mem units)`.
 pub type CellKey = (usize, u32, u32);
@@ -57,15 +61,27 @@ impl CostCache {
         &self.shards[h % SHARDS]
     }
 
+    /// Locks a key's shard, counting the acquisition as contended when the
+    /// uncontended fast path (`try_lock`) fails. Pure observation: blocking
+    /// semantics are identical to a plain `lock()`.
+    fn lock_shard(&self, key: &CellKey) -> MutexGuard<'_, HashMap<CellKey, f64>> {
+        let shard = self.shard(key);
+        if let Ok(guard) = shard.try_lock() {
+            return guard;
+        }
+        TM_SHARD_CONTENTION.add(1);
+        shard.lock().unwrap()
+    }
+
     /// The cached unweighted cost of a cell, if present.
     pub fn get(&self, key: &CellKey) -> Option<f64> {
-        self.shard(key).lock().unwrap().get(key).copied()
+        self.lock_shard(key).get(key).copied()
     }
 
     /// Inserts a freshly computed cell cost. Returns `true` (and counts
     /// one evaluation) only if the cell was not already present.
     pub fn insert(&self, key: CellKey, cost: f64) -> bool {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = self.lock_shard(&key);
         if shard.contains_key(&key) {
             return false;
         }

@@ -37,8 +37,18 @@ mod greedy;
 pub use cache::{CellKey, CostCache};
 
 use crate::{CoreError, CostModel, DesignProblem};
+use dbvirt_telemetry as telemetry;
 use dbvirt_vmm::{AllocationMatrix, ResourceVector};
 use std::sync::{Arc, Mutex};
+
+/// What-if evaluations answered from the [`CostCache`].
+static TM_CACHE_HITS: telemetry::Counter = telemetry::Counter::new("search.cache.hits");
+/// What-if evaluations that had to call the cost model.
+static TM_CACHE_MISSES: telemetry::Counter = telemetry::Counter::new("search.cache.misses");
+/// Wall-clock latency of individual cost-model calls (cache misses only).
+static TM_EVAL_US: telemetry::Histogram = telemetry::Histogram::new("search.eval_us");
+/// Worker threads used by the most recent parallel batch evaluation.
+static TM_BATCH_WORKERS: telemetry::Gauge = telemetry::Gauge::new("search.batch_workers");
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,10 +227,18 @@ impl<'p, 'm> ParallelEvaluator<'p, 'm> {
         let weight = self.problem.workloads[w].weight;
         let key = (w, cpu_units, mem_units);
         if let Some(c) = self.cache.get(&key) {
+            TM_CACHE_HITS.add(1);
             return Ok(c * weight);
         }
+        TM_CACHE_MISSES.add(1);
         let shares = self.shares(cpu_units, mem_units)?;
+        // Observation only: the clock is read solely when telemetry is on,
+        // and nothing downstream depends on the measured duration.
+        let t0 = telemetry::is_enabled().then(std::time::Instant::now);
         let c = self.model.cost(self.problem, w, shares)?;
+        if let Some(t0) = t0 {
+            TM_EVAL_US.record_duration(t0.elapsed());
+        }
         self.cache.insert(key, c);
         Ok(c * weight)
     }
@@ -237,18 +255,29 @@ impl<'p, 'm> ParallelEvaluator<'p, 'm> {
     /// behavior is deterministic too.
     pub fn batch_evaluate(&self, cells: &[CellKey]) -> Result<(), CoreError> {
         let workers = self.config.effective_parallelism().min(cells.len());
+        let mut batch_span = telemetry::span("search.batch");
+        batch_span.set_attr("cells", cells.len());
+        batch_span.set_attr("workers", workers.max(1));
+        TM_BATCH_WORKERS.set(workers.max(1) as f64);
         if workers <= 1 {
             for &(w, c, m) in cells {
                 self.cost(w, c, m)?;
             }
             return Ok(());
         }
+        let batch_parent = batch_span.id();
         let failures: Mutex<Vec<(usize, CoreError)>> = Mutex::new(Vec::new());
         let chunk_len = cells.len().div_ceil(workers);
         std::thread::scope(|scope| {
             for (chunk_idx, chunk) in cells.chunks(chunk_len).enumerate() {
                 let failures = &failures;
                 scope.spawn(move || {
+                    // Workers adopt the batch span as parent so per-chunk
+                    // spans nest under it in the trace.
+                    let mut worker_span =
+                        telemetry::span_with_parent("search.worker", batch_parent);
+                    worker_span.set_attr("chunk", chunk_idx);
+                    worker_span.set_attr("cells", chunk.len());
                     for (offset, &(w, c, m)) in chunk.iter().enumerate() {
                         if let Err(e) = self.cost(w, c, m) {
                             failures
@@ -373,8 +402,14 @@ pub fn run_search_cached(
     cache: &Arc<CostCache>,
 ) -> Result<Recommendation, CoreError> {
     config.validate(problem.num_workloads())?;
+    let mut run_span = telemetry::span("search.run");
+    run_span.set_attr("algorithm", algorithm.name());
+    run_span.set_attr("workloads", problem.num_workloads());
+    run_span.set_attr("units", config.units);
+    let workers = config.effective_parallelism();
+    run_span.set_attr("workers", workers);
     let eval = ParallelEvaluator::with_cache(problem, model, config, Arc::clone(cache));
-    if config.effective_parallelism() > 1
+    if workers > 1
         && matches!(
             algorithm,
             SearchAlgorithm::Exhaustive | SearchAlgorithm::DynamicProgramming
@@ -390,7 +425,9 @@ pub fn run_search_cached(
         SearchAlgorithm::Greedy => greedy::search(&eval)?,
         SearchAlgorithm::DynamicProgramming => dynprog::search(&eval)?,
     };
-    eval.finish(&assignment, algorithm)
+    let rec = eval.finish(&assignment, algorithm)?;
+    run_span.set_attr("evaluations", rec.evaluations);
+    Ok(rec)
 }
 
 #[cfg(test)]

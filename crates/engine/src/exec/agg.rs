@@ -157,6 +157,13 @@ pub fn hash_agg(
         update_states(&mut entry.1, aggs, row);
     }
     // Deterministic output: first-seen group order.
+    //
+    // Infallibility: `order` gains a key only inside the `or_insert_with`
+    // above, i.e. exactly when that key is first inserted into `groups`,
+    // and nothing removes from `groups` until this drain — so every
+    // `remove` finds its entry. (The executor's materializing signatures
+    // return plain `Vec<Tuple>`; a broken invariant here is a bug, not a
+    // runtime condition worth an `EngineError` variant.)
     order
         .into_iter()
         .map(|k| {
@@ -197,9 +204,12 @@ pub fn sort_agg(
             if let Some((group, states)) = current.take() {
                 out.push(finish_group(group, states));
             }
-            current = Some((key, make_states(aggs)));
         }
-        update_states(&mut current.as_mut().expect("just set").1, aggs, row);
+        // On a group change `current` was just drained, so this inserts
+        // the new group; otherwise it reuses the live one. Either way the
+        // slot is occupied — no unwrap needed.
+        let (_, states) = current.get_or_insert_with(|| (key, make_states(aggs)));
+        update_states(states, aggs, row);
     }
     if let Some((group, states)) = current {
         out.push(finish_group(group, states));

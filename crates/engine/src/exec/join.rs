@@ -117,8 +117,13 @@ pub fn merge_join(
         let rk = right[j].get(right_key);
         match lk.sql_cmp(rk) {
             None => {
-                // NULL keys never match; skip whichever side is NULL.
-                if lk.is_null() {
+                // Incomparable keys never match. This covers NULL on either
+                // side *and* NaN floats (`sql_cmp` is a partial order); the
+                // incomparable side must be the one skipped, otherwise a
+                // NaN/NULL left key would wrongly advance the right cursor
+                // past rows that later left keys still match.
+                let l_bad = lk.is_null() || lk.as_float().is_some_and(f64::is_nan);
+                if l_bad {
                     i += 1;
                 } else {
                     j += 1;
@@ -127,21 +132,22 @@ pub fn merge_join(
             Some(std::cmp::Ordering::Less) => i += 1,
             Some(std::cmp::Ordering::Greater) => j += 1,
             Some(std::cmp::Ordering::Equal) => {
-                // Find both duplicate groups.
-                let i_end = (i..left.len())
-                    .take_while(|&x| {
-                        left[x].get(left_key).sql_cmp(lk) == Some(std::cmp::Ordering::Equal)
-                    })
-                    .last()
-                    .unwrap()
-                    + 1;
-                let j_end = (j..right.len())
-                    .take_while(|&x| {
-                        right[x].get(right_key).sql_cmp(rk) == Some(std::cmp::Ordering::Equal)
-                    })
-                    .last()
-                    .unwrap()
-                    + 1;
+                // Find both duplicate groups. The scans start one past the
+                // current row (`Equal` already proved row i / row j belong
+                // to the group), so no `.last().unwrap()` on a
+                // maybe-empty iterator is needed.
+                let mut i_end = i + 1;
+                while i_end < left.len()
+                    && left[i_end].get(left_key).sql_cmp(lk) == Some(std::cmp::Ordering::Equal)
+                {
+                    i_end += 1;
+                }
+                let mut j_end = j + 1;
+                while j_end < right.len()
+                    && right[j_end].get(right_key).sql_cmp(rk) == Some(std::cmp::Ordering::Equal)
+                {
+                    j_end += 1;
+                }
                 for l in &left[i..i_end] {
                     for r in &right[j..j_end] {
                         out.push(l.concat(r));
@@ -307,6 +313,33 @@ mod tests {
         hashed.sort_by_key(key);
         assert_eq!(merged, hashed);
         assert_eq!(merged.len(), 5); // 2x2 cross for key 2 + one for key 5.
+    }
+
+    #[test]
+    fn merge_join_nan_keys_never_match_and_never_skip_real_matches() {
+        let (mut db, mut pool) = small_db(1);
+        let mut ctx = context(&mut db, &mut pool);
+        // Regression: `sql_cmp` is a partial order, so a NaN float key
+        // compares as `None` against everything. The old skip logic only
+        // recognized NULL on the left and advanced the *right* cursor for
+        // any other incomparable pair — a leading NaN left key would
+        // consume right-side rows that later left keys still match,
+        // silently dropping the (2.0, 2.0) pair below.
+        let left = vec![
+            Tuple::new(vec![Datum::Float(f64::NAN), Datum::str("bad")]),
+            Tuple::new(vec![Datum::Float(2.0), Datum::str("good")]),
+        ];
+        let right = vec![Tuple::new(vec![Datum::Float(2.0), Datum::str("r")])];
+        let out = merge_join(&mut ctx, left.clone(), right.clone(), 0, 0);
+        assert_eq!(out.len(), 1, "the real 2.0 = 2.0 match must survive");
+        assert_eq!(out[0].get(1).as_str(), Some("good"));
+        // NaN on the right is skipped the same way (mirror case).
+        let out = merge_join(&mut ctx, right, left, 0, 0);
+        assert_eq!(out.len(), 1);
+        // NaN never joins with NaN.
+        let nan_row = vec![Tuple::new(vec![Datum::Float(f64::NAN), Datum::str("x")])];
+        let out = merge_join(&mut ctx, nan_row.clone(), nan_row, 0, 0);
+        assert!(out.is_empty(), "NaN keys must never match each other");
     }
 
     #[test]

@@ -15,9 +15,41 @@ mod sort;
 use crate::runtime::{EngineError, ExecContext};
 use crate::{Expr, PhysicalPlan};
 use dbvirt_storage::Tuple;
+use dbvirt_telemetry as telemetry;
+
+/// The telemetry span name for a plan node (the `exec.*` taxonomy).
+fn op_name(plan: &PhysicalPlan) -> &'static str {
+    match plan {
+        PhysicalPlan::SeqScan { .. } => "exec.seq_scan",
+        PhysicalPlan::IndexScan { .. } => "exec.index_scan",
+        PhysicalPlan::Filter { .. } => "exec.filter",
+        PhysicalPlan::Project { .. } => "exec.project",
+        PhysicalPlan::Sort { .. } => "exec.sort",
+        PhysicalPlan::Limit { .. } => "exec.limit",
+        PhysicalPlan::HashJoin { .. } => "exec.hash_join",
+        PhysicalPlan::MergeJoin { .. } => "exec.merge_join",
+        PhysicalPlan::NestedLoopJoin { .. } => "exec.nested_loop_join",
+        PhysicalPlan::HashAgg { .. } => "exec.hash_agg",
+        PhysicalPlan::SortAgg { .. } => "exec.sort_agg",
+    }
+}
 
 /// Executes a plan, returning its materialized output rows.
 pub fn execute(ctx: &mut ExecContext<'_>, plan: &PhysicalPlan) -> Result<Vec<Tuple>, EngineError> {
+    // One span per operator; recursion nests child operators under their
+    // parents automatically (no-op guard while telemetry is disabled).
+    let mut op_span = telemetry::span(op_name(plan));
+    let result = execute_inner(ctx, plan);
+    if let Ok(rows) = &result {
+        op_span.set_attr("rows_out", rows.len());
+    }
+    result
+}
+
+fn execute_inner(
+    ctx: &mut ExecContext<'_>,
+    plan: &PhysicalPlan,
+) -> Result<Vec<Tuple>, EngineError> {
     match plan {
         PhysicalPlan::SeqScan { table, filter } => scan::seq_scan(ctx, *table, filter.as_ref()),
         PhysicalPlan::IndexScan {

@@ -115,6 +115,8 @@ pub fn run_plan(
     work_mem_bytes: usize,
     costs: CpuCosts,
 ) -> Result<QueryOutput, EngineError> {
+    let mut plan_span = dbvirt_telemetry::span("engine.run_plan");
+    let metrics_before = pool.metrics();
     let io_before = *pool.demand();
     let schema = plan.output_schema(db);
     let mut ctx = ExecContext {
@@ -127,12 +129,26 @@ pub fn run_plan(
     let rows = exec::execute(&mut ctx, plan)?;
     let direct = ctx.demand;
     let io_delta = pool.demand().delta_since(&io_before);
+    if dbvirt_telemetry::is_enabled() {
+        let m = pool.metrics();
+        let (hits, misses) = (m.hits - metrics_before.hits, m.misses - metrics_before.misses);
+        plan_span.set_attr("rows", rows.len());
+        plan_span.set_attr("pool_hits", hits);
+        plan_span.set_attr("pool_misses", misses);
+        if hits + misses > 0 {
+            BUFPOOL_HIT_RATIO.set(hits as f64 / (hits + misses) as f64);
+        }
+    }
     Ok(QueryOutput {
         schema,
         rows,
         demand: direct + io_delta,
     })
 }
+
+/// Buffer-pool hit ratio of the most recent telemetry-enabled `run_plan`.
+static BUFPOOL_HIT_RATIO: dbvirt_telemetry::Gauge =
+    dbvirt_telemetry::Gauge::new("bufpool.hit_ratio");
 
 #[cfg(test)]
 pub(crate) mod tests_support {

@@ -10,8 +10,18 @@
 //! the memory allocation knob influences query time in this reproduction.
 
 use crate::{DiskManager, Page, PageId, StorageError};
+use dbvirt_telemetry as telemetry;
 use dbvirt_vmm::ResourceDemand;
 use std::collections::HashMap;
+
+// Process-wide telemetry counters aggregated across every pool instance
+// (per-pool numbers stay in [`BufferPoolMetrics`]). All are no-ops until
+// `dbvirt_telemetry::enable()`.
+static TM_HITS: telemetry::Counter = telemetry::Counter::new("bufpool.hits");
+static TM_MISSES: telemetry::Counter = telemetry::Counter::new("bufpool.misses");
+static TM_EVICTIONS: telemetry::Counter = telemetry::Counter::new("bufpool.evictions");
+static TM_WRITEBACKS: telemetry::Counter = telemetry::Counter::new("bufpool.writebacks");
+static TM_PAGES_READ: telemetry::Counter = telemetry::Counter::new("storage.pages_read");
 
 /// Whether an access is part of a sequential sweep or a random probe; on a
 /// miss this decides which physical-read counter is charged.
@@ -154,9 +164,11 @@ impl BufferPool {
                 victim.dirty = false;
                 self.demand.add_writes(1);
                 self.metrics.writebacks += 1;
+                TM_WRITEBACKS.add(1);
             }
             self.map.remove(&victim.pid);
             self.metrics.evictions += 1;
+            TM_EVICTIONS.add(1);
             return Ok(idx);
         }
     }
@@ -169,6 +181,8 @@ impl BufferPool {
         with_data: bool,
     ) -> Result<usize, StorageError> {
         self.metrics.misses += 1;
+        TM_MISSES.add(1);
+        TM_PAGES_READ.add(1);
         self.charge_read(pattern);
         let data = if with_data {
             Some(disk.read_page(pid)?.clone())
@@ -199,6 +213,7 @@ impl BufferPool {
         let idx = match self.map.get(&pid) {
             Some(&idx) if self.frames[idx].data.is_some() => {
                 self.metrics.hits += 1;
+                TM_HITS.add(1);
                 self.frames[idx].ref_bit = true;
                 idx
             }
@@ -206,6 +221,7 @@ impl BufferPool {
                 // Resident as accounting-only: upgrade to a data frame
                 // without charging a second physical read.
                 self.metrics.hits += 1;
+                TM_HITS.add(1);
                 self.frames[idx].data = Some(disk.read_page(pid)?.clone());
                 self.frames[idx].ref_bit = true;
                 idx
@@ -246,6 +262,7 @@ impl BufferPool {
         match self.map.get(&pid) {
             Some(&idx) => {
                 self.metrics.hits += 1;
+                TM_HITS.add(1);
                 self.frames[idx].ref_bit = true;
             }
             None => {
@@ -265,6 +282,7 @@ impl BufferPool {
                 frame.dirty = false;
                 self.demand.add_writes(1);
                 self.metrics.writebacks += 1;
+                TM_WRITEBACKS.add(1);
             }
         }
         Ok(())

@@ -199,6 +199,19 @@ pub struct FaultInjector {
     seed: u64,
 }
 
+// Process-wide fault-injection telemetry (no-ops until
+// `dbvirt_telemetry::enable()`): how many probe attempts the injector
+// perturbed, failed, timed out, or spiked — the denominators behind the
+// calibration retry counters in `CalibrationReport`.
+static TM_MEASURES: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.measurements");
+static TM_FAILURES: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.transient_failures");
+static TM_TIMEOUTS: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.timeouts");
+static TM_OUTLIERS: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.outlier_spikes");
+
 impl FaultInjector {
     /// Creates an injector from a noise model and a seed.
     pub fn new(model: NoiseModel, seed: u64) -> FaultInjector {
@@ -235,11 +248,13 @@ impl FaultInjector {
         if self.model.is_identity() {
             return Ok(clean);
         }
+        TM_MEASURES.add(1);
         let mut rng = StdRng::seed_from_u64(mix(self.seed, context, probe, trial, attempt));
 
         // Draw order is part of the determinism contract: failure, then
         // the four jitter factors, then the outlier pair.
         if self.model.failure_prob > 0.0 && rng.gen_bool(self.model.failure_prob) {
+            TM_FAILURES.add(1);
             return Err(ProbeFault::Transient);
         }
         let mut factor = |j: f64| {
@@ -257,8 +272,10 @@ impl FaultInjector {
             // Pareto(α = 2) tail: scale / sqrt(u), capped.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             noisy *= (self.model.outlier_scale / u.sqrt()).min(OUTLIER_CAP);
+            TM_OUTLIERS.add(1);
         }
         if clean > 0.0 && noisy > clean * self.model.timeout_factor {
+            TM_TIMEOUTS.add(1);
             return Err(ProbeFault::Timeout {
                 seconds: noisy,
                 limit_seconds: clean * self.model.timeout_factor,

@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Telemetry smoke gate: the instrumented consolidation scenario must
+# produce a structurally valid snapshot (zero leaked spans, >= 95% root
+# coverage) and both exporter artifacts (see scripts/trace.sh).
+scripts/trace.sh
+
 # Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
 # under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
 if [[ "${CHAOS:-0}" == "1" ]]; then

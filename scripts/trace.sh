@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Telemetry smoke gate: run the instrumented consolidation scenario
+# (`ext_trace`) with the global registry enabled and hold it to the
+# subsystem's own contract — the snapshot must pass the structural
+# validator (zero leaked spans, parented intervals nest), the root
+# `advisor.recommend` span's direct children must account for >= 95% of
+# its wall clock, and both exporter artifacts must be written.
+#
+# Runs as part of `scripts/tier1.sh`, or directly. Artifacts land in
+# TRACE_DIR (default: a throwaway temp directory; set TRACE_DIR=. to keep
+# TRACE_dump.json / TRACE_chrome.json in the repo root for inspection).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root="$PWD"
+
+out_dir="${TRACE_DIR:-$(mktemp -d)}"
+cleanup() {
+  if [[ -z "${TRACE_DIR:-}" ]]; then rm -rf "$out_dir"; fi
+}
+trap cleanup EXIT
+
+cargo build --release -p dbvirt-bench --bin ext_trace
+(cd "$out_dir" && "$repo_root/target/release/ext_trace")
+
+# The binary already validates the snapshot and exits non-zero on any
+# structural failure; double-check the artifacts actually materialized.
+for f in TRACE_dump.json TRACE_chrome.json; do
+  if [[ ! -s "$out_dir/$f" ]]; then
+    echo "FAIL: ext_trace did not write $f" >&2
+    exit 1
+  fi
+done
+echo "trace gate OK: snapshot valid, artifacts written to $out_dir"
