@@ -9,7 +9,10 @@
 //! the recommended shares (the validation side of the paper's
 //! methodology).
 
-use dbvirt_bench::{experiment_machine, print_table, report_parallel_speedup};
+use dbvirt_bench::{
+    cache_counters, experiment_machine, json_array, print_table, report_parallel_speedup,
+    write_bench_artifact, JsonObj,
+};
 use dbvirt_core::measure::measure_workload_seconds;
 use dbvirt_core::{
     metrics, CalibratedCostModel, DesignProblem, SearchAlgorithm, VirtualizationAdvisor,
@@ -19,6 +22,8 @@ use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 use dbvirt_vmm::{ResourceVector, Share};
 
 fn main() {
+    dbvirt_telemetry::enable();
+    let wall_start = std::time::Instant::now();
     let machine = experiment_machine();
     println!(
         "Generating TPC-H (SF {:.3}) ...",
@@ -46,9 +51,14 @@ fn main() {
     )
     .expect("problem");
 
+    let (hits_before, misses_before) = cache_counters();
+    let search_start = std::time::Instant::now();
     let rec = advisor
         .recommend(&problem, SearchAlgorithm::DynamicProgramming)
         .expect("recommendation");
+    let search_secs = search_start.elapsed().as_secs_f64();
+    let (hits_after, misses_after) = cache_counters();
+    let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
     let model = CalibratedCostModel::new(advisor.grid());
     let equal_costs = metrics::equal_split_costs(&problem, &model).expect("baseline");
 
@@ -113,4 +123,44 @@ fn main() {
         "Shape check: the advisor's allocation beats the equal split on measured time, and the \
          biggest share skews go to the most resource-skewed workloads."
     );
+
+    let workload_objs: Vec<String> = mixes
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let shares = rec.allocation.row(i);
+            JsonObj::new()
+                .str("workload", &w.name)
+                .float("cpu_share", shares.cpu().fraction())
+                .float("mem_share", shares.memory().fraction())
+                .float("predicted_rec_secs", rec.per_workload_costs[i])
+                .float("predicted_equal_secs", equal_costs[i])
+                .render()
+        })
+        .collect();
+    let lookups = hits + misses;
+    let bench = JsonObj::new()
+        .str("experiment", "ext_consolidation")
+        .float("wall_secs", wall_start.elapsed().as_secs_f64())
+        .int("workloads", n as u64)
+        .int("units", units as u64)
+        .str("algorithm", rec.algorithm)
+        .float("search_secs", search_secs)
+        .int("evaluations", rec.evaluations as u64)
+        .int("cache_hits", hits)
+        .int("cache_misses", misses)
+        .float(
+            "cache_hit_rate",
+            if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                f64::NAN
+            },
+        )
+        .float("predicted_rec_total_secs", rec.total_cost)
+        .float("predicted_equal_total_secs", equal_costs.iter().sum::<f64>())
+        .float("measured_rec_total_secs", measured_rec_total)
+        .float("measured_equal_total_secs", measured_eq_total)
+        .raw("per_workload", json_array(&workload_objs));
+    write_bench_artifact("BENCH_consolidation.json", &bench.render());
 }

@@ -9,7 +9,9 @@
 //! switch-overhead hysteresis, and is compared against both static
 //! baselines (equal split forever; day-optimal allocation forever).
 
-use dbvirt_bench::{experiment_machine, print_table};
+use dbvirt_bench::{
+    cache_counters, experiment_machine, json_array, print_table, write_bench_artifact, JsonObj,
+};
 use dbvirt_core::dynamic::{run_dynamic, DynamicTimeline, ReconfigPolicy};
 use dbvirt_core::{
     CalibratedCostModel, DesignProblem, SearchConfig, VirtualizationAdvisor, WorkloadSpec,
@@ -17,6 +19,8 @@ use dbvirt_core::{
 use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 
 fn main() {
+    dbvirt_telemetry::enable();
+    let wall_start = std::time::Instant::now();
     let machine = experiment_machine();
     println!(
         "Generating TPC-H (SF {:.3}) ...",
@@ -60,7 +64,12 @@ fn main() {
         min_relative_gain: 0.05,
         ..ReconfigPolicy::new(SearchConfig::for_workloads(units, 2))
     };
+    let (hits_before, misses_before) = cache_counters();
+    let dynamic_start = std::time::Instant::now();
     let out = run_dynamic(&timeline, &model, policy).expect("dynamic run");
+    let dynamic_secs = dynamic_start.elapsed().as_secs_f64();
+    let (hits_after, misses_after) = cache_counters();
+    let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
 
     let mut rows = Vec::new();
     for (i, p) in out.phases.iter().enumerate() {
@@ -129,4 +138,44 @@ fn main() {
         parallel_policy.config.effective_parallelism(),
         serial_s / parallel_s,
     );
+
+    let phase_objs: Vec<String> = out
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            JsonObj::new()
+                .int("phase", i as u64)
+                .str("label", if i % 2 == 0 { "day" } else { "night" })
+                .float("cost_secs", p.cost)
+                .int("reconfigured", p.reconfigured as u64)
+                .render()
+        })
+        .collect();
+    let lookups = hits + misses;
+    let bench = JsonObj::new()
+        .str("experiment", "ext_dynamic")
+        .float("wall_secs", wall_start.elapsed().as_secs_f64())
+        .float("dynamic_run_secs", dynamic_secs)
+        .int("phases", out.phases.len() as u64)
+        .int("reconfigurations", out.reconfigurations as u64)
+        .float("switch_overhead_secs", policy.switch_overhead_seconds)
+        .float("min_relative_gain", policy.min_relative_gain)
+        .float("dynamic_total_secs", out.total_cost)
+        .float("static_equal_secs", out.static_equal_cost)
+        .float("static_first_phase_secs", out.static_first_phase_cost)
+        .raw("phase_outcomes", json_array(&phase_objs))
+        .int("cache_hits", hits)
+        .int("cache_misses", misses)
+        .float(
+            "cache_hit_rate",
+            if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                f64::NAN
+            },
+        )
+        .float("serial_resolve_secs", serial_s)
+        .float("parallel_resolve_secs", parallel_s);
+    write_bench_artifact("BENCH_dynamic.json", &bench.render());
 }

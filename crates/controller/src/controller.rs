@@ -1,0 +1,578 @@
+//! The online control loop.
+//!
+//! [`run_controller`] drives the `dbvirt-vmm` credit scheduler over the
+//! virtual clock, one control epoch at a time:
+//!
+//! 1. materialize the epoch's jobs from the scenario and run them under
+//!    the current allocation ([`co_schedule`], capped mode — the paper's
+//!    experimental configuration);
+//! 2. feed each completed query's observation into the per-VM streaming
+//!    statistics, which maintain an EWMA profile estimate and a
+//!    Page–Hinkley drift detector on an allocation-invariant reference
+//!    stream;
+//! 3. when drift is detected (and the cooldown has elapsed), re-solve the
+//!    design problem from the estimated profiles via a warm-started
+//!    [`run_search_cached`] — caches are keyed by the quantized profile
+//!    vector, so a recurring workload mix re-solves against cells it
+//!    already paid for;
+//! 4. apply the recommended allocation only if its predicted benefit over
+//!    the decision horizon clears the modeled reconfiguration cost (memory
+//!    resize = cache flush, charged in virtual time) plus a hysteresis
+//!    margin.
+//!
+//! The loop is fully deterministic: identical `(scenario, config)` pairs
+//! produce bit-identical decision traces at every search parallelism
+//! setting, which [`ControllerOutcome::trace_fingerprint`] pins.
+
+use crate::profile::{ProblemTemplate, ProfileCostModel, ProfileKey};
+use crate::scenario::Scenario;
+use crate::stats::VmStats;
+use crate::{ControllerError, DriftConfig};
+use dbvirt_core::search::{run_search_cached, CostCache, SearchAlgorithm, SearchConfig};
+use dbvirt_core::CostModel;
+use dbvirt_telemetry as telemetry;
+use dbvirt_vmm::sched::{co_schedule, SchedMode, VmJob};
+use dbvirt_vmm::{
+    AllocationMatrix, MachineSpec, ResourceVector, SimDuration, SimTime, VirtualMachine,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+static TM_EPOCHS: telemetry::Counter = telemetry::Counter::new("controller.epochs");
+static TM_DRIFTS: telemetry::Counter = telemetry::Counter::new("controller.drift_detections");
+static TM_DECISIONS: telemetry::Counter = telemetry::Counter::new("controller.decisions");
+static TM_SWITCHES: telemetry::Counter = telemetry::Counter::new("controller.switches");
+static TM_DROPPED: telemetry::Counter =
+    telemetry::Counter::new("controller.dropped_observations");
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Search algorithm used at each decision.
+    pub algorithm: SearchAlgorithm,
+    /// Share discretization and parallelism for the search.
+    pub search: SearchConfig,
+    /// Drift-detector parameters (per VM).
+    pub drift: DriftConfig,
+    /// EWMA factor for the streaming statistics (weight of the newest
+    /// observation).
+    pub ewma_alpha: f64,
+    /// Relative width of the profile-quantization buckets that key warm
+    /// cost caches (see [`crate::WorkloadProfile::quantize`]).
+    pub quantization_rel: f64,
+    /// Hysteresis: the predicted gain must additionally exceed this
+    /// fraction of the keep-cost over the horizon before switching.
+    pub hysteresis: f64,
+    /// Fixed part of the reconfiguration cost (seconds of virtual time);
+    /// the variable part is the refill time of every resized buffer pool.
+    pub switch_base_seconds: f64,
+    /// How many epochs a new allocation is assumed to stay in force when
+    /// amortizing the switch cost.
+    pub horizon_epochs: usize,
+    /// Epochs of pure observation before the first (unconditional,
+    /// uncharged) informed placement.
+    pub warmup_epochs: usize,
+    /// Minimum epochs between consecutive decisions.
+    pub cooldown_epochs: usize,
+}
+
+impl ControllerConfig {
+    /// Defaults tuned for epoch-scale drift: DP search, 25% EWMA, 20%
+    /// quantization, 5% hysteresis, 8-epoch horizon.
+    pub fn new(search: SearchConfig) -> ControllerConfig {
+        ControllerConfig {
+            algorithm: SearchAlgorithm::DynamicProgramming,
+            search,
+            drift: DriftConfig::default(),
+            ewma_alpha: 0.25,
+            quantization_rel: 0.2,
+            hysteresis: 0.05,
+            switch_base_seconds: 0.25,
+            horizon_epochs: 8,
+            warmup_epochs: 2,
+            cooldown_epochs: 2,
+        }
+    }
+
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), ControllerError> {
+        self.drift.validate()?;
+        if !(self.ewma_alpha.is_finite() && self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!("ewma_alpha must be in (0, 1], got {}", self.ewma_alpha),
+            });
+        }
+        if !(self.quantization_rel.is_finite() && self.quantization_rel > 0.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!(
+                    "quantization_rel must be finite and > 0, got {}",
+                    self.quantization_rel
+                ),
+            });
+        }
+        if !(self.hysteresis.is_finite() && self.hysteresis >= 0.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!("hysteresis must be finite and >= 0, got {}", self.hysteresis),
+            });
+        }
+        if !(self.switch_base_seconds.is_finite() && self.switch_base_seconds >= 0.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!(
+                    "switch_base_seconds must be finite and >= 0, got {}",
+                    self.switch_base_seconds
+                ),
+            });
+        }
+        if self.horizon_epochs == 0 {
+            return Err(ControllerError::BadConfig {
+                reason: "horizon_epochs must be at least 1".to_string(),
+            });
+        }
+        if self.warmup_epochs == 0 {
+            return Err(ControllerError::BadConfig {
+                reason: "warmup_epochs must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One applied reconfiguration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchEvent {
+    /// Epoch at whose end the switch was applied.
+    pub epoch: usize,
+    /// Virtual instant after charging the reconfiguration.
+    pub time: SimTime,
+    /// Modeled reconfiguration cost charged (seconds).
+    pub cost_seconds: f64,
+    /// The allocation switched to.
+    pub allocation: AllocationMatrix,
+}
+
+/// The controller's full run record.
+#[derive(Debug, Clone)]
+pub struct ControllerOutcome {
+    /// Allocation in force during each epoch.
+    pub allocations: Vec<AllocationMatrix>,
+    /// Simulated cost of each epoch (sum of VM makespans, seconds).
+    pub epoch_costs: Vec<f64>,
+    /// Total cost: epoch costs plus all reconfiguration charges.
+    pub total_cost: f64,
+    /// Virtual clock at the end of the run.
+    pub final_time: SimTime,
+    /// Decisions taken (searches run), including the initial placement.
+    pub decisions: usize,
+    /// Applied reconfigurations (the initial placement is not counted).
+    pub switches: Vec<SwitchEvent>,
+    /// Drift-detector firings observed.
+    pub drift_detections: usize,
+    /// Observations lost to measurement faults or degeneracy.
+    pub dropped_observations: usize,
+    /// The uninformed equal split the run started under.
+    pub initial_allocation: AllocationMatrix,
+    /// The first informed placement (applied uncharged after warmup), when
+    /// the run got far enough to make one.
+    pub placement: Option<AllocationMatrix>,
+}
+
+impl ControllerOutcome {
+    /// FNV-1a fingerprint of the decision trace: switch epochs, times, and
+    /// costs, every epoch's allocation shares (bit-exact), and the total.
+    /// Two runs with identical scenario and config must produce identical
+    /// fingerprints at every search parallelism setting.
+    pub fn trace_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.total_cost.to_bits().to_le_bytes());
+        eat(&self.final_time.as_micros().to_le_bytes());
+        eat(&(self.decisions as u64).to_le_bytes());
+        for s in &self.switches {
+            eat(&(s.epoch as u64).to_le_bytes());
+            eat(&s.time.as_micros().to_le_bytes());
+            eat(&s.cost_seconds.to_bits().to_le_bytes());
+        }
+        for allocation in &self.allocations {
+            for row in allocation.rows() {
+                for share in row.as_array() {
+                    eat(&share.fraction().to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Modeled cost (in seconds of virtual time) of reconfiguring from `from`
+/// to `to`: a fixed base charge plus, for every VM whose memory share
+/// changes, the sequential refill time of its *new* buffer pool — resizing
+/// a VM's memory flushes its cache, and the re-warm is paid at disk speed.
+pub fn switch_cost_seconds(
+    machine: MachineSpec,
+    from: &AllocationMatrix,
+    to: &AllocationMatrix,
+    base_seconds: f64,
+) -> Result<f64, ControllerError> {
+    let mut cost = base_seconds;
+    for i in 0..to.num_workloads() {
+        if from.row(i).memory() != to.row(i).memory() {
+            let vm = VirtualMachine::new(machine, to.row(i))?;
+            cost += vm.buffer_pool_pages() as f64 * machine.seq_page_seconds();
+        }
+    }
+    Ok(cost)
+}
+
+pub(crate) fn pool_pages(
+    machine: MachineSpec,
+    allocation: &AllocationMatrix,
+) -> Result<Vec<usize>, ControllerError> {
+    (0..allocation.num_workloads())
+        .map(|i| {
+            Ok(VirtualMachine::new(machine, allocation.row(i))?.buffer_pool_pages())
+        })
+        .collect()
+}
+
+/// Runs the control loop over a scenario. `template` supplies the design
+/// problem's catalog/plan skeleton (one entry per scenario VM).
+pub fn run_controller(
+    scenario: &Scenario,
+    template: &ProblemTemplate<'_>,
+    config: &ControllerConfig,
+) -> Result<ControllerOutcome, ControllerError> {
+    scenario.validate()?;
+    config.validate()?;
+    let n = scenario.num_vms();
+    if template.vms.len() != n {
+        return Err(ControllerError::BadScenario {
+            reason: format!("template has {} VMs, scenario has {n}", template.vms.len()),
+        });
+    }
+    let machine = scenario.machine;
+    let mut run_span = telemetry::span("controller.run");
+    run_span.set_attr("scenario", scenario.name.clone());
+    run_span.set_attr("epochs", scenario.total_epochs());
+
+    let initial = AllocationMatrix::new(
+        (0..n)
+            .map(|_| {
+                ResourceVector::from_fractions(
+                    1.0 / n as f64,
+                    1.0 / n as f64,
+                    config.search.disk_share,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    )?;
+    let mut current = initial.clone();
+
+    let mut stats: Vec<VmStats> = (0..n)
+        .map(|_| VmStats::new(config.ewma_alpha, machine, config.drift))
+        .collect();
+    // Warm what-if caches, one per quantized profile vector: a recurring
+    // workload mix maps to the same key and re-solves against cells an
+    // earlier decision already evaluated.
+    let mut caches: BTreeMap<Vec<ProfileKey>, Arc<CostCache>> = BTreeMap::new();
+    let problem = template.problem()?;
+
+    let mut clock = SimTime::ZERO;
+    let mut allocations = Vec::with_capacity(scenario.total_epochs());
+    let mut epoch_costs = Vec::with_capacity(scenario.total_epochs());
+    let mut total_cost = 0.0;
+    let mut decisions = 0usize;
+    let mut switches = Vec::new();
+    let mut drift_detections = 0usize;
+    let mut dropped = 0usize;
+    let mut placement: Option<AllocationMatrix> = None;
+    let mut last_decision_epoch: Option<usize> = None;
+
+    for epoch in 0..scenario.total_epochs() {
+        let mut epoch_span = telemetry::span("controller.epoch");
+        epoch_span.set_attr("epoch", epoch);
+        TM_EPOCHS.add(1);
+
+        // Run the epoch's ground truth under the allocation in force.
+        let pools = pool_pages(machine, &current)?;
+        let batch = scenario.epoch_batch(epoch, &pools)?;
+        let jobs: Vec<VmJob> = batch.iter().map(|b| b.job.clone()).collect();
+        let outcomes = co_schedule(machine, &current, &jobs, SchedMode::Capped)?;
+        let epoch_cost: f64 = outcomes.iter().map(|o| o.makespan().as_secs_f64()).sum();
+        let advance = outcomes
+            .iter()
+            .map(|o| o.makespan())
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        clock = clock
+            .checked_add(advance)
+            .ok_or_else(|| ControllerError::BadScenario {
+                reason: "virtual clock overflowed".to_string(),
+            })?;
+        telemetry::advance_virtual_micros(advance.as_micros());
+        allocations.push(current.clone());
+        epoch_costs.push(epoch_cost);
+        total_cost += epoch_cost;
+
+        // Absorb the epoch's observations.
+        let mut drifted = false;
+        for (vm, vm_epoch) in batch.iter().enumerate() {
+            for obs in &vm_epoch.observations {
+                match obs {
+                    Some(o) => match stats[vm].observe(o, pools[vm]) {
+                        Ok(fired) => {
+                            if fired {
+                                drifted = true;
+                            }
+                        }
+                        Err(()) => dropped += 1,
+                    },
+                    None => dropped += 1,
+                }
+            }
+            stats[vm].end_epoch();
+        }
+        if drifted {
+            drift_detections += 1;
+            TM_DRIFTS.add(1);
+        }
+
+        // Decide: first informed placement once warmup completes, then
+        // drift-triggered (and cooled-down) re-decisions.
+        let warmed = epoch + 1 >= config.warmup_epochs;
+        let cooled = last_decision_epoch.map_or(true, |d| epoch - d >= config.cooldown_epochs);
+        let should_decide = warmed && (placement.is_none() || (drifted && cooled));
+        let profiles: Option<Vec<_>> = stats.iter().map(|s| s.profile()).collect();
+        if let (true, Some(profiles)) = (should_decide, profiles) {
+            let mut decide_span = telemetry::span("controller.decide");
+            decide_span.set_attr("epoch", epoch);
+            decisions += 1;
+            TM_DECISIONS.add(1);
+
+            let key: Vec<ProfileKey> = profiles
+                .iter()
+                .map(|p| p.quantize(config.quantization_rel))
+                .collect();
+            let cache = caches
+                .entry(key)
+                .or_insert_with(|| Arc::new(CostCache::new()));
+            let model = ProfileCostModel {
+                machine,
+                profiles: profiles.clone(),
+            };
+            let rec =
+                run_search_cached(config.algorithm, &problem, &model, config.search, cache)?;
+
+            if placement.is_none() {
+                // Initial informed placement: unconditional and uncharged
+                // (the run starts with VM creation either way, mirroring
+                // run_dynamic's phase 0 and keeping regret accounting
+                // apples-to-apples with the oracle's free placement).
+                placement = Some(rec.allocation.clone());
+                current = rec.allocation.clone();
+            } else if rec.allocation != current {
+                let keep_cost: f64 = (0..n)
+                    .map(|w| model.cost(&problem, w, current.row(w)))
+                    .sum::<Result<f64, _>>()?;
+                let horizon = config.horizon_epochs as f64;
+                let switch_cost = switch_cost_seconds(
+                    machine,
+                    &current,
+                    &rec.allocation,
+                    config.switch_base_seconds,
+                )?;
+                let gain = (keep_cost - rec.objective) * horizon;
+                if gain > switch_cost + config.hysteresis * keep_cost * horizon {
+                    let charge =
+                        SimDuration::try_from_secs_f64(switch_cost).map_err(|_| {
+                            ControllerError::BadConfig {
+                                reason: format!(
+                                    "switch cost {switch_cost} seconds is not representable"
+                                ),
+                            }
+                        })?;
+                    clock = clock.checked_add(charge).ok_or_else(|| {
+                        ControllerError::BadScenario {
+                            reason: "virtual clock overflowed".to_string(),
+                        }
+                    })?;
+                    telemetry::advance_virtual_micros(charge.as_micros());
+                    total_cost += switch_cost;
+                    current = rec.allocation.clone();
+                    switches.push(SwitchEvent {
+                        epoch,
+                        time: clock,
+                        cost_seconds: switch_cost,
+                        allocation: rec.allocation.clone(),
+                    });
+                    TM_SWITCHES.add(1);
+                }
+            }
+            last_decision_epoch = Some(epoch);
+            // One detection, one decision: start fresh either way so the
+            // same change is not acted on twice.
+            for s in &mut stats {
+                s.reset_detector();
+            }
+        }
+    }
+
+    TM_DROPPED.add(dropped as u64);
+    run_span.set_attr("switches", switches.len());
+    run_span.set_attr("total_cost_seconds", total_cost);
+
+    Ok(ControllerOutcome {
+        allocations,
+        epoch_costs,
+        total_cost,
+        final_time: clock,
+        decisions,
+        switches,
+        drift_detections,
+        dropped_observations: dropped,
+        initial_allocation: initial,
+        placement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{cpu_heavy, io_heavy};
+    use crate::testkit::{template, tiny_db};
+
+    fn config(parallelism: usize) -> ControllerConfig {
+        ControllerConfig::new(SearchConfig::for_workloads(8, 2).with_parallelism(parallelism))
+    }
+
+    fn stationary() -> Scenario {
+        Scenario::stationary(
+            "stationary",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            16,
+            11,
+        )
+    }
+
+    fn drifting() -> Scenario {
+        Scenario::drifting(
+            "drifting",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            12,
+            vec![io_heavy(), cpu_heavy()],
+            12,
+            11,
+        )
+    }
+
+    #[test]
+    fn stationary_scenario_places_once_and_never_switches() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let out = run_controller(&stationary(), &template, &config(1)).unwrap();
+        assert_eq!(out.allocations.len(), 16);
+        assert!(out.placement.is_some(), "warmup must end in a placement");
+        assert!(out.switches.is_empty(), "no drift, no reconfiguration");
+        assert_eq!(out.decisions, 1, "exactly the placement decision");
+        // The informed placement skews resources toward the I/O-heavy VM.
+        let placed = out.placement.unwrap();
+        assert!(placed.row(1).memory().fraction() > placed.row(0).memory().fraction());
+    }
+
+    #[test]
+    fn drifting_scenario_triggers_a_reallocation_after_the_flip() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let out = run_controller(&drifting(), &template, &config(1)).unwrap();
+        assert!(
+            !out.switches.is_empty(),
+            "the phase flip must trigger a switch (drift detections: {})",
+            out.drift_detections
+        );
+        assert!(out.drift_detections >= 1);
+        // Every switch happens after the flip at epoch 12, and the last
+        // one mirrors the placement (resources follow the I/O load).
+        for s in &out.switches {
+            assert!(s.epoch >= 12, "spurious switch at epoch {}", s.epoch);
+            assert!(s.cost_seconds > 0.0);
+        }
+        let last = &out.switches.last().unwrap().allocation;
+        assert!(last.row(0).memory().fraction() > last.row(1).memory().fraction());
+    }
+
+    #[test]
+    fn decision_trace_is_bit_identical_at_every_parallelism() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let base = run_controller(&drifting(), &template, &config(1)).unwrap();
+        for parallelism in [2, 4, 0] {
+            let out = run_controller(&drifting(), &template, &config(parallelism)).unwrap();
+            assert_eq!(
+                out.trace_fingerprint(),
+                base.trace_fingerprint(),
+                "trace diverged at parallelism {parallelism}"
+            );
+            assert_eq!(out.total_cost.to_bits(), base.total_cost.to_bits());
+            assert_eq!(out.final_time, base.final_time);
+        }
+    }
+
+    #[test]
+    fn switch_cost_charges_only_resized_pools() {
+        let machine = MachineSpec::tiny();
+        let a = AllocationMatrix::equal_split(2).unwrap();
+        // Same memory, different CPU: only the base charge applies.
+        let cpu_only = AllocationMatrix::new(vec![
+            ResourceVector::from_fractions(0.75, 0.5, 0.5).unwrap(),
+            ResourceVector::from_fractions(0.25, 0.5, 0.5).unwrap(),
+        ])
+        .unwrap();
+        let base = 0.25;
+        let cost = switch_cost_seconds(machine, &a, &cpu_only, base).unwrap();
+        assert_eq!(cost, base);
+        // A memory move pays the refill of every resized pool.
+        let mem_move = AllocationMatrix::new(vec![
+            ResourceVector::from_fractions(0.5, 0.75, 0.5).unwrap(),
+            ResourceVector::from_fractions(0.5, 0.25, 0.5).unwrap(),
+        ])
+        .unwrap();
+        let cost = switch_cost_seconds(machine, &a, &mem_move, base).unwrap();
+        let refill: f64 = (0..2)
+            .map(|i| {
+                VirtualMachine::new(machine, mem_move.row(i))
+                    .unwrap()
+                    .buffer_pool_pages() as f64
+                    * machine.seq_page_seconds()
+            })
+            .sum();
+        assert!((cost - (base + refill)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let mut bad = config(1);
+        bad.ewma_alpha = 0.0;
+        assert!(run_controller(&stationary(), &template, &bad).is_err());
+        let mut bad = config(1);
+        bad.hysteresis = f64::NAN;
+        assert!(run_controller(&stationary(), &template, &bad).is_err());
+        let mut bad = config(1);
+        bad.horizon_epochs = 0;
+        assert!(run_controller(&stationary(), &template, &bad).is_err());
+        // Template/scenario VM-count mismatch.
+        let template1 = template_of_one(&db);
+        assert!(run_controller(&stationary(), &template1, &config(1)).is_err());
+    }
+
+    fn template_of_one(db: &dbvirt_engine::Database) -> ProblemTemplate<'_> {
+        template(db, 1, MachineSpec::tiny())
+    }
+}

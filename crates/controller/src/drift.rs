@@ -1,0 +1,231 @@
+//! Two-sided Page–Hinkley change detection.
+//!
+//! The controller watches a single scalar summary per VM — the log of each
+//! completed query's *reference* cost (priced on the whole machine, so the
+//! controller's own reallocation decisions cannot masquerade as workload
+//! drift). The Page–Hinkley test maintains cumulative deviations from the
+//! running mean and fires when either the upward or downward excursion
+//! exceeds a threshold `lambda`; `delta` is the magnitude of change the
+//! test tolerates without firing, which suppresses per-query noise.
+
+use crate::ControllerError;
+
+/// Page–Hinkley parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Tolerated deviation magnitude (in the observed unit — the controller
+    /// feeds log-seconds, so `0.05` tolerates ~5% per-query wobble).
+    pub delta: f64,
+    /// Detection threshold on the cumulative excursion.
+    pub lambda: f64,
+    /// Number of observations before the test may fire (lets the running
+    /// mean settle).
+    pub warmup: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            delta: 0.05,
+            lambda: 0.6,
+            warmup: 8,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), ControllerError> {
+        if !(self.delta.is_finite() && self.delta >= 0.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!("drift delta must be finite and >= 0, got {}", self.delta),
+            });
+        }
+        if !(self.lambda.is_finite() && self.lambda > 0.0) {
+            return Err(ControllerError::BadConfig {
+                reason: format!("drift lambda must be finite and > 0, got {}", self.lambda),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Streaming two-sided Page–Hinkley detector.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    config: DriftConfig,
+    count: u64,
+    mean: f64,
+    up: f64,
+    up_min: f64,
+    down: f64,
+    down_max: f64,
+}
+
+impl PageHinkley {
+    /// Creates a detector in its reset state.
+    pub fn new(config: DriftConfig) -> PageHinkley {
+        PageHinkley {
+            config,
+            count: 0,
+            mean: 0.0,
+            up: 0.0,
+            up_min: 0.0,
+            down: 0.0,
+            down_max: 0.0,
+        }
+    }
+
+    /// Number of observations consumed since the last reset.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation; returns `true` when drift is detected.
+    /// Non-finite observations are ignored (they are measurement faults,
+    /// not workload changes).
+    pub fn observe(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+        self.up += x - self.mean - self.config.delta;
+        self.up_min = self.up_min.min(self.up);
+        self.down += x - self.mean + self.config.delta;
+        self.down_max = self.down_max.max(self.down);
+        self.count > self.config.warmup
+            && (self.up - self.up_min > self.config.lambda
+                || self.down_max - self.down > self.config.lambda)
+    }
+
+    /// Resets all state (after the controller has acted on a detection).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.mean = 0.0;
+        self.up = 0.0;
+        self.up_min = 0.0;
+        self.down = 0.0;
+        self.down_max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> PageHinkley {
+        PageHinkley::new(DriftConfig {
+            delta: 0.02,
+            lambda: 0.3,
+            warmup: 4,
+        })
+    }
+
+    #[test]
+    fn stationary_stream_never_fires() {
+        let mut d = detector();
+        for i in 0..500 {
+            // Deterministic small wobble around 1.0.
+            let x = 1.0 + 0.01 * ((i % 7) as f64 - 3.0);
+            assert!(!d.observe(x), "false positive at observation {i}");
+        }
+    }
+
+    #[test]
+    fn upward_shift_is_detected() {
+        let mut d = detector();
+        for _ in 0..20 {
+            assert!(!d.observe(1.0));
+        }
+        let mut fired = false;
+        for _ in 0..20 {
+            if d.observe(1.5) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "a +0.5 level shift must fire");
+    }
+
+    #[test]
+    fn downward_shift_is_detected() {
+        let mut d = detector();
+        for _ in 0..20 {
+            assert!(!d.observe(1.0));
+        }
+        let mut fired = false;
+        for _ in 0..20 {
+            if d.observe(0.5) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "a -0.5 level shift must fire");
+    }
+
+    #[test]
+    fn warmup_suppresses_early_detection() {
+        let mut d = PageHinkley::new(DriftConfig {
+            delta: 0.0,
+            lambda: 0.001,
+            warmup: 10,
+        });
+        // A huge shift inside the warmup window must not fire.
+        for i in 0..10 {
+            let x = if i < 5 { 0.0 } else { 100.0 };
+            assert!(!d.observe(x));
+        }
+    }
+
+    #[test]
+    fn reset_clears_accumulated_excursions() {
+        let mut d = detector();
+        for _ in 0..20 {
+            d.observe(1.0);
+        }
+        for _ in 0..20 {
+            d.observe(2.0);
+        }
+        d.reset();
+        assert_eq!(d.count(), 0);
+        for i in 0..50 {
+            assert!(!d.observe(2.0), "false positive after reset at {i}");
+        }
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = detector();
+        for _ in 0..10 {
+            d.observe(1.0);
+        }
+        let n = d.count();
+        assert!(!d.observe(f64::NAN));
+        assert!(!d.observe(f64::INFINITY));
+        assert_eq!(d.count(), n);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(DriftConfig {
+            delta: -0.1,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            lambda: 0.0,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            lambda: f64::NAN,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the online controller.
+
+use dbvirt_core::CoreError;
+use dbvirt_vmm::VmmError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the controller, its scenario driver, or the layers
+/// underneath it.
+#[derive(Debug)]
+pub enum ControllerError {
+    /// A controller configuration parameter was out of range.
+    BadConfig {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// A scenario definition was malformed.
+    BadScenario {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A search or cost-model call failed.
+    Core(CoreError),
+    /// A simulator call failed.
+    Vmm(VmmError),
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::BadConfig { reason } => {
+                write!(f, "invalid controller config: {reason}")
+            }
+            ControllerError::BadScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            ControllerError::Core(e) => write!(f, "core: {e}"),
+            ControllerError::Vmm(e) => write!(f, "vmm: {e}"),
+        }
+    }
+}
+
+impl Error for ControllerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControllerError::Core(e) => Some(e),
+            ControllerError::Vmm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ControllerError {
+    fn from(e: CoreError) -> ControllerError {
+        ControllerError::Core(e)
+    }
+}
+
+impl From<VmmError> for ControllerError {
+    fn from(e: VmmError) -> ControllerError {
+        ControllerError::Vmm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ControllerError::BadConfig {
+            reason: "hysteresis must be non-negative".to_string(),
+        };
+        assert!(e.to_string().contains("hysteresis"));
+        let e = ControllerError::Vmm(VmmError::EmptyAllocation);
+        assert!(e.to_string().contains("vmm"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,403 @@
+//! Workload profiles: the controller's compact belief about each VM.
+//!
+//! The static advisor prices a workload by re-planning its queries under
+//! every candidate allocation. An online controller cannot afford that per
+//! decision, and — more fundamentally — it does not *know* the workload; it
+//! only sees completed queries. A [`WorkloadProfile`] is the distilled
+//! belief the streaming statistics maintain: per-query base resource
+//! consumption split into cold (compulsory) and re-read (cache-dependent)
+//! page accesses, plus a working-set size and an arrival rate. Pricing a
+//! profile under a candidate allocation is then closed-form via the linear
+//! working-set cache model: a buffer pool of `p` pages serving a working
+//! set of `w` pages hits with probability `min(p / w, 1)`.
+
+use crate::ControllerError;
+use dbvirt_core::{CoreError, CostModel, DesignProblem, WorkloadSpec};
+use dbvirt_engine::Database;
+use dbvirt_optimizer::LogicalPlan;
+use dbvirt_vmm::{MachineSpec, ResourceDemand, ResourceVector, VirtualMachine};
+use std::collections::BTreeMap;
+
+/// Per-query resource profile of one VM's workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// CPU cycles per query.
+    pub cpu_cycles: f64,
+    /// Compulsory sequential page reads per query (miss regardless of
+    /// buffer pool size).
+    pub cold_seq_reads: f64,
+    /// Compulsory random page reads per query.
+    pub cold_random_reads: f64,
+    /// Pages written back per query.
+    pub page_writes: f64,
+    /// Logical sequential re-accesses per query; each misses with
+    /// probability `1 - hit_fraction(pool)`.
+    pub reread_seq: f64,
+    /// Logical random re-accesses per query.
+    pub reread_random: f64,
+    /// Working-set size in pages (what the re-accesses touch).
+    pub working_set_pages: f64,
+    /// Queries completed per control epoch.
+    pub queries_per_epoch: f64,
+}
+
+impl WorkloadProfile {
+    /// Validates that every field is finite and non-negative (and the
+    /// arrival rate positive).
+    pub fn validate(&self) -> Result<(), ControllerError> {
+        let fields = [
+            ("cpu_cycles", self.cpu_cycles),
+            ("cold_seq_reads", self.cold_seq_reads),
+            ("cold_random_reads", self.cold_random_reads),
+            ("page_writes", self.page_writes),
+            ("reread_seq", self.reread_seq),
+            ("reread_random", self.reread_random),
+            ("working_set_pages", self.working_set_pages),
+            ("queries_per_epoch", self.queries_per_epoch),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ControllerError::BadScenario {
+                    reason: format!("profile {name} must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        if self.queries_per_epoch <= 0.0 {
+            return Err(ControllerError::BadScenario {
+                reason: "profile queries_per_epoch must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Buffer-pool hit fraction for the re-access stream under a pool of
+    /// `pool_pages` pages (linear working-set model).
+    pub fn hit_fraction(&self, pool_pages: usize) -> f64 {
+        if self.working_set_pages <= 0.0 {
+            return 1.0;
+        }
+        (pool_pages as f64 / self.working_set_pages).min(1.0)
+    }
+
+    /// The *physical* demand of one query under a buffer pool of
+    /// `pool_pages` pages, with all components scaled by `scale`
+    /// (per-query size variability).
+    pub fn demand_at(&self, pool_pages: usize, scale: f64) -> ResourceDemand {
+        let hit = self.hit_fraction(pool_pages);
+        let miss = 1.0 - hit;
+        ResourceDemand {
+            cpu_cycles: self.cpu_cycles * scale,
+            seq_page_reads: ((self.cold_seq_reads + self.reread_seq * miss) * scale).round()
+                as u64,
+            random_page_reads: ((self.cold_random_reads + self.reread_random * miss) * scale)
+                .round() as u64,
+            page_writes: (self.page_writes * scale).round() as u64,
+        }
+    }
+
+    /// Predicted seconds per query on `vm`.
+    pub fn seconds_per_query(&self, vm: &VirtualMachine) -> f64 {
+        vm.demand_seconds(&self.demand_at(vm.buffer_pool_pages(), 1.0))
+    }
+
+    /// Predicted seconds per control epoch on `vm` (the controller's
+    /// per-VM cost unit).
+    pub fn epoch_seconds(&self, vm: &VirtualMachine) -> f64 {
+        self.seconds_per_query(vm) * self.queries_per_epoch
+    }
+
+    /// Allocation-independent per-query reference seconds: the demand
+    /// priced on the whole machine with every re-access charged as a miss.
+    /// Feeding the drift detector this (rather than observed latency) means
+    /// the controller's own share changes cannot self-trigger drift.
+    pub fn reference_seconds(&self, machine: &MachineSpec) -> f64 {
+        self.cpu_cycles / machine.total_cycles_per_sec()
+            + (self.cold_seq_reads + self.reread_seq + self.page_writes)
+                * machine.seq_page_seconds()
+            + (self.cold_random_reads + self.reread_random) * machine.random_page_seconds()
+    }
+
+    /// Quantizes the profile into logarithmic buckets of relative width
+    /// `rel` (e.g. `0.2` = 20%). Two profiles with the same key are
+    /// "the same workload" for cache-reuse purposes: the controller keys
+    /// its warm [`dbvirt_core::CostCache`]s on the quantized vector, so a
+    /// recurring phase re-solves against already-paid-for cells while a
+    /// genuinely new mix gets a fresh cache.
+    pub fn quantize(&self, rel: f64) -> ProfileKey {
+        let bucket = |v: f64| -> i64 {
+            if !(v.is_finite() && v > 0.0) {
+                return i64::MIN;
+            }
+            (v.ln() / (1.0 + rel).ln()).floor() as i64
+        };
+        ProfileKey([
+            bucket(self.cpu_cycles),
+            bucket(self.cold_seq_reads),
+            bucket(self.cold_random_reads),
+            bucket(self.page_writes),
+            bucket(self.reread_seq),
+            bucket(self.reread_random),
+            bucket(self.working_set_pages),
+            bucket(self.queries_per_epoch),
+        ])
+    }
+}
+
+/// Log-bucketed profile fingerprint (see [`WorkloadProfile::quantize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProfileKey(pub [i64; 8]);
+
+/// A [`CostModel`] that prices workloads from profiles by index: workload
+/// `i` of the problem is priced as `profiles[i].epoch_seconds` under the
+/// candidate shares. Weight-independent, as the cache contract requires.
+#[derive(Debug, Clone)]
+pub struct ProfileCostModel {
+    /// The physical machine.
+    pub machine: MachineSpec,
+    /// One profile per workload, aligned with the problem's workloads.
+    pub profiles: Vec<WorkloadProfile>,
+}
+
+impl CostModel for ProfileCostModel {
+    fn cost(
+        &self,
+        problem: &DesignProblem<'_>,
+        w_idx: usize,
+        shares: ResourceVector,
+    ) -> Result<f64, CoreError> {
+        debug_assert_eq!(problem.num_workloads(), self.profiles.len());
+        let vm = VirtualMachine::new(self.machine, shares)?;
+        Ok(self.profiles[w_idx].epoch_seconds(&vm))
+    }
+}
+
+/// A [`CostModel`] that prices workloads from profiles *by workload name*.
+/// The regret oracle builds one [`DesignProblem`] per phase whose workload
+/// names encode the phase's profile ordinal (see
+/// [`ProblemTemplate::phase_problem`]); this model dispatches on those
+/// names, so one model serves the whole timeline.
+#[derive(Debug, Clone)]
+pub struct PhasedProfileModel {
+    /// The physical machine.
+    pub machine: MachineSpec,
+    /// Profile for each phase-qualified workload name (`"vm@ordinal"`).
+    pub by_name: BTreeMap<String, WorkloadProfile>,
+}
+
+impl CostModel for PhasedProfileModel {
+    fn cost(
+        &self,
+        problem: &DesignProblem<'_>,
+        w_idx: usize,
+        shares: ResourceVector,
+    ) -> Result<f64, CoreError> {
+        let name = &problem.workloads[w_idx].name;
+        let profile = self.by_name.get(name).ok_or_else(|| CoreError::BadProblem {
+            reason: format!("no profile registered for workload {name}"),
+        })?;
+        let vm = VirtualMachine::new(self.machine, shares)?;
+        Ok(profile.epoch_seconds(&vm))
+    }
+}
+
+/// Identity of one persistent VM: a name plus the catalog/plan skeleton a
+/// [`DesignProblem`] requires. The profile cost models never execute or
+/// re-plan these queries — the skeleton only satisfies the problem
+/// statement's shape (and, for phase problems, encodes phase identity).
+#[derive(Debug)]
+pub struct VmTemplate<'a> {
+    /// VM display name.
+    pub name: String,
+    /// The database the VM serves.
+    pub db: &'a Database,
+    /// A representative query plan.
+    pub base_query: LogicalPlan,
+}
+
+/// The set of persistent VMs sharing one machine.
+#[derive(Debug)]
+pub struct ProblemTemplate<'a> {
+    /// The physical machine.
+    pub machine: MachineSpec,
+    /// One template per VM.
+    pub vms: Vec<VmTemplate<'a>>,
+}
+
+impl<'a> ProblemTemplate<'a> {
+    /// The design-problem skeleton the controller re-solves at every
+    /// decision (profiles supply the costs; this supplies the shape).
+    pub fn problem(&self) -> Result<DesignProblem<'a>, CoreError> {
+        DesignProblem::new(
+            self.machine,
+            self.vms
+                .iter()
+                .map(|vm| WorkloadSpec::new(vm.name.clone(), vm.db, vec![vm.base_query.clone()]))
+                .collect(),
+        )
+    }
+
+    /// A phase-qualified problem for the clairvoyant oracle. The phase's
+    /// profile `ordinal` is encoded in the workload identity twice over:
+    /// in the name (`"{vm}@{ordinal}"`, which [`PhasedProfileModel`]
+    /// dispatches on) and in the query count (`ordinal + 1` copies of the
+    /// base plan). The latter matters for cache soundness:
+    /// [`dbvirt_core::dynamic::run_dynamic`] shares one warm cost cache
+    /// across phases whose machine, databases, and *queries* compare
+    /// equal — under a profile-keyed model two phases with different
+    /// profiles must therefore present unequal query lists, or phase 0's
+    /// cached cells would silently misprice later phases. Repeated
+    /// occurrences of the same ordinal compare equal and soundly share
+    /// warm entries.
+    pub fn phase_problem(&self, ordinal: usize) -> Result<DesignProblem<'a>, CoreError> {
+        DesignProblem::new(
+            self.machine,
+            self.vms
+                .iter()
+                .map(|vm| {
+                    WorkloadSpec::new(
+                        format!("{}@{ordinal}", vm.name),
+                        vm.db,
+                        vec![vm.base_query.clone(); ordinal + 1],
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Derives a [`WorkloadProfile`] from real query plans by measuring their
+/// demands on the whole machine (stock-optimizer what-if planning, shared
+/// warm buffer pool). The measured page counts become the cold component;
+/// `reread_factor` sets the logical re-access stream as a multiple of the
+/// cold reads, and the working set is the mean pages a query touches.
+pub fn profile_from_queries(
+    db: &mut Database,
+    queries: &[LogicalPlan],
+    machine: MachineSpec,
+    queries_per_epoch: f64,
+    reread_factor: f64,
+) -> Result<WorkloadProfile, ControllerError> {
+    if queries.is_empty() {
+        return Err(ControllerError::BadScenario {
+            reason: "profile_from_queries needs at least one query".to_string(),
+        });
+    }
+    let demands =
+        dbvirt_core::measure::workload_demands(db, queries, machine, ResourceVector::full_machine())?;
+    let n = demands.len() as f64;
+    let mean = |f: fn(&ResourceDemand) -> f64| demands.iter().map(f).sum::<f64>() / n;
+    let cold_seq = mean(|d| d.seq_page_reads as f64);
+    let cold_random = mean(|d| d.random_page_reads as f64);
+    let profile = WorkloadProfile {
+        cpu_cycles: mean(|d| d.cpu_cycles),
+        cold_seq_reads: cold_seq,
+        cold_random_reads: cold_random,
+        page_writes: mean(|d| d.page_writes as f64),
+        reread_seq: cold_seq * reread_factor,
+        reread_random: cold_random * reread_factor,
+        working_set_pages: cold_seq + cold_random,
+        queries_per_epoch,
+    };
+    profile.validate()?;
+    Ok(profile)
+}
+
+/// A CPU-dominated profile used by tests across the crate.
+#[cfg(test)]
+pub(crate) fn cpu_heavy() -> WorkloadProfile {
+    WorkloadProfile {
+        cpu_cycles: 2e8,
+        cold_seq_reads: 20.0,
+        cold_random_reads: 5.0,
+        page_writes: 0.0,
+        reread_seq: 40.0,
+        reread_random: 10.0,
+        working_set_pages: 800.0,
+        queries_per_epoch: 4.0,
+    }
+}
+
+/// An I/O- and cache-dominated profile used by tests across the crate.
+#[cfg(test)]
+pub(crate) fn io_heavy() -> WorkloadProfile {
+    WorkloadProfile {
+        cpu_cycles: 2e7,
+        cold_seq_reads: 400.0,
+        cold_random_reads: 60.0,
+        page_writes: 20.0,
+        reread_seq: 2000.0,
+        reread_random: 300.0,
+        working_set_pages: 6000.0,
+        queries_per_epoch: 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbvirt_vmm::Share;
+
+    #[test]
+    fn bigger_pools_reduce_physical_reads() {
+        let p = io_heavy();
+        let small = p.demand_at(500, 1.0);
+        let large = p.demand_at(6000, 1.0);
+        assert!(small.seq_page_reads > large.seq_page_reads);
+        // A pool covering the whole working set leaves only the cold reads.
+        assert_eq!(large.seq_page_reads, 400);
+        assert_eq!(large.random_page_reads, 60);
+    }
+
+    #[test]
+    fn epoch_seconds_decrease_with_memory() {
+        let spec = MachineSpec::tiny();
+        let p = io_heavy();
+        let starved = VirtualMachine::new(
+            spec,
+            ResourceVector::from_fractions(0.5, 0.05, 0.5).unwrap(),
+        )
+        .unwrap();
+        let comfortable =
+            VirtualMachine::new(spec, ResourceVector::uniform(Share::HALF)).unwrap();
+        assert!(p.epoch_seconds(&starved) > p.epoch_seconds(&comfortable));
+    }
+
+    #[test]
+    fn reference_seconds_ignore_the_allocation() {
+        let spec = MachineSpec::tiny();
+        let p = cpu_heavy();
+        // Priced on the raw machine: no VM, no pool, so nothing the
+        // controller changes can move it.
+        let x = p.reference_seconds(&spec);
+        assert!(x.is_finite() && x > 0.0);
+    }
+
+    #[test]
+    fn quantization_is_tolerant_within_a_bucket_and_sensitive_across() {
+        let a = cpu_heavy();
+        let mut near = a;
+        near.cpu_cycles *= 1.05;
+        let mut far = a;
+        far.cpu_cycles *= 4.0;
+        assert_eq!(a.quantize(0.25), near.quantize(0.25));
+        assert_ne!(a.quantize(0.25), far.quantize(0.25));
+        // Zero components land in the sentinel bucket, not a panic.
+        let mut zeroed = a;
+        zeroed.page_writes = 0.0;
+        assert_eq!(zeroed.quantize(0.25).0[3], i64::MIN);
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_profiles() {
+        let mut p = cpu_heavy();
+        p.cpu_cycles = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = cpu_heavy();
+        p.working_set_pages = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = cpu_heavy();
+        p.queries_per_epoch = 0.0;
+        assert!(p.validate().is_err());
+        assert!(cpu_heavy().validate().is_ok());
+    }
+}

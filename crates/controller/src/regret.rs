@@ -1,0 +1,264 @@
+//! Regret accounting: how far from clairvoyant did the controller land?
+//!
+//! The controller only *observes* drift after the fact; the offline
+//! [`run_dynamic`] controller in `dbvirt-core` is told the phase sequence
+//! up front. Replaying the exact same query stream under the oracle's
+//! per-phase allocations (and under a never-reconfigure baseline) through
+//! the same fluid simulator turns that information gap into a number:
+//! cumulative-cost regret, switch counts, and time spent in a suboptimal
+//! allocation.
+
+use crate::controller::{pool_pages, switch_cost_seconds, ControllerConfig, ControllerOutcome};
+use crate::profile::{PhasedProfileModel, ProblemTemplate};
+use crate::scenario::Scenario;
+use crate::ControllerError;
+use dbvirt_core::dynamic::{run_dynamic, DynamicTimeline, ReconfigPolicy};
+use dbvirt_vmm::sched::{co_schedule, SchedMode};
+use dbvirt_vmm::AllocationMatrix;
+use std::collections::BTreeMap;
+
+/// The regret ledger for one controller run.
+#[derive(Debug, Clone)]
+pub struct RegretReport {
+    /// The controller's realized cost (epochs + switch charges).
+    pub controller_cost: f64,
+    /// The clairvoyant oracle's cost on the same stream (its per-phase
+    /// optimal allocations replayed through the simulator, switch charges
+    /// included).
+    pub oracle_cost: f64,
+    /// Cost of holding the controller's first informed placement (or the
+    /// initial equal split, if the run never placed) for the whole stream.
+    pub never_cost: f64,
+    /// `controller_cost - oracle_cost`.
+    pub regret_seconds: f64,
+    /// `regret_seconds / oracle_cost`.
+    pub relative_regret: f64,
+    /// Reconfigurations the controller applied.
+    pub controller_switches: usize,
+    /// Allocation changes in the oracle's replayed trajectory.
+    pub oracle_switches: usize,
+    /// Epochs the controller spent under an allocation different from the
+    /// oracle's for that epoch.
+    pub suboptimal_epochs: usize,
+    /// Simulated seconds accumulated during those epochs.
+    pub suboptimal_seconds: f64,
+    /// The oracle's allocation for each phase of the scenario.
+    pub oracle_allocations: Vec<AllocationMatrix>,
+}
+
+/// Replays the scenario's clean query stream under a fixed per-epoch
+/// allocation trajectory, charging the modeled reconfiguration cost at
+/// every epoch boundary where the allocation changes. Returns the total
+/// cost and the number of switches charged.
+fn replay(
+    scenario: &Scenario,
+    by_epoch: &[&AllocationMatrix],
+    base_seconds: f64,
+) -> Result<(f64, usize), ControllerError> {
+    let machine = scenario.machine;
+    let mut total = 0.0;
+    let mut switches = 0usize;
+    let mut prev: Option<&AllocationMatrix> = None;
+    for (epoch, allocation) in by_epoch.iter().enumerate() {
+        if let Some(p) = prev {
+            if p != *allocation {
+                total += switch_cost_seconds(machine, p, allocation, base_seconds)?;
+                switches += 1;
+            }
+        }
+        let pools = pool_pages(machine, allocation)?;
+        let jobs = scenario.epoch_jobs(epoch, &pools)?;
+        let outcomes = co_schedule(machine, allocation, &jobs, SchedMode::Capped)?;
+        total += outcomes
+            .iter()
+            .map(|o| o.makespan().as_secs_f64())
+            .sum::<f64>();
+        prev = Some(allocation);
+    }
+    Ok((total, switches))
+}
+
+/// Accounts a controller run against the clairvoyant per-phase optimum and
+/// the never-reconfigure baseline, on the identical query stream.
+pub fn account_regret(
+    scenario: &Scenario,
+    template: &ProblemTemplate<'_>,
+    config: &ControllerConfig,
+    outcome: &ControllerOutcome,
+) -> Result<RegretReport, ControllerError> {
+    scenario.validate()?;
+    if outcome.allocations.len() != scenario.total_epochs() {
+        return Err(ControllerError::BadScenario {
+            reason: format!(
+                "outcome covers {} epochs, scenario has {}",
+                outcome.allocations.len(),
+                scenario.total_epochs()
+            ),
+        });
+    }
+    let ordinals = scenario.phase_ordinals();
+
+    // The oracle knows the true profiles; hand them to the offline
+    // controller as a phase timeline. Workload names encode the profile
+    // ordinal, which both dispatches the cost model and keeps warm-cache
+    // sharing sound across phases (see ProblemTemplate::phase_problem).
+    let mut by_name = BTreeMap::new();
+    for (phase, &ordinal) in scenario.phases.iter().zip(&ordinals) {
+        for (vm, profile) in template.vms.iter().zip(&phase.profiles) {
+            by_name.insert(format!("{}@{ordinal}", vm.name), *profile);
+        }
+    }
+    let model = PhasedProfileModel {
+        machine: scenario.machine,
+        by_name,
+    };
+    let phases = ordinals
+        .iter()
+        .map(|&k| template.phase_problem(k))
+        .collect::<Result<Vec<_>, _>>()?;
+    let timeline = DynamicTimeline::new(phases)?;
+    let policy = ReconfigPolicy {
+        algorithm: config.algorithm,
+        config: config.search,
+        switch_overhead_seconds: config.switch_base_seconds,
+        min_relative_gain: 0.0,
+    };
+    let oracle = run_dynamic(&timeline, &model, policy)?;
+    let oracle_allocations: Vec<AllocationMatrix> = oracle
+        .phases
+        .iter()
+        .map(|p| p.allocation.clone())
+        .collect();
+
+    // Replay the oracle's trajectory and the never-reconfigure baseline
+    // through the same simulator the controller ran under.
+    let oracle_by_epoch: Vec<&AllocationMatrix> = (0..scenario.total_epochs())
+        .map(|e| &oracle_allocations[scenario.phase_of_epoch(e)])
+        .collect();
+    let (oracle_cost, oracle_switches) =
+        replay(scenario, &oracle_by_epoch, config.switch_base_seconds)?;
+
+    let held = outcome
+        .placement
+        .as_ref()
+        .unwrap_or(&outcome.initial_allocation);
+    let never_by_epoch: Vec<&AllocationMatrix> =
+        (0..scenario.total_epochs()).map(|_| held).collect();
+    let (never_cost, _) = replay(scenario, &never_by_epoch, config.switch_base_seconds)?;
+
+    let mut suboptimal_epochs = 0usize;
+    let mut suboptimal_seconds = 0.0;
+    for (epoch, in_force) in outcome.allocations.iter().enumerate() {
+        if in_force != oracle_by_epoch[epoch] {
+            suboptimal_epochs += 1;
+            suboptimal_seconds += outcome.epoch_costs[epoch];
+        }
+    }
+
+    let regret_seconds = outcome.total_cost - oracle_cost;
+    Ok(RegretReport {
+        controller_cost: outcome.total_cost,
+        oracle_cost,
+        never_cost,
+        regret_seconds,
+        relative_regret: if oracle_cost > 0.0 {
+            regret_seconds / oracle_cost
+        } else {
+            0.0
+        },
+        controller_switches: outcome.switches.len(),
+        oracle_switches,
+        suboptimal_epochs,
+        suboptimal_seconds,
+        oracle_allocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::run_controller;
+    use crate::profile::{cpu_heavy, io_heavy};
+    use crate::testkit::{template, tiny_db};
+    use dbvirt_core::search::SearchConfig;
+    use dbvirt_vmm::MachineSpec;
+
+    fn config() -> ControllerConfig {
+        ControllerConfig::new(SearchConfig::for_workloads(8, 2))
+    }
+
+    fn drifting() -> Scenario {
+        Scenario::drifting(
+            "drifting",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            12,
+            vec![io_heavy(), cpu_heavy()],
+            12,
+            11,
+        )
+    }
+
+    #[test]
+    fn controller_lands_between_oracle_and_never_on_drift() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let out = run_controller(&drifting(), &template, &config()).unwrap();
+        let report = account_regret(&drifting(), &template, &config(), &out).unwrap();
+        assert!(
+            report.oracle_cost <= report.controller_cost,
+            "oracle {} vs controller {}",
+            report.oracle_cost,
+            report.controller_cost
+        );
+        assert!(
+            report.controller_cost < report.never_cost,
+            "reconfiguring must beat holding the placement: {} vs {}",
+            report.controller_cost,
+            report.never_cost
+        );
+        assert!(report.relative_regret >= 0.0 && report.relative_regret.is_finite());
+        assert_eq!(report.oracle_switches, 1, "one phase flip, one oracle switch");
+        assert!(report.suboptimal_epochs > 0, "detection lag is not free");
+        assert!(report.suboptimal_seconds > 0.0);
+        assert_eq!(report.oracle_allocations.len(), 2);
+    }
+
+    #[test]
+    fn stationary_oracle_never_switches_and_regret_is_tiny() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let scenario = Scenario::stationary(
+            "stationary",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            16,
+            11,
+        );
+        let out = run_controller(&scenario, &template, &config()).unwrap();
+        let report = account_regret(&scenario, &template, &config(), &out).unwrap();
+        assert_eq!(report.oracle_switches, 0);
+        assert_eq!(report.controller_switches, 0);
+        // The only loss is the warmup epochs under the equal split.
+        assert!(
+            report.relative_regret < 0.10,
+            "stationary regret should be warmup-only, got {}",
+            report.relative_regret
+        );
+    }
+
+    #[test]
+    fn mismatched_outcomes_are_rejected() {
+        let db = tiny_db();
+        let template = template(&db, 2, MachineSpec::tiny());
+        let out = run_controller(&drifting(), &template, &config()).unwrap();
+        let shorter = Scenario::stationary(
+            "short",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            3,
+            11,
+        );
+        assert!(account_regret(&shorter, &template, &config(), &out).is_err());
+    }
+}

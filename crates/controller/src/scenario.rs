@@ -1,0 +1,531 @@
+//! Scenario driver: deterministic workload streams for the controller.
+//!
+//! A [`Scenario`] is a phased ground truth: each phase fixes one
+//! [`WorkloadProfile`] per VM for a number of control epochs. The driver
+//! materializes each epoch twice over:
+//!
+//! * the **jobs** the simulator actually runs — always clean, derived from
+//!   the true profile and the buffer pool each VM currently holds;
+//! * the **observations** the controller sees — optionally perturbed by a
+//!   [`FaultInjector`], so chaos testing degrades the controller's beliefs
+//!   without ever destabilizing the simulated ground truth.
+//!
+//! Everything is keyed off the scenario seed with a splitmix64 stream, so
+//! identical `(scenario, seed)` pairs replay bit-identically.
+
+use crate::profile::WorkloadProfile;
+use crate::stats::QueryObservation;
+use crate::ControllerError;
+use dbvirt_vmm::fault::{FaultInjector, ProbeFault};
+use dbvirt_vmm::sched::VmJob;
+use dbvirt_vmm::{MachineSpec, ResourceDemand};
+
+/// One phase: a fixed per-VM profile vector held for `epochs` epochs.
+#[derive(Debug, Clone)]
+pub struct ScenarioPhase {
+    /// True profile of each VM during the phase.
+    pub profiles: Vec<WorkloadProfile>,
+    /// How many control epochs the phase lasts.
+    pub epochs: usize,
+}
+
+/// A deterministic phased workload stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (also used in reports).
+    pub name: String,
+    /// The physical machine the VMs share.
+    pub machine: MachineSpec,
+    /// The phases, in time order.
+    pub phases: Vec<ScenarioPhase>,
+    /// Seed for per-query size variability (and the noise stream context).
+    pub seed: u64,
+    /// Per-query size wobble: each query's demand is scaled by a
+    /// deterministic factor in `[1 - variability, 1 + variability]`.
+    pub variability: f64,
+    /// Optional observation noise. Applies to what the controller *sees*,
+    /// never to what the simulator *runs*.
+    pub noise: Option<FaultInjector>,
+}
+
+/// One VM's materialized epoch: the job for the simulator plus the
+/// per-query observations for the controller (`None` = the measurement
+/// faulted and was lost).
+#[derive(Debug, Clone)]
+pub struct VmEpoch {
+    /// Clean ground-truth job.
+    pub job: VmJob,
+    /// What the controller observes for each query, in order.
+    pub observations: Vec<Option<QueryObservation>>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Scenario {
+    /// Creates a scenario with no size variability and no noise.
+    pub fn new(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        phases: Vec<ScenarioPhase>,
+        seed: u64,
+    ) -> Scenario {
+        Scenario {
+            name: name.into(),
+            machine,
+            phases,
+            seed,
+            variability: 0.0,
+            noise: None,
+        }
+    }
+
+    /// A single-phase (stationary) stream.
+    pub fn stationary(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        profiles: Vec<WorkloadProfile>,
+        epochs: usize,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::new(name, machine, vec![ScenarioPhase { profiles, epochs }], seed)
+    }
+
+    /// A two-phase drift: `a` for `epochs_a`, then `b` for `epochs_b`.
+    pub fn drifting(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        a: Vec<WorkloadProfile>,
+        epochs_a: usize,
+        b: Vec<WorkloadProfile>,
+        epochs_b: usize,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::new(
+            name,
+            machine,
+            vec![
+                ScenarioPhase {
+                    profiles: a,
+                    epochs: epochs_a,
+                },
+                ScenarioPhase {
+                    profiles: b,
+                    epochs: epochs_b,
+                },
+            ],
+            seed,
+        )
+    }
+
+    /// A bursty stream: a long baseline phase interrupted by `bursts`
+    /// short excursions to `burst` profiles, returning to baseline after
+    /// each.
+    pub fn bursty(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        baseline: Vec<WorkloadProfile>,
+        burst: Vec<WorkloadProfile>,
+        calm_epochs: usize,
+        burst_epochs: usize,
+        bursts: usize,
+        seed: u64,
+    ) -> Scenario {
+        let mut phases = Vec::with_capacity(2 * bursts + 1);
+        for _ in 0..bursts {
+            phases.push(ScenarioPhase {
+                profiles: baseline.clone(),
+                epochs: calm_epochs,
+            });
+            phases.push(ScenarioPhase {
+                profiles: burst.clone(),
+                epochs: burst_epochs,
+            });
+        }
+        phases.push(ScenarioPhase {
+            profiles: baseline,
+            epochs: calm_epochs,
+        });
+        Scenario::new(name, machine, phases, seed)
+    }
+
+    /// An adversarial stream: `a` and `b` alternate every `period` epochs,
+    /// `cycles` times — fast enough to tempt a naive controller into
+    /// thrashing, where switch costs eat any allocation gain.
+    pub fn adversarial(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        a: Vec<WorkloadProfile>,
+        b: Vec<WorkloadProfile>,
+        period: usize,
+        cycles: usize,
+        seed: u64,
+    ) -> Scenario {
+        let mut phases = Vec::with_capacity(2 * cycles);
+        for _ in 0..cycles {
+            phases.push(ScenarioPhase {
+                profiles: a.clone(),
+                epochs: period,
+            });
+            phases.push(ScenarioPhase {
+                profiles: b.clone(),
+                epochs: period,
+            });
+        }
+        Scenario::new(name, machine, phases, seed)
+    }
+
+    /// Adds per-query size variability.
+    pub fn with_variability(mut self, variability: f64) -> Scenario {
+        self.variability = variability;
+        self
+    }
+
+    /// Adds observation noise.
+    pub fn with_noise(mut self, noise: FaultInjector) -> Scenario {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Validates structure and parameters.
+    pub fn validate(&self) -> Result<(), ControllerError> {
+        self.machine.validate()?;
+        let Some(first) = self.phases.first() else {
+            return Err(ControllerError::BadScenario {
+                reason: "a scenario needs at least one phase".to_string(),
+            });
+        };
+        let n = first.profiles.len();
+        if n == 0 {
+            return Err(ControllerError::BadScenario {
+                reason: "a scenario needs at least one VM".to_string(),
+            });
+        }
+        for (i, phase) in self.phases.iter().enumerate() {
+            if phase.profiles.len() != n {
+                return Err(ControllerError::BadScenario {
+                    reason: format!(
+                        "phase {i} has {} VMs, expected {n}",
+                        phase.profiles.len()
+                    ),
+                });
+            }
+            if phase.epochs == 0 {
+                return Err(ControllerError::BadScenario {
+                    reason: format!("phase {i} has zero epochs"),
+                });
+            }
+            for profile in &phase.profiles {
+                profile.validate()?;
+            }
+        }
+        if !(self.variability.is_finite() && (0.0..1.0).contains(&self.variability)) {
+            return Err(ControllerError::BadScenario {
+                reason: format!("variability must be in [0, 1), got {}", self.variability),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of VMs.
+    pub fn num_vms(&self) -> usize {
+        self.phases.first().map_or(0, |p| p.profiles.len())
+    }
+
+    /// Total epochs across all phases.
+    pub fn total_epochs(&self) -> usize {
+        self.phases.iter().map(|p| p.epochs).sum()
+    }
+
+    /// The phase index an epoch falls into.
+    pub fn phase_of_epoch(&self, epoch: usize) -> usize {
+        let mut remaining = epoch;
+        for (i, phase) in self.phases.iter().enumerate() {
+            if remaining < phase.epochs {
+                return i;
+            }
+            remaining -= phase.epochs;
+        }
+        self.phases.len().saturating_sub(1)
+    }
+
+    /// The true profile of `vm` during `epoch`.
+    pub fn profile(&self, vm: usize, epoch: usize) -> &WorkloadProfile {
+        &self.phases[self.phase_of_epoch(epoch)].profiles[vm]
+    }
+
+    /// Per-phase profile ordinals: the first phase presenting a given
+    /// profile vector defines its ordinal, and later identical phases
+    /// reuse it. The regret oracle encodes these ordinals into its phase
+    /// problems so recurring phases share warm cost caches (see
+    /// [`crate::profile::ProblemTemplate::phase_problem`]).
+    pub fn phase_ordinals(&self) -> Vec<usize> {
+        let mut seen: Vec<&Vec<WorkloadProfile>> = Vec::new();
+        self.phases
+            .iter()
+            .map(|phase| {
+                if let Some(k) = seen.iter().position(|p| **p == phase.profiles) {
+                    k
+                } else {
+                    seen.push(&phase.profiles);
+                    seen.len() - 1
+                }
+            })
+            .collect()
+    }
+
+    /// Number of queries `vm` completes in `epoch`.
+    pub fn query_count(&self, vm: usize, epoch: usize) -> usize {
+        (self.profile(vm, epoch).queries_per_epoch.round() as usize).max(1)
+    }
+
+    /// Deterministic per-query size factor in
+    /// `[1 - variability, 1 + variability]`.
+    pub fn query_scale(&self, vm: usize, epoch: usize, q: usize) -> f64 {
+        if self.variability <= 0.0 {
+            return 1.0;
+        }
+        let key = splitmix64(
+            self.seed
+                ^ splitmix64(vm as u64)
+                ^ splitmix64((epoch as u64) << 20)
+                ^ splitmix64((q as u64) << 40),
+        );
+        let u = (key >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 - self.variability + 2.0 * self.variability * u
+    }
+
+    /// The clean ground-truth jobs for `epoch`, one per VM, given the
+    /// buffer pool (in pages) each VM currently holds. Pool sizes matter
+    /// because physical demand depends on how much of the working set the
+    /// pool covers — the regret replay passes the pools of whatever
+    /// allocation it is replaying.
+    pub fn epoch_jobs(
+        &self,
+        epoch: usize,
+        pool_pages: &[usize],
+    ) -> Result<Vec<VmJob>, ControllerError> {
+        if pool_pages.len() != self.num_vms() {
+            return Err(ControllerError::BadScenario {
+                reason: format!(
+                    "{} pool sizes for {} VMs",
+                    pool_pages.len(),
+                    self.num_vms()
+                ),
+            });
+        }
+        Ok((0..self.num_vms())
+            .map(|vm| {
+                let profile = self.profile(vm, epoch);
+                let queries = (0..self.query_count(vm, epoch))
+                    .map(|q| profile.demand_at(pool_pages[vm], self.query_scale(vm, epoch, q)))
+                    .collect();
+                VmJob::new(queries)
+            })
+            .collect())
+    }
+
+    /// Materializes `epoch`: clean jobs plus (possibly noisy) per-query
+    /// observations.
+    pub fn epoch_batch(
+        &self,
+        epoch: usize,
+        pool_pages: &[usize],
+    ) -> Result<Vec<VmEpoch>, ControllerError> {
+        let jobs = self.epoch_jobs(epoch, pool_pages)?;
+        Ok(jobs
+            .into_iter()
+            .enumerate()
+            .map(|(vm, job)| {
+                let profile = self.profile(vm, epoch);
+                let hit = profile.hit_fraction(pool_pages[vm]);
+                let observations = job
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .map(|(q, demand)| {
+                        let scale = self.query_scale(vm, epoch, q);
+                        let clean = QueryObservation {
+                            demand: *demand,
+                            seq_hits: profile.reread_seq * hit * scale,
+                            random_hits: profile.reread_random * hit * scale,
+                            touched_pages: profile.working_set_pages,
+                        };
+                        self.observe(vm, epoch, q, clean)
+                    })
+                    .collect();
+                VmEpoch { job, observations }
+            })
+            .collect())
+    }
+
+    /// Runs one clean observation through the noise model (identity when
+    /// no injector is configured). A measurement fault loses the whole
+    /// observation.
+    fn observe(
+        &self,
+        vm: usize,
+        epoch: usize,
+        q: usize,
+        clean: QueryObservation,
+    ) -> Option<QueryObservation> {
+        let Some(injector) = &self.noise else {
+            return Some(clean);
+        };
+        // Each observation component is drawn independently through the
+        // injector's deterministic stream; `attempt` indexes the component
+        // and the breakdown slot selects which jitter knob applies (CPU,
+        // sequential-I/O, random-I/O, or write jitter).
+        let noisy = |idx: usize, slot: usize, value: f64| -> Result<f64, ProbeFault> {
+            let mut breakdown = (0.0, 0.0, 0.0, 0.0);
+            match slot {
+                0 => breakdown.0 = value,
+                1 => breakdown.1 = value,
+                2 => breakdown.2 = value,
+                _ => breakdown.3 = value,
+            }
+            injector.measure(vm as u64, epoch, q, idx, breakdown)
+        };
+        let result: Result<QueryObservation, ProbeFault> = (|| {
+            Ok(QueryObservation {
+                demand: ResourceDemand {
+                    cpu_cycles: noisy(0, 0, clean.demand.cpu_cycles)?,
+                    seq_page_reads: noisy(1, 1, clean.demand.seq_page_reads as f64)?
+                        .round()
+                        .max(0.0) as u64,
+                    random_page_reads: noisy(2, 2, clean.demand.random_page_reads as f64)?
+                        .round()
+                        .max(0.0) as u64,
+                    page_writes: noisy(3, 3, clean.demand.page_writes as f64)?
+                        .round()
+                        .max(0.0) as u64,
+                },
+                seq_hits: noisy(4, 1, clean.seq_hits)?,
+                random_hits: noisy(5, 2, clean.random_hits)?,
+                touched_pages: noisy(6, 1, clean.touched_pages)?,
+            })
+        })();
+        result.ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{cpu_heavy, io_heavy};
+    use dbvirt_vmm::fault::NoiseModel;
+
+    fn two_vm_drift() -> Scenario {
+        Scenario::drifting(
+            "test-drift",
+            MachineSpec::tiny(),
+            vec![cpu_heavy(), io_heavy()],
+            5,
+            vec![io_heavy(), cpu_heavy()],
+            7,
+            42,
+        )
+    }
+
+    #[test]
+    fn phase_arithmetic_is_consistent() {
+        let s = two_vm_drift();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.num_vms(), 2);
+        assert_eq!(s.total_epochs(), 12);
+        assert_eq!(s.phase_of_epoch(0), 0);
+        assert_eq!(s.phase_of_epoch(4), 0);
+        assert_eq!(s.phase_of_epoch(5), 1);
+        assert_eq!(s.phase_of_epoch(11), 1);
+        assert_eq!(s.phase_ordinals(), vec![0, 1]);
+    }
+
+    #[test]
+    fn recurring_phases_reuse_ordinals() {
+        let s = Scenario::bursty(
+            "bursty",
+            MachineSpec::tiny(),
+            vec![cpu_heavy()],
+            vec![io_heavy()],
+            4,
+            2,
+            2,
+            7,
+        );
+        // baseline, burst, baseline, burst, baseline.
+        assert_eq!(s.phase_ordinals(), vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn epoch_generation_is_deterministic() {
+        let s = two_vm_drift().with_variability(0.2);
+        let pools = [1000usize, 1000];
+        let a = s.epoch_batch(3, &pools).unwrap();
+        let b = s.epoch_batch(3, &pools).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.job.queries, y.job.queries);
+            assert_eq!(x.observations, y.observations);
+        }
+        // A different seed produces a different stream.
+        let mut other = two_vm_drift().with_variability(0.2);
+        other.seed = 43;
+        let c = other.epoch_batch(3, &pools).unwrap();
+        assert_ne!(a[0].job.queries, c[0].job.queries);
+    }
+
+    #[test]
+    fn variability_stays_in_range() {
+        let s = two_vm_drift().with_variability(0.3);
+        for epoch in 0..12 {
+            for q in 0..8 {
+                let scale = s.query_scale(0, epoch, q);
+                assert!((0.7..=1.3).contains(&scale), "scale {scale} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_observations_but_never_jobs() {
+        let clean = two_vm_drift();
+        let noisy = two_vm_drift().with_noise(FaultInjector::new(
+            NoiseModel::realistic(0.3),
+            99,
+        ));
+        let pools = [1000usize, 1000];
+        for epoch in 0..12 {
+            let a = clean.epoch_batch(epoch, &pools).unwrap();
+            let b = noisy.epoch_batch(epoch, &pools).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.job.queries, y.job.queries, "ground truth must be clean");
+            }
+            // The observation streams differ (jitter or dropped probes).
+            let differs = a.iter().zip(&b).any(|(x, y)| x.observations != y.observations);
+            assert!(differs, "realistic noise should perturb epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        let mut s = two_vm_drift();
+        s.phases[1].profiles.pop();
+        assert!(s.validate().is_err());
+
+        let mut s = two_vm_drift();
+        s.phases[0].epochs = 0;
+        assert!(s.validate().is_err());
+
+        let s = Scenario::new("empty", MachineSpec::tiny(), vec![], 0);
+        assert!(s.validate().is_err());
+
+        let s = two_vm_drift().with_variability(1.5);
+        assert!(s.validate().is_err());
+
+        // Pool-count mismatch surfaces as a typed error.
+        let s = two_vm_drift();
+        assert!(s.epoch_jobs(0, &[1000]).is_err());
+    }
+}

@@ -220,6 +220,7 @@ pub fn run_dynamic(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::run_search;
     use crate::search::tests_support::{dummy_db, dummy_problem, SyntheticModel};
     use dbvirt_vmm::ResourceVector;
 
@@ -333,6 +334,105 @@ mod tests {
         assert_eq!(out.reconfigurations, 0);
         // Dynamic then equals the static-first-phase baseline.
         assert!((out.total_cost - out.static_first_phase_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_phase_timeline_is_pure_placement() {
+        let db = dummy_db();
+        let mut phase = dummy_problem(&db, 2);
+        phase.workloads[0].weight = 10.0;
+        let timeline = DynamicTimeline::new(vec![phase]).unwrap();
+        let model = SyntheticModel {
+            weights: vec![(2.0, 2.0), (2.0, 2.0)],
+        };
+        let out = run_dynamic(&timeline, &model, ReconfigPolicy::new(SearchConfig::for_workloads(8, 2))).unwrap();
+        assert_eq!(out.phases.len(), 1);
+        assert_eq!(out.reconfigurations, 0);
+        assert!(!out.phases[0].reconfigured);
+        // With one phase the dynamic run *is* the static-first baseline.
+        assert!((out.total_cost - out.static_first_phase_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_consecutive_phases_never_switch() {
+        let db = dummy_db();
+        // Asymmetric weights so the optimum is NOT the equal split — a
+        // buggy controller that re-derives the allocation from scratch
+        // each phase would still land on the same answer, but one that
+        // compares against a stale baseline could oscillate. Four
+        // identical phases must yield zero switches and 4x the phase cost.
+        let mut phases = Vec::new();
+        for _ in 0..4 {
+            let mut p = dummy_problem(&db, 2);
+            p.workloads[0].weight = 7.0;
+            phases.push(p);
+        }
+        let timeline = DynamicTimeline::new(phases).unwrap();
+        let model = SyntheticModel {
+            weights: vec![(3.0, 1.0), (1.0, 3.0)],
+        };
+        let out = run_dynamic(&timeline, &model, ReconfigPolicy::new(SearchConfig::for_workloads(8, 2))).unwrap();
+        assert_eq!(out.reconfigurations, 0);
+        assert!(out.phases.iter().all(|p| !p.reconfigured));
+        let per_phase = out.phases[0].cost;
+        assert!((out.total_cost - 4.0 * per_phase).abs() < 1e-9);
+        // The held allocation is the informed (non-equal) placement.
+        assert_ne!(
+            out.phases[0].allocation,
+            AllocationMatrix::equal_split(2).unwrap()
+        );
+    }
+
+    #[test]
+    fn hysteresis_boundary_is_pinned_exactly() {
+        // Pin the switch rule `gain > min_relative_gain * keep_cost` at
+        // the boundary. With min_relative_gain = 0 the rule degenerates to
+        // `keep - objective - overhead > 0`, so setting the overhead to
+        // exactly `keep - objective` makes the gain exactly 0.0 — the
+        // strict inequality must NOT switch — while one ULP less overhead
+        // must switch.
+        let db = dummy_db();
+        let mut phase_a = dummy_problem(&db, 2);
+        phase_a.workloads[0].weight = 10.0;
+        let mut phase_b = dummy_problem(&db, 2);
+        phase_b.workloads[1].weight = 10.0;
+        let model = SyntheticModel {
+            weights: vec![(2.0, 2.0), (2.0, 2.0)],
+        };
+        let config = SearchConfig::for_workloads(8, 2);
+
+        // Reproduce the controller's own arithmetic for phase 1.
+        let first = run_search(SearchAlgorithm::DynamicProgramming, &phase_a, &model, config).unwrap();
+        let keep = phase_cost(&phase_b, &model, &first.allocation).unwrap();
+        let rec = run_search(SearchAlgorithm::DynamicProgramming, &phase_b, &model, config).unwrap();
+        let boundary_overhead = keep - rec.objective;
+        assert!(boundary_overhead > 0.0, "the flip must promise a gain");
+
+        let run = |overhead: f64, gain: f64| {
+            let phases = vec![dummy_problem(&db, 2), dummy_problem(&db, 2)];
+            let mut timeline_phases = phases;
+            timeline_phases[0].workloads[0].weight = 10.0;
+            timeline_phases[1].workloads[1].weight = 10.0;
+            let timeline = DynamicTimeline::new(timeline_phases).unwrap();
+            let policy = ReconfigPolicy {
+                algorithm: SearchAlgorithm::DynamicProgramming,
+                config,
+                switch_overhead_seconds: overhead,
+                min_relative_gain: gain,
+            };
+            run_dynamic(&timeline, &model, policy).unwrap().reconfigurations
+        };
+
+        // gain == 0.0 exactly: strict `>` must hold the allocation.
+        assert_eq!(run(boundary_overhead, 0.0), 0, "gain of exactly zero must not switch");
+        // One ULP below the boundary: gain becomes positive, must switch.
+        assert_eq!(run(boundary_overhead.next_down(), 0.0), 1);
+
+        // With 5% hysteresis the boundary moves by 0.05 * keep; pin it
+        // from both sides with a margin far above float error.
+        let hysteresis_boundary = keep - rec.objective - 0.05 * keep;
+        assert_eq!(run(hysteresis_boundary + 1e-6, 0.05), 0);
+        assert_eq!(run(hysteresis_boundary - 1e-6, 0.05), 1);
     }
 
     #[test]

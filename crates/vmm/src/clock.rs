@@ -5,6 +5,7 @@
 //! exactly reproducible and hashable; conversions to floating-point seconds
 //! are provided for reporting and for the calibration least-squares solver.
 
+use crate::VmmError;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
@@ -28,7 +29,9 @@ impl SimDuration {
     /// the nearest microsecond.
     ///
     /// # Panics
-    /// Panics if `secs` is negative, NaN, or too large to represent.
+    /// Panics if `secs` is negative, NaN, or too large to represent. Use
+    /// [`SimDuration::try_from_secs_f64`] when the value comes from
+    /// untrusted input (e.g. externally supplied demands).
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(
             secs.is_finite() && secs >= 0.0,
@@ -40,6 +43,20 @@ impl SimDuration {
             "SimDuration overflow: {secs} seconds"
         );
         SimDuration(us.round() as u64)
+    }
+
+    /// Creates a duration from seconds, returning a typed error instead of
+    /// panicking when `secs` is negative, NaN, infinite, or larger than the
+    /// microsecond counter can hold.
+    pub fn try_from_secs_f64(secs: f64) -> Result<SimDuration, VmmError> {
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(VmmError::InvalidDuration { seconds: secs });
+        }
+        let us = secs * 1e6;
+        if us > u64::MAX as f64 {
+            return Err(VmmError::InvalidDuration { seconds: secs });
+        }
+        Ok(SimDuration(us.round() as u64))
     }
 
     /// The duration in integer microseconds.
@@ -131,6 +148,14 @@ impl SimTime {
         self.0 as f64 / 1e6
     }
 
+    /// Checked advance: `None` when the microsecond counter would overflow.
+    pub const fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        match self.0.checked_add(rhs.as_micros()) {
+            Some(us) => Some(SimTime(us)),
+            None => None,
+        }
+    }
+
     /// The duration elapsed since `earlier`.
     ///
     /// # Panics
@@ -190,6 +215,39 @@ mod tests {
     #[should_panic(expected = "finite non-negative")]
     fn duration_rejects_negative() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn try_from_secs_matches_the_panicking_constructor() {
+        for secs in [0.0, 1e-6, 0.5, 1.0, 1234.567, 1e9] {
+            assert_eq!(
+                SimDuration::try_from_secs_f64(secs).unwrap(),
+                SimDuration::from_secs_f64(secs)
+            );
+        }
+    }
+
+    #[test]
+    fn try_from_secs_rejects_hostile_values_with_typed_errors() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e290] {
+            match SimDuration::try_from_secs_f64(bad) {
+                Err(VmmError::InvalidDuration { seconds }) => {
+                    assert!(seconds.is_nan() == bad.is_nan() && (bad.is_nan() || seconds == bad))
+                }
+                other => panic!("expected InvalidDuration for {bad}, got {other:?}"),
+            }
+        }
+        // The largest representable duration is accepted; one order of
+        // magnitude more is not.
+        assert!(SimDuration::try_from_secs_f64(u64::MAX as f64 / 1e6 * 0.99).is_ok());
+        assert!(SimDuration::try_from_secs_f64(u64::MAX as f64 / 1e6 * 10.0).is_err());
+    }
+
+    #[test]
+    fn checked_add_saturates_to_none_on_overflow() {
+        let late = SimTime::from_micros(u64::MAX - 10);
+        assert!(late.checked_add(SimDuration::from_micros(10)).is_some());
+        assert!(late.checked_add(SimDuration::from_micros(11)).is_none());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum VmmError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// A seconds value could not be represented as a simulated duration
+    /// (negative, NaN, infinite, or beyond the microsecond counter).
+    InvalidDuration {
+        /// The offending value, in seconds.
+        seconds: f64,
+    },
 }
 
 impl fmt::Display for VmmError {
@@ -45,6 +51,10 @@ impl fmt::Display for VmmError {
             VmmError::EmptyAllocation => write!(f, "allocation matrix has no workloads"),
             VmmError::InvalidMachine { reason } => write!(f, "invalid machine spec: {reason}"),
             VmmError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            VmmError::InvalidDuration { seconds } => write!(
+                f,
+                "{seconds} seconds is not representable as a simulated duration"
+            ),
         }
     }
 }

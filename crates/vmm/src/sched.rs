@@ -199,6 +199,24 @@ pub fn co_schedule(
         .map(|i| VirtualMachine::new(spec, allocation.row(i)))
         .collect::<Result<_, _>>()?;
 
+    // Validate demands up front: the scheduler is fed by external
+    // controllers, so hostile CPU demands (NaN, negative, or so large that
+    // no finite schedule exists) must surface as typed errors rather than
+    // silently-skipped phases or clock-overflow panics deep in the loop.
+    // Page counts are u64 and need no check.
+    for (i, job) in jobs.iter().enumerate() {
+        for (q, demand) in job.queries.iter().enumerate() {
+            if !demand.cpu_cycles.is_finite() || demand.cpu_cycles < 0.0 {
+                return Err(VmmError::InvalidSchedule {
+                    reason: format!(
+                        "VM {i} query {q}: cpu_cycles must be finite and non-negative, got {}",
+                        demand.cpu_cycles
+                    ),
+                });
+            }
+        }
+    }
+
     let mut states: Vec<VmState> = jobs.iter().map(VmState::new).collect();
     let mut now = SimTime::ZERO;
 
@@ -286,7 +304,15 @@ pub fn co_schedule(
                 reason: "no VM can make progress".to_string(),
             });
         }
-        now += SimDuration::from_secs_f64(dt);
+        // A huge-but-finite demand can produce a step (or an accumulated
+        // clock) beyond the microsecond counter; both are schedule errors,
+        // not panics.
+        let step = SimDuration::try_from_secs_f64(dt).map_err(|_| VmmError::InvalidSchedule {
+            reason: format!("virtual-clock step of {dt} seconds is not representable"),
+        })?;
+        now = now.checked_add(step).ok_or_else(|| VmmError::InvalidSchedule {
+            reason: "virtual clock overflowed".to_string(),
+        })?;
 
         // Advance every active VM by dt, popping completed phases/queries.
         for (state, rate) in states.iter_mut().zip(&rates) {
@@ -428,6 +454,33 @@ mod tests {
         let out = co_schedule(spec, &alloc, &[VmJob::new(vec![])], SchedMode::Capped).unwrap();
         assert_eq!(out[0].completion, SimTime::ZERO);
         assert!(out[0].query_completions.is_empty());
+    }
+
+    #[test]
+    fn hostile_cpu_demands_are_rejected_with_typed_errors() {
+        let spec = MachineSpec::tiny();
+        let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let job = VmJob::new(vec![demand(bad, 10, 0)]);
+            let err = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap_err();
+            match err {
+                VmmError::InvalidSchedule { reason } => {
+                    assert!(reason.contains("cpu_cycles"), "unexpected reason: {reason}")
+                }
+                other => panic!("expected InvalidSchedule for cpu={bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn huge_finite_demand_errors_instead_of_panicking() {
+        // 1e300 cycles on a 1e9 cycles/s machine is ~1e291 seconds: finite,
+        // but far beyond the microsecond clock. Must be an error, not a panic.
+        let spec = MachineSpec::tiny();
+        let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
+        let job = VmJob::new(vec![demand(1e300, 0, 0)]);
+        let err = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap_err();
+        assert!(matches!(err, VmmError::InvalidSchedule { .. }));
     }
 
     #[test]

@@ -18,3 +18,10 @@ cargo run --release -p dbvirt-bench --bin ext_chaos
 # retry, ridge, and degradation tests live there.
 cargo test -q -p dbvirt-calibrate
 cargo test -q --test calibration_recovery
+
+# The online control loop under the same injector: noisy observations may
+# cost accuracy (dropped observations, extra switches) but must never
+# panic or wedge the loop (CONTROLLER_CHAOS=1 adds a seeded noise sweep
+# to the controller scenario suite).
+CONTROLLER_CHAOS=1 cargo run --release -p dbvirt-bench --bin ext_controller
+cargo test -q --test controller_loop

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Controller smoke gate: run the online control loop over the pinned
+# scenario suite (`ext_controller`) twice and hold it to its contract —
+# the binary's own assertions must pass (stationary stream never
+# reconfigures, drifting regret stays within 15% of the clairvoyant
+# oracle and beats never-reconfiguring, the decision trace is
+# bit-identical at every search parallelism), the per-scenario
+# CONTROLLER_FINGERPRINT lines must be identical across the two
+# processes, and the BENCH_controller.json artifact must be written.
+#
+# Runs as part of `scripts/tier1.sh`, or directly. Artifacts land in
+# CONTROLLER_DIR (default: a throwaway temp directory; set
+# CONTROLLER_DIR=. to keep BENCH_controller.json in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root="$PWD"
+
+out_dir="${CONTROLLER_DIR:-$(mktemp -d)}"
+cleanup() {
+  if [[ -z "${CONTROLLER_DIR:-}" ]]; then rm -rf "$out_dir"; fi
+}
+trap cleanup EXIT
+
+cargo build --release -p dbvirt-bench --bin ext_controller
+
+(cd "$out_dir" && "$repo_root/target/release/ext_controller" | tee run_a.log)
+(cd "$out_dir" && "$repo_root/target/release/ext_controller" > run_b.log)
+
+# Cross-process determinism: the decision-trace fingerprints of two
+# independent runs must match line for line.
+grep '^CONTROLLER_FINGERPRINT' "$out_dir/run_a.log" > "$out_dir/fp_a.txt"
+grep '^CONTROLLER_FINGERPRINT' "$out_dir/run_b.log" > "$out_dir/fp_b.txt"
+if [[ ! -s "$out_dir/fp_a.txt" ]]; then
+  echo "FAIL: ext_controller printed no fingerprint lines" >&2
+  exit 1
+fi
+if ! diff -u "$out_dir/fp_a.txt" "$out_dir/fp_b.txt"; then
+  echo "FAIL: decision traces diverged between two identical runs" >&2
+  exit 1
+fi
+
+if [[ ! -s "$out_dir/BENCH_controller.json" ]]; then
+  echo "FAIL: ext_controller did not write BENCH_controller.json" >&2
+  exit 1
+fi
+echo "controller gate OK: assertions held, traces replayed bit-identically"

@@ -12,6 +12,12 @@ cargo test -q
 # coverage) and both exporter artifacts (see scripts/trace.sh).
 scripts/trace.sh
 
+# Controller smoke gate: the online control loop must hold still on a
+# stationary stream, stay within 15% of the clairvoyant oracle on the
+# pinned drifting stream, and replay its decision trace bit-identically
+# across processes and parallelism (see scripts/controller.sh).
+scripts/controller.sh
+
 # Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
 # under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
 if [[ "${CHAOS:-0}" == "1" ]]; then
