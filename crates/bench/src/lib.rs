@@ -15,6 +15,9 @@
 //! | `ext_dynamic` | dynamic reconfiguration controller vs static baselines |
 //! | `ext_ablation` | cost-model ablation: calibrated vs allocation-blind |
 //! | `ext_trace` | telemetry smoke gate: traced consolidation run, writes `TRACE_dump.json` + `TRACE_chrome.json` |
+//! | `ext_controller` | online drift-detecting control loop vs clairvoyant oracle, writes `BENCH_controller.json` |
+//! | `ext_chaos` | calibration pipeline under fault-injection sweeps |
+//! | `ext_sched` | incremental vs reference co-scheduler: 48-config identity + speedup sweep, writes `BENCH_sched.json` |
 //!
 //! This library holds what the binaries share: the experiment machine and
 //! measurement/printing helpers.

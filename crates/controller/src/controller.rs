@@ -5,7 +5,9 @@
 //!
 //! 1. materialize the epoch's jobs from the scenario and run them under
 //!    the current allocation ([`co_schedule`], capped mode — the paper's
-//!    experimental configuration);
+//!    experimental configuration; since the event-driven rewrite this is
+//!    the incremental scheduler, so an epoch costs O(events · log V)
+//!    rather than O(events · V));
 //! 2. feed each completed query's observation into the per-VM streaming
 //!    statistics, which maintain an EWMA profile estimate and a
 //!    Page–Hinkley drift detector on an allocation-invariant reference

@@ -49,7 +49,9 @@ pub struct RegretReport {
 /// Replays the scenario's clean query stream under a fixed per-epoch
 /// allocation trajectory, charging the modeled reconfiguration cost at
 /// every epoch boundary where the allocation changes. Returns the total
-/// cost and the number of switches charged.
+/// cost and the number of switches charged. Each epoch's co-run goes
+/// through the incremental `co_schedule` (capped mode), so replays scale
+/// with events touched rather than fleet size × events.
 fn replay(
     scenario: &Scenario,
     by_epoch: &[&AllocationMatrix],

@@ -26,6 +26,10 @@
 //! * a fluid-approximation credit scheduler ([`sched`]) that co-schedules
 //!   several VMs on one machine, in capped or work-conserving mode, for the
 //!   experiments where two workloads run concurrently (the paper's Figure 5).
+//!   The production entry point ([`sched::co_schedule`]) is an incremental
+//!   event-driven scheduler; a whole-fleet rescan baseline
+//!   ([`sched::co_schedule_reference`]) is kept bit-identical to it for
+//!   differential testing.
 //!
 //! Everything is deterministic: "measuring" an execution twice yields the
 //! same [`SimDuration`], which is what makes optimizer calibration exactly

@@ -15,10 +15,31 @@
 //! * [`SchedMode::WorkConserving`] — idle capacity is redistributed among
 //!   the VMs currently demanding the resource, in proportion to their
 //!   shares (Xen's default `weight`-based behaviour).
+//!
+//! Two implementations share one semantics (see [`fluid`] for the shared
+//! arithmetic and its determinism rules):
+//!
+//! * [`co_schedule`] — the production path: an incremental event-driven
+//!   scheduler ([`incremental`]) that keeps per-resource active sets and a
+//!   binary event heap, touching only the VMs an event can affect. This is
+//!   what every controller epoch, regret replay, and measured-oracle run
+//!   bottoms out in, so its per-event cost is the fleet-scale wall clock.
+//! * [`co_schedule_reference`] — the legacy whole-fleet rescan loop
+//!   ([`reference`]), O(V) per event, retained as the differential-testing
+//!   baseline. Identical inputs produce completions **bit-identical** to
+//!   the incremental scheduler; `tests/sched_differential.rs` and the
+//!   `ext_sched` bench enforce the contract.
 
 use crate::{
-    AllocationMatrix, MachineSpec, ResourceDemand, SimDuration, SimTime, VirtualMachine, VmmError,
+    AllocationMatrix, MachineSpec, ResourceDemand, ResourceVector, SimDuration, SimTime,
+    VirtualMachine, VmmError,
 };
+
+mod fluid;
+mod incremental;
+mod reference;
+
+pub use incremental::SchedStats;
 
 /// How unclaimed resource capacity is treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,110 +82,6 @@ impl VmOutcome {
     }
 }
 
-/// Which resource a phase consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PhaseKind {
-    SeqRead,
-    RandRead,
-    Write,
-    Cpu,
-}
-
-impl PhaseKind {
-    fn uses_disk(self) -> bool {
-        !matches!(self, PhaseKind::Cpu)
-    }
-}
-
-/// Remaining work of a phase, in phase units (pages or cycles).
-#[derive(Debug, Clone, Copy)]
-struct Phase {
-    kind: PhaseKind,
-    remaining: f64,
-}
-
-fn phases_of(demand: &ResourceDemand) -> Vec<Phase> {
-    // A query thread alternates between disk waits and computation; since
-    // the fluid model only cares about totals per resource, we order the
-    // phases deterministically: reads, then CPU, then write-back.
-    let mut out = Vec::with_capacity(4);
-    if demand.seq_page_reads > 0 {
-        out.push(Phase {
-            kind: PhaseKind::SeqRead,
-            remaining: demand.seq_page_reads as f64,
-        });
-    }
-    if demand.random_page_reads > 0 {
-        out.push(Phase {
-            kind: PhaseKind::RandRead,
-            remaining: demand.random_page_reads as f64,
-        });
-    }
-    if demand.cpu_cycles > 0.0 {
-        out.push(Phase {
-            kind: PhaseKind::Cpu,
-            remaining: demand.cpu_cycles,
-        });
-    }
-    if demand.page_writes > 0 {
-        out.push(Phase {
-            kind: PhaseKind::Write,
-            remaining: demand.page_writes as f64,
-        });
-    }
-    out
-}
-
-struct VmState {
-    /// Queries not yet started, in reverse order (pop from the back).
-    pending: Vec<ResourceDemand>,
-    /// Phases of the in-flight query, in reverse order.
-    current: Vec<Phase>,
-    completions: Vec<SimTime>,
-    done: bool,
-}
-
-impl VmState {
-    fn new(job: &VmJob) -> VmState {
-        let mut pending: Vec<ResourceDemand> = job.queries.clone();
-        pending.reverse();
-        let mut state = VmState {
-            pending,
-            current: Vec::new(),
-            completions: Vec::new(),
-            done: false,
-        };
-        state.advance_query(SimTime::ZERO);
-        state
-    }
-
-    /// Loads the next query (recording completions for any queries whose
-    /// demand is empty), marking the VM done when the job is exhausted.
-    fn advance_query(&mut self, now: SimTime) {
-        while self.current.is_empty() {
-            match self.pending.pop() {
-                Some(demand) => {
-                    let mut phases = phases_of(&demand);
-                    phases.reverse();
-                    if phases.is_empty() {
-                        // Zero-demand query completes instantly.
-                        self.completions.push(now);
-                    }
-                    self.current = phases;
-                }
-                None => {
-                    self.done = true;
-                    return;
-                }
-            }
-        }
-    }
-
-    fn current_phase(&self) -> Option<&Phase> {
-        self.current.last()
-    }
-}
-
 /// Runs `jobs` concurrently on `spec` under `allocation`, one VM per job,
 /// and reports each VM's query completion instants.
 ///
@@ -174,16 +91,67 @@ impl VmState {
 ///
 /// The simulation is a deterministic fluid model: at every instant each
 /// in-flight phase progresses at a rate set by its VM's effective share of
-/// the relevant resource; the simulator repeatedly advances to the next
-/// phase-completion event. With a single VM in [`SchedMode::Capped`] mode
-/// the result is identical to summing [`VirtualMachine::demand_duration`]
-/// over the job, which is checked by tests.
+/// the relevant resource; the simulator advances from phase-completion
+/// event to phase-completion event. Time is continuous (f64 microseconds)
+/// internally and rounded to the microsecond [`SimTime`] clock only when a
+/// completion is reported, so integrated work equals demand to f64
+/// precision regardless of stream length. With a single VM in
+/// [`SchedMode::Capped`] mode the result matches summing
+/// [`VirtualMachine::demand_duration`] over the job at microsecond
+/// resolution, which is checked by tests.
+///
+/// This entry point is the incremental event-driven scheduler; see
+/// [`co_schedule_reference`] for the O(V)-per-event baseline it is pinned
+/// bit-identical to, and [`co_schedule_with_stats`] for the same run plus
+/// its work counters.
 pub fn co_schedule(
     spec: MachineSpec,
     allocation: &AllocationMatrix,
     jobs: &[VmJob],
     mode: SchedMode,
 ) -> Result<Vec<VmOutcome>, VmmError> {
+    let shares = validate_inputs(&spec, allocation, jobs)?;
+    incremental::run(&spec, mode, &shares, jobs).map(|(outcomes, _)| outcomes)
+}
+
+/// [`co_schedule`], additionally returning the scheduler's work counters
+/// (events processed, VMs touched per event, heap population) for
+/// benchmarking and locality assertions.
+pub fn co_schedule_with_stats(
+    spec: MachineSpec,
+    allocation: &AllocationMatrix,
+    jobs: &[VmJob],
+    mode: SchedMode,
+) -> Result<(Vec<VmOutcome>, SchedStats), VmmError> {
+    let shares = validate_inputs(&spec, allocation, jobs)?;
+    incremental::run(&spec, mode, &shares, jobs)
+}
+
+/// The legacy whole-fleet rescan loop: identical semantics (and identical
+/// completions, to the bit) as [`co_schedule`], at O(V) work per event.
+/// Kept as the differential-testing and benchmarking baseline; production
+/// callers should use [`co_schedule`].
+pub fn co_schedule_reference(
+    spec: MachineSpec,
+    allocation: &AllocationMatrix,
+    jobs: &[VmJob],
+    mode: SchedMode,
+) -> Result<Vec<VmOutcome>, VmmError> {
+    let shares = validate_inputs(&spec, allocation, jobs)?;
+    reference::run(&spec, mode, &shares, jobs)
+}
+
+/// Shared up-front validation: machine sanity, job/allocation alignment,
+/// strictly positive shares, and hostile demand screening. The scheduler
+/// is fed by external controllers, so hostile CPU demands (NaN, negative,
+/// or so large that no finite schedule exists) must surface as typed
+/// errors rather than silently-skipped phases or clock-overflow panics
+/// deep in the event loop. Page counts are `u64` and need no check.
+fn validate_inputs(
+    spec: &MachineSpec,
+    allocation: &AllocationMatrix,
+    jobs: &[VmJob],
+) -> Result<Vec<ResourceVector>, VmmError> {
     spec.validate()?;
     if jobs.len() != allocation.num_workloads() {
         return Err(VmmError::InvalidSchedule {
@@ -196,14 +164,9 @@ pub fn co_schedule(
     }
     // Validate each VM up front (positive shares etc.).
     let vms: Vec<VirtualMachine> = (0..jobs.len())
-        .map(|i| VirtualMachine::new(spec, allocation.row(i)))
+        .map(|i| VirtualMachine::new(*spec, allocation.row(i)))
         .collect::<Result<_, _>>()?;
 
-    // Validate demands up front: the scheduler is fed by external
-    // controllers, so hostile CPU demands (NaN, negative, or so large that
-    // no finite schedule exists) must surface as typed errors rather than
-    // silently-skipped phases or clock-overflow panics deep in the loop.
-    // Page counts are u64 and need no check.
     for (i, job) in jobs.iter().enumerate() {
         for (q, demand) in job.queries.iter().enumerate() {
             if !demand.cpu_cycles.is_finite() || demand.cpu_cycles < 0.0 {
@@ -216,135 +179,18 @@ pub fn co_schedule(
             }
         }
     }
+    Ok(vms.into_iter().map(|vm| vm.shares()).collect())
+}
 
-    let mut states: Vec<VmState> = jobs.iter().map(VmState::new).collect();
-    let mut now = SimTime::ZERO;
-
-    // Hard bound on events: every phase of every query completes exactly once.
-    let max_events: usize = jobs
-        .iter()
-        .flat_map(|j| j.queries.iter())
-        .map(|q| phases_of(q).len().max(1))
-        .sum::<usize>()
-        + jobs.len()
-        + 1;
-
-    for _ in 0..max_events {
-        if states.iter().all(|s| s.done) {
-            break;
-        }
-
-        // Effective share per active VM for each resource.
-        let cpu_demand_total: f64 = states
-            .iter()
-            .zip(&vms)
-            .filter(|(s, _)| matches!(s.current_phase().map(|p| p.kind), Some(PhaseKind::Cpu)))
-            .map(|(_, vm)| vm.shares().cpu().fraction())
-            .sum();
-        let disk_demand_total: f64 = states
-            .iter()
-            .zip(&vms)
-            .filter(|(s, _)| {
-                s.current_phase()
-                    .map(|p| p.kind.uses_disk())
-                    .unwrap_or(false)
-            })
-            .map(|(_, vm)| vm.shares().disk().fraction())
-            .sum();
-
-        // Rate (phase units per second) for each active VM's current phase.
-        let rates: Vec<Option<f64>> = states
-            .iter()
-            .zip(&vms)
-            .map(|(s, vm)| {
-                let phase = s.current_phase()?;
-                let configured = if phase.kind == PhaseKind::Cpu {
-                    vm.shares().cpu().fraction()
-                } else {
-                    vm.shares().disk().fraction()
-                };
-                let eff_share = match mode {
-                    SchedMode::Capped => configured,
-                    SchedMode::WorkConserving => {
-                        let total = if phase.kind == PhaseKind::Cpu {
-                            cpu_demand_total
-                        } else {
-                            disk_demand_total
-                        };
-                        if total > 0.0 {
-                            configured / total
-                        } else {
-                            configured
-                        }
-                    }
-                };
-                let rate = match phase.kind {
-                    PhaseKind::Cpu => spec.total_cycles_per_sec() * eff_share,
-                    PhaseKind::SeqRead | PhaseKind::Write => {
-                        eff_share * spec.disk_seq_bytes_per_sec / spec.page_size as f64
-                    }
-                    PhaseKind::RandRead => eff_share * spec.disk_random_iops,
-                };
-                Some(rate)
-            })
-            .collect();
-
-        // Time until the earliest phase completion.
-        let dt = states
-            .iter()
-            .zip(&rates)
-            .filter_map(|(s, rate)| {
-                let phase = s.current_phase()?;
-                let rate = (*rate)?;
-                (rate > 0.0).then(|| phase.remaining / rate)
-            })
-            .fold(f64::INFINITY, f64::min);
-        if !dt.is_finite() {
-            return Err(VmmError::InvalidSchedule {
-                reason: "no VM can make progress".to_string(),
-            });
-        }
-        // A huge-but-finite demand can produce a step (or an accumulated
-        // clock) beyond the microsecond counter; both are schedule errors,
-        // not panics.
-        let step = SimDuration::try_from_secs_f64(dt).map_err(|_| VmmError::InvalidSchedule {
-            reason: format!("virtual-clock step of {dt} seconds is not representable"),
-        })?;
-        now = now.checked_add(step).ok_or_else(|| VmmError::InvalidSchedule {
-            reason: "virtual clock overflowed".to_string(),
-        })?;
-
-        // Advance every active VM by dt, popping completed phases/queries.
-        for (state, rate) in states.iter_mut().zip(&rates) {
-            let Some(rate) = *rate else { continue };
-            let Some(phase) = state.current.last_mut() else {
-                continue;
-            };
-            phase.remaining -= rate * dt;
-            // Absorb float fuzz: a phase within half a unit of zero is done.
-            if phase.remaining <= 1e-6 {
-                state.current.pop();
-                if state.current.is_empty() {
-                    state.completions.push(now);
-                    state.advance_query(now);
-                }
-            }
-        }
-    }
-
-    if !states.iter().all(|s| s.done) {
-        return Err(VmmError::InvalidSchedule {
-            reason: "simulation failed to converge (event budget exhausted)".to_string(),
-        });
-    }
-
-    Ok(states
+/// Folds final per-VM states into the public outcome report.
+fn collect_outcomes(states: Vec<fluid::VmState>) -> Vec<VmOutcome> {
+    states
         .into_iter()
         .map(|s| VmOutcome {
             completion: s.completions.last().copied().unwrap_or(SimTime::ZERO),
             query_completions: s.completions,
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -361,6 +207,20 @@ mod tests {
         }
     }
 
+    /// Runs both implementations, asserts they agree to the bit, and
+    /// returns the (shared) outcome.
+    fn co_schedule_both(
+        spec: MachineSpec,
+        alloc: &AllocationMatrix,
+        jobs: &[VmJob],
+        mode: SchedMode,
+    ) -> Vec<VmOutcome> {
+        let incr = co_schedule(spec, alloc, jobs, mode).unwrap();
+        let refr = co_schedule_reference(spec, alloc, jobs, mode).unwrap();
+        assert_eq!(incr, refr, "incremental and reference completions diverged");
+        incr
+    }
+
     #[test]
     fn single_vm_matches_direct_model() {
         let spec = MachineSpec::paper_testbed();
@@ -368,7 +228,7 @@ mod tests {
         let alloc = AllocationMatrix::new(vec![shares]).unwrap();
         let queries = vec![demand(2.8e9, 1000, 50), demand(1.0e9, 0, 10)];
         let job = VmJob::new(queries.clone());
-        let out = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap();
+        let out = co_schedule_both(spec, &alloc, &[job], SchedMode::Capped);
 
         let vm = VirtualMachine::new(spec, shares).unwrap();
         let expect: f64 = queries.iter().map(|q| vm.demand_seconds(q)).sum();
@@ -386,7 +246,7 @@ mod tests {
         let spec = MachineSpec::paper_testbed();
         let alloc = AllocationMatrix::equal_split(2).unwrap();
         let job = VmJob::new(vec![demand(5.6e9, 0, 0)]);
-        let out = co_schedule(spec, &alloc, &[job.clone(), job], SchedMode::Capped).unwrap();
+        let out = co_schedule_both(spec, &alloc, &[job.clone(), job], SchedMode::Capped);
         // 5.6e9 cycles at 50% of 5.6e9 cycles/s = 2 seconds.
         for o in &out {
             assert!((o.completion.as_secs_f64() - 2.0).abs() < 1e-6);
@@ -399,7 +259,7 @@ mod tests {
         let alloc = AllocationMatrix::equal_split(2).unwrap();
         let long = VmJob::new(vec![demand(11.2e9, 0, 0)]);
         let short = VmJob::new(vec![demand(2.8e9, 0, 0)]);
-        let out = co_schedule(spec, &alloc, &[long, short], SchedMode::WorkConserving).unwrap();
+        let out = co_schedule_both(spec, &alloc, &[long, short], SchedMode::WorkConserving);
         // While both run, each gets 50% (2.8e9 cyc/s). The short job needs
         // 2.8e9 cycles -> 1s. Then the long job gets 100%: it has consumed
         // 2.8e9 of 11.2e9, so 8.4e9 remain at 5.6e9 cyc/s -> 1.5s more.
@@ -422,7 +282,7 @@ mod tests {
             VmJob::new(vec![demand(0.0, 10_000, 0)]),
         ];
         for mode in [SchedMode::Capped, SchedMode::WorkConserving] {
-            let out = co_schedule(spec, &alloc, &jobs, mode).unwrap();
+            let out = co_schedule_both(spec, &alloc, &jobs, mode);
             let vm0 = VirtualMachine::new(spec, rows[0]).unwrap();
             let vm1 = VirtualMachine::new(spec, rows[1]).unwrap();
             let solo0 = vm0.demand_seconds(&jobs[0].queries[0]);
@@ -451,7 +311,7 @@ mod tests {
     fn empty_jobs_complete_at_time_zero() {
         let spec = MachineSpec::tiny();
         let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
-        let out = co_schedule(spec, &alloc, &[VmJob::new(vec![])], SchedMode::Capped).unwrap();
+        let out = co_schedule_both(spec, &alloc, &[VmJob::new(vec![])], SchedMode::Capped);
         assert_eq!(out[0].completion, SimTime::ZERO);
         assert!(out[0].query_completions.is_empty());
     }
@@ -462,12 +322,14 @@ mod tests {
         let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
             let job = VmJob::new(vec![demand(bad, 10, 0)]);
-            let err = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap_err();
-            match err {
-                VmmError::InvalidSchedule { reason } => {
-                    assert!(reason.contains("cpu_cycles"), "unexpected reason: {reason}")
+            for schedule in [co_schedule, co_schedule_reference] {
+                let err = schedule(spec, &alloc, &[job.clone()], SchedMode::Capped).unwrap_err();
+                match err {
+                    VmmError::InvalidSchedule { reason } => {
+                        assert!(reason.contains("cpu_cycles"), "unexpected reason: {reason}")
+                    }
+                    other => panic!("expected InvalidSchedule for cpu={bad}, got {other:?}"),
                 }
-                other => panic!("expected InvalidSchedule for cpu={bad}, got {other:?}"),
             }
         }
     }
@@ -479,8 +341,10 @@ mod tests {
         let spec = MachineSpec::tiny();
         let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
         let job = VmJob::new(vec![demand(1e300, 0, 0)]);
-        let err = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap_err();
-        assert!(matches!(err, VmmError::InvalidSchedule { .. }));
+        for schedule in [co_schedule, co_schedule_reference] {
+            let err = schedule(spec, &alloc, &[job.clone()], SchedMode::Capped).unwrap_err();
+            assert!(matches!(err, VmmError::InvalidSchedule { .. }));
+        }
     }
 
     #[test]
@@ -488,10 +352,159 @@ mod tests {
         let spec = MachineSpec::tiny();
         let alloc = AllocationMatrix::new(vec![ResourceVector::uniform(Share::HALF)]).unwrap();
         let job = VmJob::new(vec![ResourceDemand::ZERO, demand(1e9, 0, 0)]);
-        let out = co_schedule(spec, &alloc, &[job], SchedMode::Capped).unwrap();
+        let out = co_schedule_both(spec, &alloc, &[job], SchedMode::Capped);
         assert_eq!(out[0].query_completions.len(), 2);
         assert_eq!(out[0].query_completions[0], SimTime::ZERO);
         assert!(out[0].completion > SimTime::ZERO);
+    }
+
+    /// Regression for the work/clock quantization skew: the pre-rewrite
+    /// loop advanced the clock by the microsecond-rounded step but
+    /// decremented `remaining` by the raw `rate * dt`, so every phase
+    /// completed at a per-phase-rounded instant and the error compounded —
+    /// 10,000 phases of 10.4 µs each reported ~100,000 µs instead of
+    /// 104,000 µs (a 4 ms drift). With anchored continuous-time
+    /// integration, integrated work equals demand and the reported
+    /// completion matches `demand_seconds` at microsecond resolution over
+    /// the whole stream.
+    #[test]
+    fn long_streams_do_not_accumulate_quantization_skew() {
+        let spec = MachineSpec::paper_testbed();
+        let shares = ResourceVector::from_fractions(0.5, 0.5, 0.5).unwrap();
+        let alloc = AllocationMatrix::new(vec![shares]).unwrap();
+        // 29,120 cycles at 50% of 5.6e9 cycles/s = 10.4 µs per query: every
+        // phase has a fractional-microsecond duration, the worst case for
+        // per-event rounding.
+        let queries = vec![demand(29_120.0, 0, 0); 10_000];
+        let job = VmJob::new(queries.clone());
+        let out = co_schedule_both(spec, &alloc, &[job], SchedMode::Capped);
+
+        let vm = VirtualMachine::new(spec, shares).unwrap();
+        let expect_secs: f64 = queries.iter().map(|q| vm.demand_seconds(q)).sum();
+        let expect_us = SimDuration::from_secs_f64(expect_secs).as_micros();
+        let got_us = out[0].completion.as_micros();
+        assert!(
+            got_us.abs_diff(expect_us) <= 1,
+            "10k-event stream drifted: got {got_us} µs, want {expect_us} µs"
+        );
+        // Every intermediate completion is also on the exact integrated
+        // timeline, not a per-phase-rounded one.
+        for (k, t) in out[0].query_completions.iter().enumerate() {
+            let want = ((k + 1) as f64 * 10.4).round() as u64;
+            assert!(
+                t.as_micros().abs_diff(want) <= 1,
+                "query {k} completed at {} µs, want ~{want} µs",
+                t.as_micros()
+            );
+        }
+    }
+
+    /// Regression for the completion threshold: the pre-rewrite loop
+    /// absorbed float fuzz with an absolute `remaining <= 1e-6` check,
+    /// applied uniformly to phases measured in cycles and in pages. At a
+    /// low enough rate, 1e-6 phase units is *real, observable* work: here
+    /// VM A still owes 9e-7 cycles when VM B finishes — a full microsecond
+    /// of runtime at A's post-completion rate — and the old loop silently
+    /// dropped it, completing A one microsecond early. The threshold is
+    /// now relative to the phase's initial size, so the residue is kept
+    /// and scheduled.
+    #[test]
+    fn sub_unit_residual_work_is_not_dropped() {
+        // A deliberately slow machine: 1 cycle per second, so fractions of
+        // a cycle are visible on the microsecond clock.
+        let spec = MachineSpec {
+            cores: 1,
+            cycles_per_sec: 1.0,
+            memory_bytes: 1 << 20,
+            disk_seq_bytes_per_sec: 1e6,
+            disk_random_iops: 100.0,
+            page_size: 8192,
+        };
+        let alloc = AllocationMatrix::equal_split(2).unwrap();
+        let b_cycles = 2.0 - 9e-7;
+        let jobs = [
+            VmJob::new(vec![demand(2.0, 0, 0)]),
+            VmJob::new(vec![demand(b_cycles, 0, 0)]),
+        ];
+        let out = co_schedule_both(spec, &alloc, &jobs, SchedMode::WorkConserving);
+
+        // Shared phase: both run at 0.5 cycles/s. B finishes first, having
+        // consumed b_cycles of A's 2.0 as well.
+        let t_b_us = (b_cycles / 0.5) * 1e6;
+        assert_eq!(out[1].completion.as_micros(), t_b_us.round() as u64);
+        // A then owes 9e-7 cycles at 1 cycle/s (work-conserving, alone):
+        // 0.9 µs more. The old absolute threshold dropped this work and
+        // reported A finishing at B's instant.
+        let t_a_us = t_b_us + ((2.0 - b_cycles) / 1.0) * 1e6;
+        assert_eq!(out[0].completion.as_micros(), t_a_us.round() as u64);
+        assert!(
+            out[0].completion > out[1].completion,
+            "A's residual work must be scheduled, not dropped"
+        );
+    }
+
+    /// The other direction of the threshold fix: at cycle scale (~1e10
+    /// units) the float residue of integrating a phase exceeds the old
+    /// absolute 1e-6 threshold, which cost the legacy loop spurious
+    /// zero-length events. A relative threshold recognises the residue as
+    /// noise: one phase is exactly one event, completed at the exact
+    /// microsecond, with no work double-counted.
+    #[test]
+    fn cycle_scale_phases_complete_in_one_event_at_exact_micros() {
+        let spec = MachineSpec::paper_testbed();
+        let shares = ResourceVector::from_fractions(0.5, 0.5, 0.5).unwrap();
+        let alloc = AllocationMatrix::new(vec![shares]).unwrap();
+        let cycles = 5.6e10;
+        let job = VmJob::new(vec![demand(cycles, 0, 0)]);
+        let (out, stats) =
+            co_schedule_with_stats(spec, &alloc, &[job.clone()], SchedMode::Capped).unwrap();
+        let refr = co_schedule_reference(spec, &alloc, &[job], SchedMode::Capped).unwrap();
+        assert_eq!(out, refr);
+        assert_eq!(stats.events, 1, "one phase must be exactly one event");
+        assert_eq!(stats.phase_completions, 1);
+        // 5.6e10 cycles at 2.8e9 cycles/s = 20 s exactly.
+        let want_us = ((cycles / 2.8e9) * 1e6).round() as u64;
+        assert_eq!(out[0].completion.as_micros(), want_us);
+    }
+
+    #[test]
+    fn capped_mode_touches_only_the_completing_vm() {
+        // 8 VMs, staggered CPU demands: every completion is an O(1) event
+        // in capped mode (1 VM touched: the completer re-activating).
+        let spec = MachineSpec::paper_testbed();
+        let alloc = AllocationMatrix::equal_split(8).unwrap();
+        let jobs: Vec<VmJob> = (0..8)
+            .map(|i| VmJob::new(vec![demand(1e9 + i as f64 * 7e7, 100 + i, 0); 4]))
+            .collect();
+        let (_, stats) = co_schedule_with_stats(spec, &alloc, &jobs, SchedMode::Capped).unwrap();
+        assert_eq!(
+            stats.vms_touched, stats.events,
+            "capped completions must not perturb other VMs"
+        );
+    }
+
+    #[test]
+    fn simultaneous_completions_form_one_event_batch() {
+        // 4 identical VMs: all phases complete at bit-identical instants,
+        // so each wave is a single event batch touching all 4 VMs.
+        let spec = MachineSpec::paper_testbed();
+        let alloc = AllocationMatrix::equal_split(4).unwrap();
+        let job = VmJob::new(vec![demand(1.4e9, 200, 10); 3]);
+        let jobs = vec![job; 4];
+        for mode in [SchedMode::Capped, SchedMode::WorkConserving] {
+            let (out, stats) = co_schedule_with_stats(spec, &alloc, &jobs, mode).unwrap();
+            let refr = co_schedule_reference(spec, &alloc, &jobs, mode).unwrap();
+            assert_eq!(out, refr);
+            for o in &out[1..] {
+                assert_eq!(o, &out[0], "identical VMs must complete identically");
+            }
+            assert_eq!(
+                stats.phase_completions % stats.events,
+                0,
+                "identical VMs must complete in whole batches"
+            );
+            assert_eq!(stats.phase_completions / stats.events, 4);
+        }
     }
 }
 

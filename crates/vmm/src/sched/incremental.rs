@@ -1,0 +1,344 @@
+//! The incremental event-driven co-scheduler.
+//!
+//! Instead of rescanning every VM at every event (the reference loop's
+//! O(V) per event), this scheduler maintains:
+//!
+//! * **per-class active sets** (sorted `Vec<usize>`, ascending VM index)
+//!   and their cached demand totals — only in work-conserving mode, and
+//!   recomputed only when a class's membership actually changes. In
+//!   capped mode rates depend on nothing but the VM's own configured
+//!   share, so no set or total is maintained at all;
+//! * a **binary event heap** keyed by each VM's projected phase-completion
+//!   instant (the f64 microsecond value from
+//!   [`super::fluid::ActivePhase::completion_us`], compared by IEEE bit
+//!   pattern, which orders non-negative floats numerically), with lazy
+//!   invalidation via per-VM generation counters.
+//!
+//! Per event it touches only the VMs whose effective rate can have
+//! changed: in [`SchedMode::Capped`] a completion perturbs nobody else,
+//! so an event is O(log V); in [`SchedMode::WorkConserving`] only the
+//! members of the resource classes whose membership changed are
+//! re-anchored. Consecutive same-VM phase integrations are batched by
+//! construction — a VM's work is integrated in closed form from its
+//! anchor, never stepped through other VMs' events.
+//!
+//! **Heap invariants** (checked by `debug_assert`s and the differential
+//! suite):
+//!
+//! 1. Every VM with an in-flight phase has exactly one heap entry carrying
+//!    its current generation; all other entries for that VM are stale and
+//!    skipped on pop.
+//! 2. Keys never decrease: a pushed key is `>=` the instant of the event
+//!    being processed (phases project completions forward from their
+//!    anchor).
+//! 3. Entries with equal keys pop in ascending VM order (the heap tuple is
+//!    `(key bits, vm, generation)`), which is exactly the order the
+//!    reference loop completes a simultaneous batch in.
+//!
+//! The determinism contract — completions bit-identical to
+//! [`super::co_schedule_reference`] — holds because every f64 this module
+//! produces (rates, class totals, anchors, projected completions) is
+//! computed by the same [`super::fluid`] primitive over the same operands
+//! in the same order as the reference loop; the two differ only in *which*
+//! VMs they can prove unaffected and therefore skip.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{MachineSpec, ResourceVector, VmmError};
+
+use super::fluid::{
+    checked_event_us, class_total, rate_of, report_instant, PhaseSpec, ResClass, VmState,
+    NUM_CLASSES,
+};
+use super::{SchedMode, VmJob, VmOutcome};
+
+use dbvirt_telemetry as telemetry;
+
+// Scheduler telemetry (no-ops until `dbvirt_telemetry::enable()`).
+static TM_EVENTS: telemetry::Counter = telemetry::Counter::new("sched.events");
+static TM_PHASES: telemetry::Counter = telemetry::Counter::new("sched.phase_completions");
+static TM_TOUCHED: telemetry::Counter = telemetry::Counter::new("sched.vms_touched");
+static TM_TOUCHED_HIST: telemetry::Histogram =
+    telemetry::Histogram::new("sched.vms_touched_per_event");
+static TM_HEAP_HIST: telemetry::Histogram = telemetry::Histogram::new("sched.heap_size");
+static TM_HEAP_PEAK: telemetry::Gauge = telemetry::Gauge::new("sched.heap_peak");
+
+/// Work counters of one incremental [`super::co_schedule`] run, exposed by
+/// [`super::co_schedule_with_stats`] so benchmarks can report event counts
+/// and per-event locality without scraping telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Number of event batches processed (distinct completion instants).
+    pub events: u64,
+    /// Phases retired across the run (equals the fleet's total phase count).
+    pub phase_completions: u64,
+    /// VMs whose state was touched, summed over events (completions +
+    /// activations + re-anchors). `vms_touched / events` is the per-event
+    /// locality the rewrite exists to minimise.
+    pub vms_touched: u64,
+    /// Entries pushed onto the event heap.
+    pub heap_pushes: u64,
+    /// Largest heap population observed (stale entries included).
+    pub heap_peak: usize,
+}
+
+/// One heap entry: (projected completion instant as IEEE bits, VM index,
+/// generation). Wrapped in `Reverse` for a min-heap.
+type Event = Reverse<(u64, usize, u64)>;
+
+/// Inserts `i` into a sorted ascending member list.
+fn insert_member(set: &mut Vec<usize>, i: usize) {
+    if let Err(pos) = set.binary_search(&i) {
+        set.insert(pos, i);
+    }
+}
+
+/// Removes `i` from a sorted ascending member list.
+fn remove_member(set: &mut Vec<usize>, i: usize) {
+    if let Ok(pos) = set.binary_search(&i) {
+        set.remove(pos);
+    }
+}
+
+/// Runs the incremental scheduler. Inputs are pre-validated by the public
+/// wrappers.
+pub(super) fn run(
+    spec: &MachineSpec,
+    mode: SchedMode,
+    shares: &[ResourceVector],
+    jobs: &[VmJob],
+) -> Result<(Vec<VmOutcome>, SchedStats), VmmError> {
+    let n = jobs.len();
+    let wc = mode == SchedMode::WorkConserving;
+    let mut span = telemetry::span("sched.co_schedule");
+
+    let mut states: Vec<VmState> = jobs.iter().map(|j| VmState::new(&j.queries)).collect();
+    // Active sets and totals are pure work-conserving machinery: capped
+    // rates never change after activation, so maintaining them would be
+    // the O(V)-per-event work this scheduler exists to avoid.
+    let mut members: [Vec<usize>; NUM_CLASSES] = [Vec::new(), Vec::new()];
+    let mut totals = [0.0f64; NUM_CLASSES];
+    let mut gens: Vec<u64> = vec![0; n];
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n + 1);
+    let mut stats = SchedStats::default();
+
+    // Initial activations: seed memberships, then totals, then rates — the
+    // same order the reference loop's first `sync_rates` pass uses.
+    let mut to_activate: Vec<Option<PhaseSpec>> = states
+        .iter_mut()
+        .map(|s| if s.done { None } else { s.next_spec() })
+        .collect();
+    if wc {
+        // Ascending iteration keeps the member lists sorted by construction.
+        for (i, spec_p) in to_activate.iter().enumerate() {
+            if let Some(p) = spec_p {
+                members[p.kind.class().index()].push(i);
+            }
+        }
+        for class in [ResClass::Cpu, ResClass::Disk] {
+            totals[class.index()] =
+                class_total(members[class.index()].iter().copied(), shares, class);
+        }
+    }
+    for i in 0..n {
+        if let Some(phase_spec) = to_activate[i].take() {
+            activate(
+                spec,
+                mode,
+                shares,
+                &mut states,
+                &totals,
+                &mut heap,
+                &mut gens,
+                &mut stats,
+                i,
+                phase_spec,
+                0.0,
+            )?;
+        }
+    }
+
+    let mut batch: Vec<usize> = Vec::with_capacity(n);
+    while let Some(Reverse((bits, vm, gen))) = heap.pop() {
+        if gen != gens[vm] {
+            continue; // stale key, superseded by a re-anchor
+        }
+        let t_next = f64::from_bits(bits);
+
+        // Gather the whole simultaneous batch: every valid entry whose key
+        // is bit-equal to the minimum. Equal keys pop in ascending VM
+        // order (heap invariant 3).
+        batch.clear();
+        batch.push(vm);
+        while let Some(&Reverse((b2, v2, g2))) = heap.peek() {
+            if b2 != bits {
+                break;
+            }
+            heap.pop();
+            if g2 == gens[v2] {
+                batch.push(v2);
+            }
+        }
+        let now = report_instant(t_next);
+
+        // 1. Retire completed phases; in work-conserving mode also track
+        //    which class memberships changed.
+        let mut changed = [false; NUM_CLASSES];
+        for &i in batch.iter() {
+            let old_class = if wc {
+                states[i]
+                    .active
+                    .as_ref()
+                    .expect("a live heap entry implies an in-flight phase")
+                    .kind
+                    .class()
+            } else {
+                ResClass::Cpu // unused
+            };
+            gens[i] += 1; // invalidate any duplicate entry for this VM
+            let next = states[i].complete_active(now);
+            stats.phase_completions += 1;
+            match next {
+                Some(phase_spec) => {
+                    if wc {
+                        let new_class = phase_spec.kind.class();
+                        if new_class != old_class {
+                            remove_member(&mut members[old_class.index()], i);
+                            insert_member(&mut members[new_class.index()], i);
+                            changed[old_class.index()] = true;
+                            changed[new_class.index()] = true;
+                        }
+                    }
+                    to_activate[i] = Some(phase_spec);
+                }
+                None => {
+                    if wc {
+                        remove_member(&mut members[old_class.index()], i);
+                        changed[old_class.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // 2./3. Work-conserving mode only: refresh the demand totals of
+        //    classes whose membership changed (a fresh ascending-order
+        //    sum, never an incremental +=/-=, so the value is bit-identical
+        //    to the reference's rescan), then re-anchor and re-key the
+        //    surviving members whose rate actually changed (bitwise).
+        //    Capped rates depend only on configured shares: nobody else is
+        //    ever touched.
+        let mut touched = batch.len() as u64;
+        if wc {
+            for class in [ResClass::Cpu, ResClass::Disk] {
+                if !changed[class.index()] {
+                    continue;
+                }
+                totals[class.index()] =
+                    class_total(members[class.index()].iter().copied(), shares, class);
+                let total = totals[class.index()];
+                for idx in 0..members[class.index()].len() {
+                    let i = members[class.index()][idx];
+                    if to_activate[i].is_some() {
+                        continue; // fresh phase, activated below with the new totals
+                    }
+                    let phase = states[i]
+                        .active
+                        .as_mut()
+                        .expect("class members without a pending phase are in flight");
+                    let rate = rate_of(spec, mode, phase.kind, &shares[i], total);
+                    if rate != phase.rate {
+                        phase.reanchor(t_next, rate);
+                        let key = checked_event_us(phase.completion_us())?;
+                        debug_assert!(key >= t_next, "re-keyed events must not move backwards");
+                        gens[i] += 1;
+                        heap.push(Reverse((key.to_bits(), i, gens[i])));
+                        stats.heap_pushes += 1;
+                        touched += 1;
+                    }
+                }
+            }
+        }
+
+        // 4. Activate the batch VMs' next phases under the new totals.
+        for &i in batch.iter() {
+            if let Some(phase_spec) = to_activate[i].take() {
+                activate(
+                    spec,
+                    mode,
+                    shares,
+                    &mut states,
+                    &totals,
+                    &mut heap,
+                    &mut gens,
+                    &mut stats,
+                    i,
+                    phase_spec,
+                    t_next,
+                )?;
+            }
+        }
+
+        stats.events += 1;
+        stats.vms_touched += touched;
+        stats.heap_peak = stats.heap_peak.max(heap.len());
+        TM_TOUCHED_HIST.record_micros(touched);
+        TM_HEAP_HIST.record_micros(heap.len() as u64);
+    }
+
+    if !states.iter().all(|s| s.done) {
+        return Err(VmmError::InvalidSchedule {
+            reason: "no VM can make progress".to_string(),
+        });
+    }
+
+    TM_EVENTS.add(stats.events);
+    TM_PHASES.add(stats.phase_completions);
+    TM_TOUCHED.add(stats.vms_touched);
+    TM_HEAP_PEAK.set(stats.heap_peak as f64);
+    span.set_attr("vms", n);
+    span.set_attr("events", stats.events);
+    span.set_attr("phase_completions", stats.phase_completions);
+    span.set_attr("vms_touched", stats.vms_touched);
+    span.set_attr("heap_peak", stats.heap_peak);
+
+    Ok((super::collect_outcomes(states), stats))
+}
+
+/// Anchors a fresh phase for VM `i` at `now_us` under the current totals
+/// and pushes its completion event. Shared by setup and the event loop.
+#[allow(clippy::too_many_arguments)]
+fn activate(
+    spec: &MachineSpec,
+    mode: SchedMode,
+    shares: &[ResourceVector],
+    states: &mut [VmState],
+    totals: &[f64; NUM_CLASSES],
+    heap: &mut BinaryHeap<Event>,
+    gens: &mut [u64],
+    stats: &mut SchedStats,
+    i: usize,
+    phase_spec: PhaseSpec,
+    now_us: f64,
+) -> Result<(), VmmError> {
+    let rate = rate_of(
+        spec,
+        mode,
+        phase_spec.kind,
+        &shares[i],
+        totals[phase_spec.kind.class().index()],
+    );
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(VmmError::InvalidSchedule {
+            reason: "no VM can make progress".to_string(),
+        });
+    }
+    let phase = super::fluid::ActivePhase::activate(phase_spec, now_us, rate);
+    let key = checked_event_us(phase.completion_us())?;
+    debug_assert!(key >= now_us, "activations must not project into the past");
+    states[i].active = Some(phase);
+    heap.push(Reverse((key.to_bits(), i, gens[i])));
+    stats.heap_pushes += 1;
+    stats.heap_peak = stats.heap_peak.max(heap.len());
+    Ok(())
+}

@@ -1,0 +1,215 @@
+//! Differential suite for the incremental event-driven scheduler.
+//!
+//! Pins the determinism contract of `crates/vmm/src/sched`: for every
+//! input, [`co_schedule`] (incremental, event-heap) and
+//! [`co_schedule_reference`] (whole-fleet rescan) report **identical**
+//! completions — the reported `SimTime`s compare equal, which at the
+//! microsecond clock's integer representation means bit-identical — across
+//! random fleets, both scheduling modes, zero-demand queries, exactly
+//! simultaneous completions, and hostile demands (which must yield the same
+//! typed error from both paths, never a panic).
+
+use dbvirt_vmm::sched::{
+    co_schedule, co_schedule_reference, co_schedule_with_stats, SchedMode, VmJob, VmOutcome,
+};
+use dbvirt_vmm::{
+    AllocationMatrix, MachineSpec, ResourceDemand, ResourceVector, SimTime, VmmError,
+};
+use proptest::prelude::*;
+
+const MODES: [SchedMode; 2] = [SchedMode::Capped, SchedMode::WorkConserving];
+
+/// A fleet description: per-VM share fractions and query lists.
+#[derive(Debug, Clone)]
+struct Fleet {
+    rows: Vec<ResourceVector>,
+    jobs: Vec<VmJob>,
+}
+
+fn demand(cpu: f64, seq: u64, rand: u64, writes: u64) -> ResourceDemand {
+    ResourceDemand {
+        cpu_cycles: cpu,
+        seq_page_reads: seq,
+        random_page_reads: rand,
+        page_writes: writes,
+    }
+}
+
+/// Query demands spanning zero-demand queries, single-resource queries, and
+/// mixed CPU/disk queries at very different unit scales.
+fn arb_demand() -> impl Strategy<Value = ResourceDemand> {
+    (
+        0u64..3_000_000_000,
+        0u64..1_500,
+        0u64..150,
+        0u64..80,
+        0u32..10,
+    )
+        .prop_map(|(cpu, seq, rand, writes, zero)| {
+            if zero == 0 {
+                // ~10% of queries are fully zero-demand: they must complete
+                // instantly without ever entering the event loop.
+                ResourceDemand::ZERO
+            } else {
+                demand(cpu as f64, seq, rand, writes)
+            }
+        })
+}
+
+/// Random fleets of 1–32 VMs with 0–6 queries each and feasible shares.
+///
+/// Share rows are raw fractions scaled down by the fleet size so every
+/// column sums below 1.0 (the allocation feasibility constraint), while
+/// still varying by an order of magnitude across VMs.
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(arb_demand(), 0..6),
+            0.05f64..1.0,
+            0.05f64..1.0,
+        ),
+        1..33,
+    )
+    .prop_map(|vms| {
+        let n = vms.len() as f64;
+        let scale = 1.0 / (n * 1.001);
+        let rows = vms
+            .iter()
+            .map(|(_, cpu, disk)| {
+                ResourceVector::from_fractions(cpu * scale, 0.5 * scale, disk * scale).unwrap()
+            })
+            .collect();
+        let jobs = vms
+            .into_iter()
+            .map(|(queries, _, _)| VmJob::new(queries))
+            .collect();
+        Fleet { rows, jobs }
+    })
+}
+
+/// Runs both implementations and asserts the determinism contract plus the
+/// per-VM structural invariants; returns the shared outcome.
+fn assert_identical(spec: MachineSpec, fleet: &Fleet, mode: SchedMode) -> Vec<VmOutcome> {
+    let alloc = AllocationMatrix::new(fleet.rows.clone()).unwrap();
+    let incr = co_schedule(spec, &alloc, &fleet.jobs, mode).unwrap();
+    let refr = co_schedule_reference(spec, &alloc, &fleet.jobs, mode).unwrap();
+    assert_eq!(
+        incr, refr,
+        "incremental vs reference diverged in mode {mode:?}"
+    );
+    for (i, (o, job)) in incr.iter().zip(&fleet.jobs).enumerate() {
+        assert_eq!(
+            o.query_completions.len(),
+            job.queries.len(),
+            "VM {i} lost or duplicated query completions"
+        );
+        assert!(
+            o.query_completions.windows(2).all(|p| p[0] <= p[1]),
+            "VM {i} query completions are not monotone: {:?}",
+            o.query_completions
+        );
+        let last = o.query_completions.last().copied().unwrap_or(SimTime::ZERO);
+        assert_eq!(o.completion, last, "VM {i} completion != last query");
+    }
+    incr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The core contract: arbitrary fleets, both modes, identical reports.
+    #[test]
+    fn prop_incremental_matches_reference(fleet in arb_fleet()) {
+        let spec = MachineSpec::paper_testbed();
+        for mode in MODES {
+            assert_identical(spec, &fleet, mode);
+        }
+    }
+
+    /// Identical VMs under an equal split produce exactly simultaneous
+    /// completions at every phase boundary — the event-batch path — and
+    /// every VM must report the same schedule in both implementations.
+    #[test]
+    fn prop_simultaneous_completions_stay_identical(
+        queries in prop::collection::vec(arb_demand(), 1..5),
+        n in 2usize..17,
+    ) {
+        let spec = MachineSpec::paper_testbed();
+        let fleet = Fleet {
+            rows: AllocationMatrix::equal_split(n).unwrap().rows().copied().collect(),
+            jobs: vec![VmJob::new(queries); n],
+        };
+        for mode in MODES {
+            let out = assert_identical(spec, &fleet, mode);
+            for (i, o) in out.iter().enumerate().skip(1) {
+                assert_eq!(o, &out[0], "identical VM {i} diverged from VM 0 in mode {mode:?}");
+            }
+        }
+    }
+
+    /// Hostile CPU demands (NaN, infinities, negatives) anywhere in the
+    /// stream yield the same typed error from both paths — never a panic,
+    /// never a silently skipped phase.
+    #[test]
+    fn prop_hostile_demands_error_identically(
+        fleet in arb_fleet(),
+        vm_pick in 0usize..32,
+        q_pick in 0usize..8,
+        which in 0usize..4,
+    ) {
+        let mut fleet = fleet;
+        let hostile = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -42.0][which];
+        let vm = vm_pick % fleet.jobs.len();
+        let queries = &mut fleet.jobs[vm].queries;
+        queries.insert(q_pick % (queries.len() + 1), demand(hostile, 5, 0, 0));
+        let alloc = AllocationMatrix::new(fleet.rows.clone()).unwrap();
+        for mode in MODES {
+            for schedule in [co_schedule, co_schedule_reference] {
+                match schedule(MachineSpec::paper_testbed(), &alloc, &fleet.jobs, mode) {
+                    Err(VmmError::InvalidSchedule { reason }) => {
+                        assert!(reason.contains("cpu_cycles"), "unexpected error reason: {reason}");
+                    }
+                    other => panic!("hostile demand {hostile} must be a typed error, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Demands too large for the microsecond clock are typed errors from
+    /// both paths, in both modes.
+    #[test]
+    fn prop_clock_overflow_errors_identically(fleet in arb_fleet(), vm_pick in 0usize..32) {
+        let mut fleet = fleet;
+        let vm = vm_pick % fleet.jobs.len();
+        fleet.jobs[vm].queries.push(demand(1e300, 0, 0, 0));
+        let alloc = AllocationMatrix::new(fleet.rows.clone()).unwrap();
+        for mode in MODES {
+            for schedule in [co_schedule, co_schedule_reference] {
+                let res = schedule(MachineSpec::paper_testbed(), &alloc, &fleet.jobs, mode);
+                prop_assert!(
+                    matches!(res, Err(VmmError::InvalidSchedule { .. })),
+                    "1e300 cycles must be a typed error, got {:?}",
+                    res
+                );
+            }
+        }
+    }
+
+    /// The incremental scheduler's work accounting is consistent: phase
+    /// completions equal the fleet's total phase count, and capped-mode
+    /// events touch exactly the completing VMs.
+    #[test]
+    fn prop_stats_are_consistent(fleet in arb_fleet()) {
+        let spec = MachineSpec::paper_testbed();
+        let alloc = AllocationMatrix::new(fleet.rows.clone()).unwrap();
+        let (_, stats) =
+            co_schedule_with_stats(spec, &alloc, &fleet.jobs, SchedMode::Capped).unwrap();
+        prop_assert!(stats.phase_completions >= stats.events);
+        prop_assert_eq!(
+            stats.vms_touched,
+            stats.phase_completions,
+            "capped completions must touch only the completing VMs"
+        );
+        prop_assert!(stats.heap_peak <= fleet.jobs.len() + 1);
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Scheduler smoke gate: run the pinned 48-configuration co-scheduler sweep
+# (`ext_sched`) twice and hold it to its contract — the binary's own
+# assertions must pass (incremental completions bit-identical to the
+# reference loop on every configuration, both implementations
+# deterministic across repeats, >= 3x capped-mode speedup at 16 VMs), the
+# per-configuration SCHED_FINGERPRINT lines must be identical across the
+# two processes, and the BENCH_sched.json artifact must be written.
+#
+# Runs as part of `scripts/tier1.sh`, or directly. Artifacts land in
+# SCHED_DIR (default: a throwaway temp directory; set SCHED_DIR=. to keep
+# BENCH_sched.json in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root="$PWD"
+
+out_dir="${SCHED_DIR:-$(mktemp -d)}"
+cleanup() {
+  if [[ -z "${SCHED_DIR:-}" ]]; then rm -rf "$out_dir"; fi
+}
+trap cleanup EXIT
+
+cargo build --release -p dbvirt-bench --bin ext_sched
+
+(cd "$out_dir" && "$repo_root/target/release/ext_sched" | tee run_a.log)
+(cd "$out_dir" && "$repo_root/target/release/ext_sched" > run_b.log)
+
+# Cross-process determinism: the completion fingerprints of two
+# independent runs must match line for line.
+grep '^SCHED_FINGERPRINT' "$out_dir/run_a.log" > "$out_dir/fp_a.txt"
+grep '^SCHED_FINGERPRINT' "$out_dir/run_b.log" > "$out_dir/fp_b.txt"
+if [[ ! -s "$out_dir/fp_a.txt" ]]; then
+  echo "FAIL: ext_sched printed no fingerprint lines" >&2
+  exit 1
+fi
+if ! diff -u "$out_dir/fp_a.txt" "$out_dir/fp_b.txt"; then
+  echo "FAIL: scheduler completions diverged between two identical runs" >&2
+  exit 1
+fi
+
+if [[ ! -s "$out_dir/BENCH_sched.json" ]]; then
+  echo "FAIL: ext_sched did not write BENCH_sched.json" >&2
+  exit 1
+fi
+echo "sched gate OK: identity held on all configurations, fingerprints replayed bit-identically"

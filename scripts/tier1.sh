@@ -18,6 +18,13 @@ scripts/trace.sh
 # across processes and parallelism (see scripts/controller.sh).
 scripts/controller.sh
 
+# Scheduler smoke gate: the incremental event-driven co-scheduler must be
+# bit-identical to the reference rescan loop on the pinned 48-config sweep,
+# clear its 3x capped-mode speedup floor at 16 VMs, and replay its
+# completion fingerprints bit-identically across processes (see
+# scripts/sched.sh).
+scripts/sched.sh
+
 # Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
 # under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
 if [[ "${CHAOS:-0}" == "1" ]]; then
