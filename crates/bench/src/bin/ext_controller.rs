@@ -3,10 +3,19 @@
 //! front (the paper's Section 7 next step, "monitor the workload ... and
 //! reconfigure the virtual machines on the fly").
 //!
-//! Four pinned scenarios built from TPC-H-derived workload profiles run
-//! through `dbvirt-controller`: stationary (the loop must hold still),
-//! drifting (one mix flip it must catch), bursty (short excursions), and
-//! adversarial (fast alternation designed to tempt it into thrashing).
+//! Two scenario families built from TPC-H-derived workload profiles run
+//! through `dbvirt-controller`:
+//!
+//! * four **pinned** clean streams — stationary (the loop must hold
+//!   still), drifting (one mix flip it must catch), bursty (short
+//!   excursions), and adversarial (fast alternation designed to tempt it
+//!   into thrashing; the switch governor must learn the recurrence and
+//!   provision ahead of it);
+//! * a five-scenario production **zoo** — diurnal, flash crowd, noisy
+//!   neighbor (4 VMs), correlated drift, slow ramp — each run under a
+//!   seeded sensor-degradation fault model (dropouts, stale reads,
+//!   corrupt probes) with a pinned regret ceiling.
+//!
 //! Every run is accounted against the clairvoyant `run_dynamic` oracle
 //! and a never-reconfigure baseline on the identical query stream, and
 //! the decision trace is fingerprinted so `scripts/controller.sh` can
@@ -23,6 +32,14 @@ use dbvirt_vmm::fault::{FaultInjector, NoiseModel};
 use dbvirt_vmm::MachineSpec;
 
 const SEED: u64 = 11;
+
+/// Pinned regret bands for the clean scenarios (relative to clairvoyant).
+const DRIFTING_REGRET: f64 = 0.052;
+const BURSTY_REGRET: f64 = 0.048;
+const PIN_TOLERANCE: f64 = 0.01;
+/// The adversarial alternation must stay within this ceiling — the switch
+/// governor's contract.
+const ADVERSARIAL_CEILING: f64 = 0.15;
 
 fn config() -> ControllerConfig {
     ControllerConfig::new(SearchConfig::for_workloads(8, 2))
@@ -42,6 +59,97 @@ fn scenarios(
         Scenario::adversarial("adversarial", machine, fwd, rev, 2, 4, SEED),
     ]
 }
+
+/// The production zoo: each stream perturbed by the same seeded
+/// sensor-degradation model (5% dropouts, 5% stale reads up to 2 epochs
+/// old, 2% corrupt probes) plus mild per-query size variability. Returns
+/// `(scenario, uses 4-VM template, regret ceiling)`.
+fn zoo(
+    machine: MachineSpec,
+    cpu_bound: &WorkloadProfile,
+    io_bound: &WorkloadProfile,
+) -> Vec<(Scenario, bool, f64)> {
+    let fwd = vec![*cpu_bound, *io_bound];
+    let rev = vec![*io_bound, *cpu_bound];
+    let degraded = |s: Scenario, salt: u64| -> Scenario {
+        s.with_variability(0.05).with_noise(FaultInjector::new(
+            NoiseModel::sensor_degraded(0.05, 0.05, 2, 0.02),
+            SEED + salt,
+        ))
+    };
+    vec![
+        (
+            degraded(
+                Scenario::diurnal("diurnal", machine, fwd.clone(), rev.clone(), 6, 2, SEED),
+                1,
+            ),
+            false,
+            ZOO_CEILINGS[0].1,
+        ),
+        (
+            degraded(
+                Scenario::flash_crowd(
+                    "flash-crowd",
+                    machine,
+                    fwd.clone(),
+                    1,
+                    2.5,
+                    6,
+                    4,
+                    2,
+                    2,
+                    SEED,
+                ),
+                2,
+            ),
+            false,
+            ZOO_CEILINGS[1].1,
+        ),
+        (
+            degraded(
+                Scenario::noisy_neighbor(
+                    "noisy-neighbor",
+                    machine,
+                    *io_bound,
+                    *cpu_bound,
+                    vec![*cpu_bound, *cpu_bound],
+                    8,
+                    2,
+                    SEED,
+                ),
+                3,
+            ),
+            true,
+            ZOO_CEILINGS[2].1,
+        ),
+        (
+            degraded(
+                Scenario::correlated_drift("correlated-drift", machine, fwd.clone(), rev, 8, SEED),
+                4,
+            ),
+            false,
+            ZOO_CEILINGS[3].1,
+        ),
+        (
+            degraded(
+                Scenario::slow_ramp("slow-ramp", machine, fwd, vec![*io_bound, *cpu_bound], 4, 4, SEED),
+                5,
+            ),
+            false,
+            ZOO_CEILINGS[4].1,
+        ),
+    ]
+}
+
+/// Pinned per-scenario regret ceilings for the zoo (measured under the
+/// seeded fault model, with headroom for the injected degradation).
+const ZOO_CEILINGS: [(&str, f64); 5] = [
+    ("diurnal", 0.09),
+    ("flash-crowd", 0.03),
+    ("noisy-neighbor", 0.15),
+    ("correlated-drift", 0.18),
+    ("slow-ramp", 0.09),
+];
 
 fn run_one(
     scenario: &Scenario,
@@ -79,65 +187,52 @@ fn main() {
         io_bound.reference_seconds(&machine),
     );
 
+    let vm = |name: &str, query: &dbvirt_optimizer::LogicalPlan| VmTemplate {
+        name: name.to_string(),
+        db: &t.db,
+        base_query: query.clone(),
+    };
     let template = ProblemTemplate {
         machine,
         vms: vec![
-            VmTemplate {
-                name: "vm0".to_string(),
-                db: &t.db,
-                base_query: cpu_mix.queries[0].clone(),
-            },
-            VmTemplate {
-                name: "vm1".to_string(),
-                db: &t.db,
-                base_query: io_mix.queries[0].clone(),
-            },
+            vm("vm0", &cpu_mix.queries[0]),
+            vm("vm1", &io_mix.queries[0]),
+        ],
+    };
+    // Four tenants for the noisy-neighbor stream: the swapping pair plus
+    // two steady victims.
+    let template4 = ProblemTemplate {
+        machine,
+        vms: vec![
+            vm("vm0", &io_mix.queries[0]),
+            vm("vm1", &cpu_mix.queries[0]),
+            vm("vm2", &cpu_mix.queries[0]),
+            vm("vm3", &cpu_mix.queries[0]),
         ],
     };
     let config = config();
+    let config4 = ControllerConfig::new(SearchConfig::for_workloads(8, 4));
 
     let mut rows = Vec::new();
     let mut scenario_objs = Vec::new();
     let mut fingerprints = Vec::new();
-    for scenario in scenarios(machine, &cpu_bound, &io_bound) {
-        let run_start = std::time::Instant::now();
-        let (out, report) = run_one(&scenario, &template, &config);
-        let run_secs = run_start.elapsed().as_secs_f64();
+    let mut regrets = Vec::new();
+
+    let record = |scenario: &Scenario,
+                      out: &ControllerOutcome,
+                      report: &RegretReport,
+                      run_secs: f64,
+                      rows: &mut Vec<Vec<String>>,
+                      objs: &mut Vec<String>,
+                      fps: &mut Vec<(String, u64)>,
+                      regs: &mut Vec<(String, f64)>| {
         let fp = out.trace_fingerprint();
-
-        match scenario.name.as_str() {
-            "stationary" => {
-                assert!(
-                    out.switches.is_empty(),
-                    "stationary stream must never trigger a reconfiguration, got {}",
-                    out.switches.len()
-                );
-            }
-            "drifting" => {
-                assert!(
-                    report.relative_regret <= 0.15,
-                    "drifting regret must stay within 15% of clairvoyant, got {:.1}%",
-                    report.relative_regret * 100.0
-                );
-                assert!(
-                    report.controller_cost < report.never_cost,
-                    "reconfiguring must beat holding the placement: {:.3}s vs {:.3}s",
-                    report.controller_cost,
-                    report.never_cost
-                );
-            }
-            "adversarial" => {
-                assert!(
-                    report.controller_cost <= report.never_cost * 1.05,
-                    "thrash guard: adversarial alternation must not lose more than 5% \
-                     to the held placement, got {:.3}s vs {:.3}s",
-                    report.controller_cost,
-                    report.never_cost
-                );
-            }
-            _ => {}
-        }
-
+        println!(
+            "  [{}] {} | switch epochs {:?}",
+            scenario.name,
+            out.health,
+            out.switches.iter().map(|s| s.epoch).collect::<Vec<_>>()
+        );
         rows.push(vec![
             scenario.name.clone(),
             format!("{}", scenario.total_epochs()),
@@ -149,7 +244,8 @@ fn main() {
             format!("{:.1}%", report.relative_regret * 100.0),
             format!("{}", report.suboptimal_epochs),
         ]);
-        scenario_objs.push(
+        let h = &out.health;
+        objs.push(
             JsonObj::new()
                 .str("scenario", &scenario.name)
                 .int("epochs", scenario.total_epochs() as u64)
@@ -157,6 +253,14 @@ fn main() {
                 .int("switches", out.switches.len() as u64)
                 .int("drift_detections", out.drift_detections as u64)
                 .int("dropped_observations", out.dropped_observations as u64)
+                .int("dropout_vm_epochs", h.dropout_vm_epochs as u64)
+                .int("max_staleness", h.max_staleness as u64)
+                .int("governor_vetoes", h.governor_vetoes as u64)
+                .int("prescheduled_switches", h.prescheduled_switches as u64)
+                .int("prediction_hits", h.prediction_hits as u64)
+                .int("prediction_misses", h.prediction_misses as u64)
+                .int("localized_solves", h.localized_solves as u64)
+                .int("hill_climb_moves", h.hill_climb_moves as u64)
                 .float("controller_cost_secs", report.controller_cost)
                 .float("oracle_cost_secs", report.oracle_cost)
                 .float("never_reconfigure_cost_secs", report.never_cost)
@@ -168,7 +272,116 @@ fn main() {
                 .str("fingerprint", &format!("{fp:016x}"))
                 .render(),
         );
-        fingerprints.push((scenario.name.clone(), fp));
+        fps.push((scenario.name.clone(), fp));
+        regs.push((scenario.name.clone(), report.relative_regret));
+    };
+
+    for scenario in scenarios(machine, &cpu_bound, &io_bound) {
+        let run_start = std::time::Instant::now();
+        let (out, report) = run_one(&scenario, &template, &config);
+        let run_secs = run_start.elapsed().as_secs_f64();
+
+        match scenario.name.as_str() {
+            "stationary" => {
+                assert!(
+                    out.switches.is_empty(),
+                    "stationary stream must never trigger a reconfiguration, got {}",
+                    out.switches.len()
+                );
+            }
+            "drifting" => {
+                assert!(
+                    (report.relative_regret - DRIFTING_REGRET).abs() <= PIN_TOLERANCE,
+                    "drifting regret must stay within ±{:.0}pp of the pinned {:.1}%, got {:.1}%",
+                    PIN_TOLERANCE * 100.0,
+                    DRIFTING_REGRET * 100.0,
+                    report.relative_regret * 100.0
+                );
+                assert!(
+                    report.controller_cost < report.never_cost,
+                    "reconfiguring must beat holding the placement: {:.3}s vs {:.3}s",
+                    report.controller_cost,
+                    report.never_cost
+                );
+            }
+            "bursty" => {
+                assert!(
+                    (report.relative_regret - BURSTY_REGRET).abs() <= PIN_TOLERANCE,
+                    "bursty regret must stay within ±{:.0}pp of the pinned {:.1}%, got {:.1}%",
+                    PIN_TOLERANCE * 100.0,
+                    BURSTY_REGRET * 100.0,
+                    report.relative_regret * 100.0
+                );
+            }
+            "adversarial" => {
+                assert!(
+                    report.relative_regret <= ADVERSARIAL_CEILING,
+                    "the governor must keep adversarial regret within {:.0}%, got {:.1}%",
+                    ADVERSARIAL_CEILING * 100.0,
+                    report.relative_regret * 100.0
+                );
+                assert!(
+                    report.controller_cost <= report.never_cost * 1.05,
+                    "thrash guard: adversarial alternation must not lose more than 5% \
+                     to the held placement, got {:.3}s vs {:.3}s",
+                    report.controller_cost,
+                    report.never_cost
+                );
+                assert!(
+                    out.health.prescheduled_switches >= 1 && out.health.prediction_misses == 0,
+                    "the alternation must be provisioned ahead without refuted predictions, \
+                     health: {}",
+                    out.health
+                );
+            }
+            _ => {}
+        }
+        record(
+            &scenario,
+            &out,
+            &report,
+            run_secs,
+            &mut rows,
+            &mut scenario_objs,
+            &mut fingerprints,
+            &mut regrets,
+        );
+    }
+
+    // The zoo: every stream must complete under the seeded fault model
+    // (zero panics), actually exercise the fault path, and stay under its
+    // pinned regret ceiling.
+    for (scenario, wide, ceiling) in zoo(machine, &cpu_bound, &io_bound) {
+        let (tmpl, cfg) = if wide {
+            (&template4, &config4)
+        } else {
+            (&template, &config)
+        };
+        let run_start = std::time::Instant::now();
+        let (out, report) = run_one(&scenario, tmpl, cfg);
+        let run_secs = run_start.elapsed().as_secs_f64();
+        assert!(
+            out.health.dropped_observations > 0 || out.health.dropout_vm_epochs > 0,
+            "[{}] the sensor-degradation model must actually bite",
+            scenario.name
+        );
+        assert!(
+            report.relative_regret <= ceiling,
+            "[{}] regret ceiling breached: {:.1}% > {:.1}%",
+            scenario.name,
+            report.relative_regret * 100.0,
+            ceiling * 100.0
+        );
+        record(
+            &scenario,
+            &out,
+            &report,
+            run_secs,
+            &mut rows,
+            &mut scenario_objs,
+            &mut fingerprints,
+            &mut regrets,
+        );
     }
 
     print_table(
@@ -188,8 +401,9 @@ fn main() {
     );
     println!(
         "\nShape check: stationary holds still, drifting catches the flip within a few \
-         epochs of detection lag, and the adversarial alternation does not thrash away \
-         its gains."
+         epochs of detection lag, the adversarial alternation is provisioned ahead by \
+         the governor instead of thrashing, and the fault-injected zoo stays under its \
+         regret ceilings."
     );
 
     // Determinism: the full drifting decision trace must be bit-identical
@@ -213,39 +427,54 @@ fn main() {
     }
     println!("Determinism: drifting trace bit-identical at parallelism 1/2/4/auto.");
 
-    // Chaos sweep (opt-in): noisy observations must degrade accuracy, not
-    // crash the loop.
+    // Chaos sweep (opt-in): degraded sensors must cost accuracy at worst,
+    // never crash the loop. Three fault shapes — jittery probes, heavy
+    // dropouts, and long staleness — each across 8 seeds.
     let chaos = std::env::var("CONTROLLER_CHAOS").is_ok_and(|v| v == "1");
     if chaos {
-        for seed in 0..8u64 {
-            let noisy = scenarios(machine, &cpu_bound, &io_bound)
-                .into_iter()
-                .nth(1)
-                .unwrap()
-                .with_variability(0.1)
-                .with_noise(FaultInjector::new(NoiseModel::realistic(0.05), seed));
-            let out = run_controller(&noisy, &template, &config)
-                .expect("the controller must survive noisy observations");
-            println!(
-                "  chaos seed {seed}: {} switches, {} dropped observations, total {:.3}s",
-                out.switches.len(),
-                out.dropped_observations,
-                out.total_cost
-            );
+        let models: [(&str, NoiseModel); 3] = [
+            ("realistic", NoiseModel::realistic(0.05)),
+            ("dropout", NoiseModel::sensor_degraded(0.3, 0.0, 0, 0.05)),
+            ("stale", NoiseModel::sensor_degraded(0.05, 0.4, 4, 0.0)),
+        ];
+        for (label, model) in models {
+            for seed in 0..8u64 {
+                let noisy = scenarios(machine, &cpu_bound, &io_bound)
+                    .into_iter()
+                    .nth(1)
+                    .unwrap()
+                    .with_variability(0.1)
+                    .with_noise(FaultInjector::new(model, seed));
+                let out = run_controller(&noisy, &template, &config)
+                    .expect("the controller must survive degraded sensors");
+                println!(
+                    "  chaos {label} seed {seed}: {} switches, {} dropped, \
+                     {} dropout vm-epochs, max staleness {}, total {:.3}s",
+                    out.switches.len(),
+                    out.dropped_observations,
+                    out.health.dropout_vm_epochs,
+                    out.health.max_staleness,
+                    out.total_cost
+                );
+            }
         }
-        println!("Chaos: 8 noisy seeds completed without a panic.");
+        println!("Chaos: 3 fault shapes x 8 seeds completed without a panic.");
     }
 
-    // One stable line per scenario for shell-level double-run diffing.
+    // One stable line per scenario for shell-level double-run diffing and
+    // ceiling gating.
     for (name, fp) in &fingerprints {
         println!("CONTROLLER_FINGERPRINT {name}={fp:016x}");
+    }
+    for (name, regret) in &regrets {
+        println!("CONTROLLER_REGRET {name}={regret:.4}");
     }
 
     let bench = JsonObj::new()
         .str("experiment", "ext_controller")
         .float("wall_secs", wall_start.elapsed().as_secs_f64())
         .int("scenarios", scenario_objs.len() as u64)
-        .int("chaos_seeds", if chaos { 8 } else { 0 })
+        .int("chaos_seeds", if chaos { 24 } else { 0 })
         .float("cpu_profile_reference_secs", cpu_bound.reference_seconds(&machine))
         .float("io_profile_reference_secs", io_bound.reference_seconds(&machine))
         .raw("per_scenario", json_array(&scenario_objs));

@@ -207,6 +207,55 @@ mod tests {
     }
 
     #[test]
+    fn constant_stream_never_fires() {
+        // Exactly constant input: both excursions decay by delta per step,
+        // so neither side can ever reach lambda.
+        let mut d = detector();
+        for i in 0..10_000 {
+            assert!(!d.observe(3.25), "false positive on constant stream at {i}");
+        }
+    }
+
+    #[test]
+    fn single_observation_cannot_fire() {
+        // After one observation the running mean equals the observation,
+        // so both excursions are at their extrema and neither gap can
+        // exceed lambda — a single sample can never fire, at any warmup.
+        for x in [0.0, -1e9, 1e9] {
+            let mut d = detector();
+            assert!(!d.observe(x));
+            assert_eq!(d.count(), 1);
+        }
+    }
+
+    #[test]
+    fn alternating_signs_around_the_mean_never_fire() {
+        // A zero-mean square wave is noise, not drift: the excursions keep
+        // crossing back over the running mean and never accumulate.
+        let mut d = PageHinkley::new(DriftConfig {
+            delta: 0.05,
+            lambda: 0.6,
+            warmup: 8,
+        });
+        for i in 0..2_000 {
+            let x = if i % 2 == 0 { 0.04 } else { -0.04 };
+            assert!(!d.observe(x), "false positive on alternating stream at {i}");
+        }
+    }
+
+    #[test]
+    fn only_non_finite_input_never_advances_past_warmup() {
+        // A sensor emitting pure garbage must never push the detector
+        // through its warmup, let alone fire it.
+        let mut d = detector();
+        for _ in 0..100 {
+            assert!(!d.observe(f64::NAN));
+            assert!(!d.observe(f64::NEG_INFINITY));
+        }
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
     fn config_validation_rejects_nonsense() {
         assert!(DriftConfig {
             delta: -0.1,

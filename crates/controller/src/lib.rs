@@ -33,6 +33,8 @@
 mod controller;
 mod drift;
 mod error;
+mod governor;
+mod health;
 mod profile;
 mod regret;
 mod scenario;
@@ -43,6 +45,8 @@ pub use controller::{
 };
 pub use drift::{DriftConfig, PageHinkley};
 pub use error::ControllerError;
+pub use governor::{EpochVerdict, PredictedSwitch, SwitchGovernor, TRUST_CLOSINGS};
+pub use health::ControllerHealth;
 pub use profile::{
     profile_from_queries, PhasedProfileModel, ProblemTemplate, ProfileCostModel, ProfileKey,
     VmTemplate, WorkloadProfile,

@@ -117,6 +117,47 @@ impl WorkloadProfile {
             + (self.cold_random_reads + self.reread_random) * machine.random_page_seconds()
     }
 
+    /// This profile with every per-query demand component (and the working
+    /// set) scaled by `factor`, arrival rate unchanged — a query mix that
+    /// got heavier, not more frequent.
+    pub fn scaled(&self, factor: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            cpu_cycles: self.cpu_cycles * factor,
+            cold_seq_reads: self.cold_seq_reads * factor,
+            cold_random_reads: self.cold_random_reads * factor,
+            page_writes: self.page_writes * factor,
+            reread_seq: self.reread_seq * factor,
+            reread_random: self.reread_random * factor,
+            working_set_pages: self.working_set_pages * factor,
+            queries_per_epoch: self.queries_per_epoch,
+        }
+    }
+
+    /// This profile with the arrival rate scaled by `factor` — the same
+    /// queries, arriving more (or less) often.
+    pub fn rate_scaled(&self, factor: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            queries_per_epoch: self.queries_per_epoch * factor,
+            ..*self
+        }
+    }
+
+    /// Componentwise linear interpolation toward `other`: `t = 0` is this
+    /// profile, `t = 1` is `other`.
+    pub fn lerp(&self, other: &WorkloadProfile, t: f64) -> WorkloadProfile {
+        let mix = |a: f64, b: f64| a + t * (b - a);
+        WorkloadProfile {
+            cpu_cycles: mix(self.cpu_cycles, other.cpu_cycles),
+            cold_seq_reads: mix(self.cold_seq_reads, other.cold_seq_reads),
+            cold_random_reads: mix(self.cold_random_reads, other.cold_random_reads),
+            page_writes: mix(self.page_writes, other.page_writes),
+            reread_seq: mix(self.reread_seq, other.reread_seq),
+            reread_random: mix(self.reread_random, other.reread_random),
+            working_set_pages: mix(self.working_set_pages, other.working_set_pages),
+            queries_per_epoch: mix(self.queries_per_epoch, other.queries_per_epoch),
+        }
+    }
+
     /// Quantizes the profile into logarithmic buckets of relative width
     /// `rel` (e.g. `0.2` = 20%). Two profiles with the same key are
     /// "the same workload" for cache-reuse purposes: the controller keys
@@ -232,6 +273,21 @@ impl<'a> ProblemTemplate<'a> {
             self.vms
                 .iter()
                 .map(|vm| WorkloadSpec::new(vm.name.clone(), vm.db, vec![vm.base_query.clone()]))
+                .collect(),
+        )
+    }
+
+    /// The design-problem skeleton restricted to a subset of VMs, in the
+    /// given order — the shape of a localized re-solve, where only the
+    /// drifted VMs' shares are searched and everyone else stays pinned.
+    pub fn subset_problem(&self, vms: &[usize]) -> Result<DesignProblem<'a>, CoreError> {
+        DesignProblem::new(
+            self.machine,
+            vms.iter()
+                .map(|&i| {
+                    let vm = &self.vms[i];
+                    WorkloadSpec::new(vm.name.clone(), vm.db, vec![vm.base_query.clone()])
+                })
                 .collect(),
         )
     }

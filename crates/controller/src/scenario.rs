@@ -16,7 +16,7 @@
 use crate::profile::WorkloadProfile;
 use crate::stats::QueryObservation;
 use crate::ControllerError;
-use dbvirt_vmm::fault::{FaultInjector, ProbeFault};
+use dbvirt_vmm::fault::{FaultInjector, ProbeFault, SensorFault};
 use dbvirt_vmm::sched::VmJob;
 use dbvirt_vmm::{MachineSpec, ResourceDemand};
 
@@ -176,6 +176,172 @@ impl Scenario {
                 epochs: period,
             });
         }
+        Scenario::new(name, machine, phases, seed)
+    }
+
+    /// A diurnal cycle: `day` and `night` profile vectors alternate every
+    /// `period` epochs for `cycles` full days. Structurally the same
+    /// alternation as [`Scenario::adversarial`], but with periods long
+    /// enough that reconfiguring each time is worthwhile — the case the
+    /// switch governor should learn to pre-provision, not suppress.
+    pub fn diurnal(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        day: Vec<WorkloadProfile>,
+        night: Vec<WorkloadProfile>,
+        period: usize,
+        cycles: usize,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::adversarial(name, machine, day, night, period, cycles, seed)
+    }
+
+    /// A flash crowd: a steady baseline, then VM `crowd_vm`'s arrival rate
+    /// spikes by `spike`×, decays stepwise back over `decay_steps` phases,
+    /// and returns to baseline.
+    pub fn flash_crowd(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        baseline: Vec<WorkloadProfile>,
+        crowd_vm: usize,
+        spike: f64,
+        calm_epochs: usize,
+        spike_epochs: usize,
+        decay_steps: usize,
+        decay_epochs: usize,
+        seed: u64,
+    ) -> Scenario {
+        let crowded = |factor: f64| -> Vec<WorkloadProfile> {
+            baseline
+                .iter()
+                .enumerate()
+                .map(|(vm, p)| {
+                    if vm == crowd_vm {
+                        p.rate_scaled(factor)
+                    } else {
+                        *p
+                    }
+                })
+                .collect()
+        };
+        let mut phases = vec![
+            ScenarioPhase {
+                profiles: baseline.clone(),
+                epochs: calm_epochs,
+            },
+            ScenarioPhase {
+                profiles: crowded(spike),
+                epochs: spike_epochs,
+            },
+        ];
+        for step in 1..=decay_steps {
+            let factor =
+                1.0 + (spike - 1.0) * (decay_steps + 1 - step) as f64 / (decay_steps + 1) as f64;
+            phases.push(ScenarioPhase {
+                profiles: crowded(factor),
+                epochs: decay_epochs,
+            });
+        }
+        phases.push(ScenarioPhase {
+            profiles: baseline,
+            epochs: calm_epochs,
+        });
+        Scenario::new(name, machine, phases, seed)
+    }
+
+    /// A multi-tenant noisy-neighbor stream: tenants 0 and 1 swap a
+    /// `loud`/`quiet` profile pair in antiphase every `period` epochs
+    /// while the remaining `victims` VMs run steady — so drift always
+    /// fires on exactly that tenant pair and a localizing controller can
+    /// re-solve the pair with the victims' shares pinned.
+    pub fn noisy_neighbor(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        loud: WorkloadProfile,
+        quiet: WorkloadProfile,
+        victims: Vec<WorkloadProfile>,
+        period: usize,
+        cycles: usize,
+        seed: u64,
+    ) -> Scenario {
+        let with_tenants = |a: WorkloadProfile, b: WorkloadProfile| -> Vec<WorkloadProfile> {
+            let mut profiles = vec![a, b];
+            profiles.extend(victims.iter().copied());
+            profiles
+        };
+        let mut phases = Vec::with_capacity(2 * cycles);
+        for _ in 0..cycles {
+            phases.push(ScenarioPhase {
+                profiles: with_tenants(loud, quiet),
+                epochs: period,
+            });
+            phases.push(ScenarioPhase {
+                profiles: with_tenants(quiet, loud),
+                epochs: period,
+            });
+        }
+        Scenario::new(name, machine, phases, seed)
+    }
+
+    /// Correlated cross-VM drift: every VM shifts from its `before`
+    /// profile to its `after` profile at the same instant, and back again
+    /// — the all-VMs-drifted case where localized re-solving degenerates
+    /// to a full solve.
+    pub fn correlated_drift(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        before: Vec<WorkloadProfile>,
+        after: Vec<WorkloadProfile>,
+        epochs_each: usize,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::new(
+            name,
+            machine,
+            vec![
+                ScenarioPhase {
+                    profiles: before.clone(),
+                    epochs: epochs_each,
+                },
+                ScenarioPhase {
+                    profiles: after,
+                    epochs: epochs_each,
+                },
+                ScenarioPhase {
+                    profiles: before,
+                    epochs: epochs_each,
+                },
+            ],
+            seed,
+        )
+    }
+
+    /// A slow ramp: componentwise interpolation from `from` to `to` over
+    /// `steps` phases of `epochs_per_step` epochs each — drift that never
+    /// announces itself with a step change.
+    pub fn slow_ramp(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        from: Vec<WorkloadProfile>,
+        to: Vec<WorkloadProfile>,
+        steps: usize,
+        epochs_per_step: usize,
+        seed: u64,
+    ) -> Scenario {
+        let steps = steps.max(2);
+        let phases = (0..steps)
+            .map(|step| {
+                let t = step as f64 / (steps - 1) as f64;
+                ScenarioPhase {
+                    profiles: from
+                        .iter()
+                        .zip(&to)
+                        .map(|(a, b)| a.lerp(b, t))
+                        .collect(),
+                    epochs: epochs_per_step,
+                }
+            })
+            .collect();
         Scenario::new(name, machine, phases, seed)
     }
 
@@ -341,21 +507,10 @@ impl Scenario {
             .into_iter()
             .enumerate()
             .map(|(vm, job)| {
-                let profile = self.profile(vm, epoch);
-                let hit = profile.hit_fraction(pool_pages[vm]);
-                let observations = job
-                    .queries
-                    .iter()
-                    .enumerate()
-                    .map(|(q, demand)| {
-                        let scale = self.query_scale(vm, epoch, q);
-                        let clean = QueryObservation {
-                            demand: *demand,
-                            seq_hits: profile.reread_seq * hit * scale,
-                            random_hits: profile.reread_random * hit * scale,
-                            touched_pages: profile.working_set_pages,
-                        };
-                        self.observe(vm, epoch, q, clean)
+                let observations = (0..job.queries.len())
+                    .map(|q| {
+                        let clean = self.clean_observation(vm, epoch, q, pool_pages[vm]);
+                        self.observe(vm, epoch, q, clean, pool_pages[vm])
                     })
                     .collect();
                 VmEpoch { job, observations }
@@ -363,19 +518,69 @@ impl Scenario {
             .collect())
     }
 
+    /// The noiseless observation of query `q` of `vm` in `epoch`, as run
+    /// under a pool of `pool` pages.
+    fn clean_observation(&self, vm: usize, epoch: usize, q: usize, pool: usize) -> QueryObservation {
+        let profile = self.profile(vm, epoch);
+        let scale = self.query_scale(vm, epoch, q);
+        let hit = profile.hit_fraction(pool);
+        QueryObservation {
+            demand: profile.demand_at(pool, scale),
+            seq_hits: profile.reread_seq * hit * scale,
+            random_hits: profile.reread_random * hit * scale,
+            touched_pages: profile.working_set_pages,
+        }
+    }
+
     /// Runs one clean observation through the noise model (identity when
-    /// no injector is configured). A measurement fault loses the whole
-    /// observation.
+    /// no injector is configured). The whole-reading sensor fate is drawn
+    /// first: a dropout loses the observation, a stale reading replays the
+    /// measurement of an earlier epoch (with its own jitter, exactly as it
+    /// would have been reported then), and a corruption poisons one
+    /// floating-point component with NaN — which the statistics layer
+    /// drops, so a corrupted sensor can never feed the drift detector.
+    /// Per-component jitter and measurement faults then apply as before.
     fn observe(
         &self,
         vm: usize,
         epoch: usize,
         q: usize,
         clean: QueryObservation,
+        pool: usize,
     ) -> Option<QueryObservation> {
         let Some(injector) = &self.noise else {
             return Some(clean);
         };
+        match injector.sensor_fault(vm as u64, epoch, q, 4) {
+            SensorFault::Dropout => None,
+            SensorFault::Stale { age } => {
+                let old = epoch.saturating_sub(age);
+                let stale = self.clean_observation(vm, old, q, pool);
+                Self::jittered(injector, vm, old, q, stale)
+            }
+            SensorFault::Corrupt { component } => {
+                let mut obs = Self::jittered(injector, vm, epoch, q, clean)?;
+                match component {
+                    0 => obs.demand.cpu_cycles = f64::NAN,
+                    1 => obs.seq_hits = f64::NAN,
+                    2 => obs.random_hits = f64::NAN,
+                    _ => obs.touched_pages = f64::NAN,
+                }
+                Some(obs)
+            }
+            SensorFault::Clean => Self::jittered(injector, vm, epoch, q, clean),
+        }
+    }
+
+    /// Applies per-component jitter and measurement faults to one reading.
+    /// A measurement fault loses the whole observation.
+    fn jittered(
+        injector: &FaultInjector,
+        vm: usize,
+        epoch: usize,
+        q: usize,
+        clean: QueryObservation,
+    ) -> Option<QueryObservation> {
         // Each observation component is drawn independently through the
         // injector's deterministic stream; `attempt` indexes the component
         // and the breakdown slot selects which jitter knob applies (CPU,
@@ -505,6 +710,159 @@ mod tests {
             // The observation streams differ (jitter or dropped probes).
             let differs = a.iter().zip(&b).any(|(x, y)| x.observations != y.observations);
             assert!(differs, "realistic noise should perturb epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn zoo_scenarios_validate_and_have_the_expected_shape() {
+        let machine = MachineSpec::tiny();
+        let diurnal = Scenario::diurnal(
+            "diurnal",
+            machine,
+            vec![cpu_heavy(), io_heavy()],
+            vec![io_heavy(), cpu_heavy()],
+            6,
+            2,
+            7,
+        );
+        assert!(diurnal.validate().is_ok());
+        assert_eq!(diurnal.total_epochs(), 24);
+        assert_eq!(diurnal.phase_ordinals(), vec![0, 1, 0, 1]);
+
+        let crowd = Scenario::flash_crowd(
+            "flash",
+            machine,
+            vec![cpu_heavy(), io_heavy()],
+            1,
+            4.0,
+            4,
+            3,
+            2,
+            2,
+            7,
+        );
+        assert!(crowd.validate().is_ok());
+        // calm, spike, 2 decay steps, calm.
+        assert_eq!(crowd.phases.len(), 5);
+        assert_eq!(crowd.total_epochs(), 4 + 3 + 2 * 2 + 4);
+        // The spike quadruples only the crowd VM's arrival rate.
+        assert_eq!(
+            crowd.phases[1].profiles[1].queries_per_epoch,
+            4.0 * io_heavy().queries_per_epoch
+        );
+        assert_eq!(crowd.phases[1].profiles[0], cpu_heavy());
+        // Decay is monotone back toward baseline.
+        let rates: Vec<f64> = crowd
+            .phases
+            .iter()
+            .map(|p| p.profiles[1].queries_per_epoch)
+            .collect();
+        assert!(rates[1] > rates[2] && rates[2] > rates[3] && rates[3] > rates[4]);
+        assert_eq!(rates[4], rates[0]);
+
+        let tenants = Scenario::noisy_neighbor(
+            "tenants",
+            machine,
+            io_heavy(),
+            cpu_heavy(),
+            vec![cpu_heavy(), cpu_heavy()],
+            5,
+            2,
+            7,
+        );
+        assert!(tenants.validate().is_ok());
+        assert_eq!(tenants.num_vms(), 4);
+        assert_eq!(tenants.phase_ordinals(), vec![0, 1, 0, 1]);
+        // Only the tenant pair changes between phases.
+        assert_eq!(tenants.phases[0].profiles[0], tenants.phases[1].profiles[1]);
+        assert_eq!(tenants.phases[0].profiles[2], tenants.phases[1].profiles[2]);
+        assert_eq!(tenants.phases[0].profiles[3], tenants.phases[1].profiles[3]);
+
+        let correlated = Scenario::correlated_drift(
+            "correlated",
+            machine,
+            vec![cpu_heavy(), cpu_heavy(), io_heavy()],
+            vec![io_heavy(), io_heavy(), cpu_heavy()],
+            6,
+            7,
+        );
+        assert!(correlated.validate().is_ok());
+        assert_eq!(correlated.phase_ordinals(), vec![0, 1, 0]);
+
+        let ramp = Scenario::slow_ramp(
+            "ramp",
+            machine,
+            vec![cpu_heavy(), io_heavy()],
+            vec![io_heavy(), cpu_heavy()],
+            8,
+            2,
+            7,
+        );
+        assert!(ramp.validate().is_ok());
+        assert_eq!(ramp.phases.len(), 8);
+        assert_eq!(ramp.total_epochs(), 16);
+        // Endpoints are exact, the middle is strictly between.
+        assert_eq!(ramp.phases[0].profiles[0], cpu_heavy());
+        assert_eq!(ramp.phases[7].profiles[0], io_heavy());
+        let mid = ramp.phases[4].profiles[0];
+        assert!(mid.cpu_cycles < cpu_heavy().cpu_cycles);
+        assert!(mid.cpu_cycles > io_heavy().cpu_cycles);
+    }
+
+    #[test]
+    fn sensor_faults_drop_stale_or_poison_observations_deterministically() {
+        let degraded = two_vm_drift().with_noise(FaultInjector::new(
+            NoiseModel::sensor_degraded(0.2, 0.2, 3, 0.2),
+            99,
+        ));
+        let pools = [1000usize, 1000];
+        let mut dropouts = 0usize;
+        let mut poisoned = 0usize;
+        let mut stale = 0usize;
+        for epoch in 0..12 {
+            let noisy = degraded.epoch_batch(epoch, &pools).unwrap();
+            let clean = two_vm_drift().epoch_batch(epoch, &pools).unwrap();
+            for (vm, (n, c)) in noisy.iter().zip(&clean).enumerate() {
+                assert_eq!(n.job.queries, c.job.queries, "ground truth must stay clean");
+                for (q, obs) in n.observations.iter().enumerate() {
+                    match obs {
+                        None => dropouts += 1,
+                        Some(o) if [o.demand.cpu_cycles, o.seq_hits, o.random_hits, o.touched_pages]
+                            .iter()
+                            .any(|v| v.is_nan()) =>
+                        {
+                            poisoned += 1
+                        }
+                        Some(o) => {
+                            // Sensor-only model: surviving readings are either
+                            // bit-exact (clean) or an earlier epoch's reading
+                            // (stale).
+                            if *o != c.observations[q].unwrap() {
+                                let replayed = (1..=3.min(epoch)).any(|age| {
+                                    degraded.clean_observation(vm, epoch - age, q, pools[vm]) == *o
+                                });
+                                assert!(
+                                    replayed,
+                                    "epoch {epoch} vm {vm} q {q}: reading is neither \
+                                     current nor a replay of a recent epoch"
+                                );
+                                stale += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(dropouts > 0, "20% dropout must show up across 12 epochs");
+        assert!(poisoned > 0, "20% corruption must show up");
+        assert!(stale > 0, "20% staleness must show up");
+        // Determinism: the same scenario replays bit-identically.
+        let again = degraded.epoch_batch(5, &pools).unwrap();
+        let first = degraded.epoch_batch(5, &pools).unwrap();
+        for (a, b) in again.iter().zip(&first) {
+            // NaN-poisoned readings defeat PartialEq; compare the rendered
+            // streams instead.
+            assert_eq!(format!("{:?}", a.observations), format!("{:?}", b.observations));
         }
     }
 

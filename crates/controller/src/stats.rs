@@ -41,6 +41,20 @@ pub struct VmStats {
     rate: Option<f64>,
     epoch_queries: u64,
     observations: u64,
+    /// Whether the detector has fired since its last reset: the estimate
+    /// is re-seeded only on the *first* firing of a detection window, so
+    /// back-to-back firings inside one epoch blend instead of clobbering.
+    fired_since_reset: bool,
+    /// Sum of this epoch's inverted base components (for the epoch-mean
+    /// snapshot the governor keys regimes on).
+    epoch_base: BaseComponents,
+    /// Consecutive epochs that ended with zero usable observations (the
+    /// estimate is carried over, not decayed).
+    staleness: usize,
+    /// Largest staleness run seen over the VM's lifetime.
+    max_staleness: usize,
+    /// Total epochs closed with zero usable observations.
+    stale_epochs: usize,
 }
 
 impl VmStats {
@@ -55,12 +69,33 @@ impl VmStats {
             rate: None,
             epoch_queries: 0,
             observations: 0,
+            fired_since_reset: false,
+            epoch_base: [0.0; 7],
+            staleness: 0,
+            max_staleness: 0,
+            stale_epochs: 0,
         }
     }
 
     /// Total observations absorbed.
     pub fn observations(&self) -> u64 {
         self.observations
+    }
+
+    /// Consecutive epochs (ending now) closed with zero usable
+    /// observations — how stale the carried-over estimate currently is.
+    pub fn staleness(&self) -> usize {
+        self.staleness
+    }
+
+    /// The largest consecutive run of observation-free epochs seen.
+    pub fn max_staleness(&self) -> usize {
+        self.max_staleness
+    }
+
+    /// Total epochs closed with zero usable observations.
+    pub fn stale_epochs(&self) -> usize {
+        self.stale_epochs
     }
 
     /// Recovers base components from a physical observation taken under a
@@ -119,6 +154,9 @@ impl VmStats {
         let base = self.invert(obs, pool_pages).ok_or(())?;
         self.observations += 1;
         self.epoch_queries += 1;
+        for (sum, b) in self.epoch_base.iter_mut().zip(base) {
+            *sum += b;
+        }
         match &mut self.est {
             None => self.est = Some(base),
             Some(est) => {
@@ -134,25 +172,55 @@ impl VmStats {
             + (base[1] + base[4] + base[3]) * self.machine.seq_page_seconds()
             + (base[2] + base[5]) * self.machine.random_page_seconds();
         let fired = self.detector.observe(reference.max(1e-12).ln());
-        if fired {
+        if fired && !self.fired_since_reset {
             // The observation that trips the detector already belongs to
             // the new regime: re-seed the estimate from it so the
             // controller's post-drift re-solve prices the new workload,
-            // not an EWMA still dominated by the stale one.
+            // not an EWMA still dominated by the stale one. Only the
+            // *first* firing of a detection window re-seeds; the detector
+            // keeps firing until reset, and clobbering the estimate with
+            // every subsequent observation would pin it to whichever
+            // query happened to arrive last instead of blending.
             self.est = Some(base);
+            self.fired_since_reset = true;
         }
         Ok(fired)
     }
 
     /// Closes a control epoch, folding the epoch's completed-query count
-    /// into the arrival-rate estimate.
-    pub fn end_epoch(&mut self) {
+    /// into the arrival-rate estimate. Returns the epoch-mean observed
+    /// profile (components averaged over this epoch's queries) when the
+    /// epoch had any usable observations — the snapshot the switch
+    /// governor keys workload regimes on — and `None` for an
+    /// observation-free epoch, in which case the rate and component
+    /// estimates are carried over unchanged (bounded-staleness carryover:
+    /// a sensor dropout is not evidence the workload stopped).
+    pub fn end_epoch(&mut self) -> Option<WorkloadProfile> {
         let n = self.epoch_queries as f64;
         self.epoch_queries = 0;
+        if n <= 0.0 {
+            self.staleness += 1;
+            self.stale_epochs += 1;
+            self.max_staleness = self.max_staleness.max(self.staleness);
+            return None;
+        }
+        self.staleness = 0;
         match &mut self.rate {
             None => self.rate = Some(n),
             Some(r) => *r += self.alpha * (n - *r),
         }
+        let mean = self.epoch_base.map(|sum| sum / n);
+        self.epoch_base = [0.0; 7];
+        Some(WorkloadProfile {
+            cpu_cycles: mean[0],
+            cold_seq_reads: mean[1],
+            cold_random_reads: mean[2],
+            page_writes: mean[3],
+            reread_seq: mean[4],
+            reread_random: mean[5],
+            working_set_pages: mean[6],
+            queries_per_epoch: n,
+        })
     }
 
     /// The current profile estimate, once at least one observation and one
@@ -179,6 +247,7 @@ impl VmStats {
     /// detection, so one change is not reported twice).
     pub fn reset_detector(&mut self) {
         self.detector.reset();
+        self.fired_since_reset = false;
     }
 }
 
@@ -272,6 +341,100 @@ mod tests {
             let pool = if i % 2 == 0 { 400 } else { 5000 };
             let fired = s.observe(&clean_observation(&truth, pool), pool).unwrap();
             assert!(!fired, "false drift at observation {i}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_firings_blend_instead_of_clobbering() {
+        // Satellite: the detector keeps firing on every observation after
+        // a regime change until the controller resets it. The estimate
+        // must re-seed from the FIRST firing observation and then blend
+        // normally — not be clobbered to whichever observation fired last.
+        let a = io_heavy();
+        let mut b = a;
+        b.cpu_cycles *= 30.0;
+        b.cold_seq_reads *= 8.0;
+        let mut c = b;
+        c.cpu_cycles *= 1.5; // a third, slightly different regime
+        let pool = 1500usize;
+        let mut s = stats();
+        for _ in 0..20 {
+            s.observe(&clean_observation(&a, pool), pool).unwrap();
+        }
+        let first = clean_observation(&b, pool);
+        let mut fired = false;
+        for _ in 0..30 {
+            if s.observe(&first, pool).unwrap() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "regime shift must fire");
+        let seeded = s.est.unwrap();
+        assert_eq!(seeded[0], b.cpu_cycles, "first firing re-seeds the estimate");
+        let second = clean_observation(&c, pool);
+        assert!(
+            s.observe(&second, pool).unwrap(),
+            "detector keeps firing until reset"
+        );
+        let blended = s.est.unwrap();
+        // EWMA trajectory: seeded + alpha * (second_base - seeded), where
+        // second_base's cpu component is c.cpu_cycles.
+        let expected_cpu = seeded[0] + 0.25 * (c.cpu_cycles - seeded[0]);
+        assert!(
+            (blended[0] - expected_cpu).abs() / expected_cpu < 1e-12,
+            "second firing must blend ({} != {expected_cpu})",
+            blended[0]
+        );
+        assert!(
+            (blended[0] - c.cpu_cycles).abs() / c.cpu_cycles > 0.1,
+            "estimate must not be pinned to the last firing observation"
+        );
+        // After the controller acts and resets, the next firing re-seeds.
+        s.reset_detector();
+        assert!(!s.fired_since_reset);
+    }
+
+    #[test]
+    fn observation_free_epochs_carry_the_estimate_over() {
+        let truth = io_heavy();
+        let pool = 1500usize;
+        let mut s = stats();
+        for _ in 0..8 {
+            s.observe(&clean_observation(&truth, pool), pool).unwrap();
+        }
+        let snapshot = s.end_epoch().expect("populated epoch yields a snapshot");
+        assert_eq!(snapshot.queries_per_epoch, 8.0);
+        assert!((snapshot.cpu_cycles - truth.cpu_cycles).abs() / truth.cpu_cycles < 1e-9);
+        let before = s.profile().unwrap();
+        // Three dropout epochs: no observations at all.
+        for _ in 0..3 {
+            assert!(s.end_epoch().is_none());
+        }
+        let after = s.profile().unwrap();
+        assert_eq!(before, after, "dropouts must not decay the estimate");
+        assert_eq!(s.staleness(), 3);
+        assert_eq!(s.max_staleness(), 3);
+        assert_eq!(s.stale_epochs(), 3);
+        // A fresh observation clears the consecutive counter.
+        s.observe(&clean_observation(&truth, pool), pool).unwrap();
+        s.end_epoch().unwrap();
+        assert_eq!(s.staleness(), 0);
+        assert_eq!(s.max_staleness(), 3);
+        assert_eq!(s.stale_epochs(), 3);
+    }
+
+    #[test]
+    fn extreme_shares_do_not_fire_the_detector() {
+        // Allocation invariance at the limits: a 1-page pool (everything
+        // misses) and an effectively infinite pool (everything hits) must
+        // both invert to the same reference stream.
+        let truth = io_heavy();
+        let mut s = stats();
+        for i in 0..200 {
+            let pool = if i % 2 == 0 { 1 } else { 1_000_000 };
+            let fired = s.observe(&clean_observation(&truth, pool), pool).unwrap();
+            assert!(!fired, "false drift at extreme pools, observation {i}");
         }
     }
 

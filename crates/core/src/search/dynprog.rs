@@ -70,11 +70,11 @@ pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment,
         Ok(result)
     }
 
-    solve(eval, &mut memo, 0, cfg.units, cfg.units)?;
+    solve(eval, &mut memo, 0, cfg.cpu_budget, cfg.mem_budget)?;
 
     // Reconstruct the assignment by replaying the memoized choices.
     let mut assignment = Vec::with_capacity(n);
-    let (mut cpu_left, mut mem_left) = (cfg.units, cfg.units);
+    let (mut cpu_left, mut mem_left) = (cfg.cpu_budget, cfg.mem_budget);
     for i in 0..n {
         let (_, (ci, mi)) = memo[&(i, cpu_left, mem_left)];
         assignment.push((ci, mi));

@@ -37,8 +37,8 @@ fn compositions(total: u32, n: usize, min: u32) -> Vec<Vec<u32>> {
 pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment, CoreError> {
     let n = eval.problem.num_workloads();
     let cfg = eval.config;
-    let cpu_splits = compositions(cfg.units, n, cfg.min_units);
-    let mem_splits = compositions(cfg.units, n, cfg.min_units);
+    let cpu_splits = compositions(cfg.cpu_budget, n, cfg.min_units);
+    let mem_splits = compositions(cfg.mem_budget, n, cfg.min_units);
 
     let mut best: Option<(f64, UnitAssignment)> = None;
     for cpu in &cpu_splits {

@@ -6,7 +6,7 @@
 //! cost. This is exactly the manual reasoning in the paper's Section 6
 //! ("take CPU away from Q4 and give it to Q13"), automated.
 
-use super::{equal_assignment, CellKey, ParallelEvaluator, UnitAssignment};
+use super::{equal_units, CellKey, ParallelEvaluator, UnitAssignment};
 use crate::CoreError;
 
 /// Which resource a transfer moves.
@@ -42,7 +42,10 @@ pub(super) fn search(eval: &ParallelEvaluator<'_, '_>) -> Result<UnitAssignment,
     let n = eval.problem.num_workloads();
     let cfg = eval.config;
     let parallel = cfg.effective_parallelism() > 1;
-    let mut current = equal_assignment(n, cfg.units);
+    let mut current: UnitAssignment = equal_units(n, cfg.cpu_budget)
+        .into_iter()
+        .zip(equal_units(n, cfg.mem_budget))
+        .collect();
     let mut current_cost = eval.total(&current)?;
 
     // Each accepted transfer strictly improves a bounded-below objective

@@ -64,17 +64,27 @@ pub struct SearchConfig {
     /// one worker per available core, `n` uses exactly `n`. The result is
     /// identical at every setting; only wall-clock time changes.
     pub parallelism: usize,
+    /// CPU units the search may distribute among this problem's workloads
+    /// (`units` for a whole-machine solve; less when a caller pins some
+    /// workloads' shares and re-solves only the remainder). Shares are
+    /// always expressed as fractions of the *whole* machine — budgets
+    /// restrict the search space, not the denominator.
+    pub cpu_budget: u32,
+    /// Memory units the search may distribute (see `cpu_budget`).
+    pub mem_budget: u32,
 }
 
 impl SearchConfig {
     /// A config with `units` steps, equal-split disk for `n` workloads,
-    /// a 1-unit floor, and serial evaluation.
+    /// a 1-unit floor, serial evaluation, and the full machine as budget.
     pub fn for_workloads(units: u32, n: usize) -> SearchConfig {
         SearchConfig {
             units,
             disk_share: 1.0 / n as f64,
             min_units: 1,
             parallelism: 1,
+            cpu_budget: units,
+            mem_budget: units,
         }
     }
 
@@ -82,6 +92,15 @@ impl SearchConfig {
     /// per available core).
     pub fn with_parallelism(mut self, parallelism: usize) -> SearchConfig {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the config restricted to a sub-budget of `cpu`/`mem` units
+    /// (a localized re-solve over a workload subset, with the rest of the
+    /// machine pinned elsewhere).
+    pub fn with_budgets(mut self, cpu: u32, mem: u32) -> SearchConfig {
+        self.cpu_budget = cpu;
+        self.mem_budget = mem;
         self
     }
 
@@ -101,11 +120,20 @@ impl SearchConfig {
                 reason: "units and min_units must be positive".to_string(),
             });
         }
-        if (self.min_units as usize) * n > self.units as usize {
+        if self.cpu_budget > self.units || self.mem_budget > self.units {
             return Err(CoreError::BadProblem {
                 reason: format!(
-                    "{} workloads x {} min units exceed {} total units",
-                    n, self.min_units, self.units
+                    "budget ({}, {}) exceeds {} total units",
+                    self.cpu_budget, self.mem_budget, self.units
+                ),
+            });
+        }
+        let floor = (self.min_units as usize) * n;
+        if floor > self.cpu_budget as usize || floor > self.mem_budget as usize {
+            return Err(CoreError::BadProblem {
+                reason: format!(
+                    "{} workloads x {} min units exceed budget ({}, {})",
+                    n, self.min_units, self.cpu_budget, self.mem_budget
                 ),
             });
         }
@@ -300,22 +328,24 @@ impl<'p, 'm> ParallelEvaluator<'p, 'm> {
 
     /// The exact cell set a serial DP or exhaustive search evaluates: for
     /// `n ≥ 2` every workload's full feasible rectangle
-    /// `[min_units, units − (n−1)·min_units]²` (both enumerate every
-    /// feasible per-workload cell), for `n = 1` the single all-units cell.
-    /// Precomputing it in parallel therefore leaves the evaluation count
-    /// identical to a serial run.
+    /// `[min_units, budget − (n−1)·min_units]` per resource (both
+    /// enumerate every feasible per-workload cell), for `n = 1` the single
+    /// whole-budget cell. Precomputing it in parallel therefore leaves the
+    /// evaluation count identical to a serial run.
     fn full_table_cells(&self) -> Vec<CellKey> {
         let n = self.problem.num_workloads();
         let cfg = self.config;
         if n == 1 {
-            return vec![(0, cfg.units, cfg.units)];
+            return vec![(0, cfg.cpu_budget, cfg.mem_budget)];
         }
         let lo = cfg.min_units;
-        let hi = cfg.units - cfg.min_units * (n as u32 - 1);
-        let mut cells = Vec::with_capacity(n * ((hi - lo + 1) as usize).pow(2));
+        let reserve = cfg.min_units * (n as u32 - 1);
+        let (cpu_hi, mem_hi) = (cfg.cpu_budget - reserve, cfg.mem_budget - reserve);
+        let mut cells =
+            Vec::with_capacity(n * (cpu_hi - lo + 1) as usize * (mem_hi - lo + 1) as usize);
         for w in 0..n {
-            for c in lo..=hi {
-                for m in lo..=hi {
+            for c in lo..=cpu_hi {
+                for m in lo..=mem_hi {
                     cells.push((w, c, m));
                 }
             }
@@ -364,16 +394,21 @@ impl<'p, 'm> ParallelEvaluator<'p, 'm> {
     }
 }
 
-/// The equal split as a unit assignment (remainder units go to the first
-/// workloads).
-pub(crate) fn equal_assignment(n: usize, units: u32) -> UnitAssignment {
+/// An equal split of `units` into `n` parts (remainder units go to the
+/// first workloads).
+pub(crate) fn equal_units(n: usize, units: u32) -> Vec<u32> {
     let base = units / n as u32;
     let extra = units as usize % n;
-    (0..n)
-        .map(|i| {
-            let u = base + u32::from(i < extra);
-            (u, u)
-        })
+    (0..n).map(|i| base + u32::from(i < extra)).collect()
+}
+
+/// The equal split as a unit assignment (remainder units go to the first
+/// workloads).
+#[cfg(test)]
+pub(crate) fn equal_assignment(n: usize, units: u32) -> UnitAssignment {
+    equal_units(n, units)
+        .into_iter()
+        .zip(equal_units(n, units))
         .collect()
 }
 
@@ -498,19 +533,15 @@ mod tests {
         let model = SyntheticModel {
             weights: vec![(1.0, 1.0); 3],
         };
-        let bad = SearchConfig {
-            units: 2,
-            disk_share: 0.33,
-            min_units: 1,
-            parallelism: 1,
-        };
+        let bad = SearchConfig::for_workloads(2, 3);
         assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
-        let bad = SearchConfig {
-            units: 8,
-            disk_share: 0.0,
-            min_units: 1,
-            parallelism: 1,
-        };
+        let mut bad = SearchConfig::for_workloads(8, 3);
+        bad.disk_share = 0.0;
+        assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
+        // Budgets must cover the per-workload floor and fit the machine.
+        let bad = SearchConfig::for_workloads(8, 3).with_budgets(2, 8);
+        assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
+        let bad = SearchConfig::for_workloads(8, 3).with_budgets(8, 9);
         assert!(run_search(SearchAlgorithm::Greedy, &problem, &model, bad).is_err());
     }
 
@@ -599,6 +630,49 @@ mod tests {
         assert!((rec.total_cost - raw).abs() < 1e-12);
         let weighted = rec.per_workload_costs[0] + 5.0 * rec.per_workload_costs[1];
         assert!((rec.objective - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_solves_stay_inside_the_budget_and_agree() {
+        let db = dummy_db();
+        let problem = dummy_problem(&db, 2);
+        let model = SyntheticModel {
+            weights: vec![(6.0, 0.5), (0.5, 6.0)],
+        };
+        // Localized sub-solve: only 5 CPU units and 6 memory units are on
+        // the table; shares stay fractions of the full 8-unit machine.
+        let config = SearchConfig::for_workloads(8, 2).with_budgets(5, 6);
+        let mut recs = Vec::new();
+        for alg in [
+            SearchAlgorithm::Exhaustive,
+            SearchAlgorithm::Greedy,
+            SearchAlgorithm::DynamicProgramming,
+        ] {
+            let rec = run_search(alg, &problem, &model, config).unwrap();
+            let units = config.units as f64;
+            let cpu_units: f64 = (0..2)
+                .map(|w| rec.allocation.row(w).cpu().fraction() * units)
+                .sum();
+            let mem_units: f64 = (0..2)
+                .map(|w| rec.allocation.row(w).memory().fraction() * units)
+                .sum();
+            assert!((cpu_units - 5.0).abs() < 1e-9, "{alg:?} spent {cpu_units} cpu units");
+            assert!((mem_units - 6.0).abs() < 1e-9, "{alg:?} spent {mem_units} mem units");
+            recs.push(rec);
+        }
+        // DP is exact on the restricted space too.
+        assert!((recs[0].total_cost - recs[2].total_cost).abs() < 1e-9);
+        // The skewed model pulls CPU to workload 0 even inside the budget.
+        assert!(recs[2].allocation.row(0).cpu() > recs[2].allocation.row(1).cpu());
+        // A full-budget config prices at least as well (superset space).
+        let full = run_search(
+            SearchAlgorithm::DynamicProgramming,
+            &problem,
+            &model,
+            SearchConfig::for_workloads(8, 2),
+        )
+        .unwrap();
+        assert!(full.total_cost <= recs[2].total_cost + 1e-9);
     }
 
     #[test]

@@ -35,6 +35,27 @@ pub enum ProbeFault {
     },
 }
 
+/// The fate of one whole sensor reading, drawn by
+/// [`FaultInjector::sensor_fault`] independently of the per-component
+/// measurement noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorFault {
+    /// The reading arrives intact and on time.
+    Clean,
+    /// The reading is silently lost.
+    Dropout,
+    /// The reading arrives, but describes the state `age` epochs ago.
+    Stale {
+        /// How many epochs late the reading is (≥ 1).
+        age: usize,
+    },
+    /// One component of the reading is corrupted to a non-finite value.
+    Corrupt {
+        /// Index of the corrupted component in the consumer's layout.
+        component: usize,
+    },
+}
+
 impl std::fmt::Display for ProbeFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -71,6 +92,20 @@ pub struct NoiseModel {
     /// A measurement exceeding `timeout_factor ×` its clean duration is
     /// reported as a timeout instead of a value (`INFINITY` disables).
     pub timeout_factor: f64,
+    /// Probability that a whole sensor reading silently drops out (the
+    /// monitoring agent never delivers it). Drawn by
+    /// [`FaultInjector::sensor_fault`], independently of the per-component
+    /// measurement stream.
+    pub dropout_prob: f64,
+    /// Probability that a sensor reading arrives stale: the delivered
+    /// value describes the workload `age` epochs ago, not now.
+    pub stale_prob: f64,
+    /// Maximum staleness age in epochs (ages are drawn uniformly from
+    /// `1..=stale_max_age`). Must be ≥ 1 whenever `stale_prob > 0`.
+    pub stale_max_age: usize,
+    /// Probability that one component of a reading is corrupted to a
+    /// non-finite value (a garbage counter the consumer must reject).
+    pub corrupt_prob: f64,
 }
 
 /// Cap on the Pareto outlier multiplier, so a spike is "wildly off" but
@@ -90,6 +125,10 @@ impl NoiseModel {
             outlier_scale: 1.0,
             failure_prob: 0.0,
             timeout_factor: f64::INFINITY,
+            dropout_prob: 0.0,
+            stale_prob: 0.0,
+            stale_max_age: 0,
+            corrupt_prob: 0.0,
         }
     }
 
@@ -138,8 +177,30 @@ impl NoiseModel {
         self
     }
 
-    /// True if this model can never alter a measurement.
-    pub fn is_identity(&self) -> bool {
+    /// A sensor-degradation model on top of an otherwise clean pipeline:
+    /// whole readings drop out with probability `dropout`, arrive up to
+    /// `stale_max_age` epochs stale with probability `stale`, and have one
+    /// component corrupted to a non-finite value with probability
+    /// `corrupt`. Measurement values themselves pass through unjittered.
+    pub fn sensor_degraded(
+        dropout: f64,
+        stale: f64,
+        stale_max_age: usize,
+        corrupt: f64,
+    ) -> NoiseModel {
+        NoiseModel {
+            dropout_prob: dropout,
+            stale_prob: stale,
+            stale_max_age,
+            corrupt_prob: corrupt,
+            ..NoiseModel::none()
+        }
+    }
+
+    /// True if this model can never alter a per-component measurement
+    /// value (whole-reading sensor faults — dropout, staleness,
+    /// corruption — are drawn separately and do not affect this).
+    pub fn is_measurement_identity(&self) -> bool {
         self.cpu_jitter == 0.0
             && self.seq_io_jitter == 0.0
             && self.random_io_jitter == 0.0
@@ -149,11 +210,27 @@ impl NoiseModel {
             && self.timeout_factor.is_infinite()
     }
 
+    /// True if this model can never alter, drop, delay, or corrupt a
+    /// reading in any way.
+    pub fn is_identity(&self) -> bool {
+        self.is_measurement_identity()
+            && self.dropout_prob == 0.0
+            && self.stale_prob == 0.0
+            && self.corrupt_prob == 0.0
+    }
+
     /// Validates that probabilities are in `[0, 1]` and jitters in
     /// `[0, 1)` (a jitter of 1 could zero out a measurement).
     pub fn validate(&self) -> Result<(), crate::VmmError> {
-        let probs_ok =
-            (0.0..=1.0).contains(&self.outlier_prob) && (0.0..=1.0).contains(&self.failure_prob);
+        let probs_ok = [
+            self.outlier_prob,
+            self.failure_prob,
+            self.dropout_prob,
+            self.stale_prob,
+            self.corrupt_prob,
+        ]
+        .iter()
+        .all(|p| (0.0..=1.0).contains(p));
         let jitters_ok = [
             self.cpu_jitter,
             self.seq_io_jitter,
@@ -162,7 +239,15 @@ impl NoiseModel {
         ]
         .iter()
         .all(|j| (0.0..1.0).contains(j));
-        if probs_ok && jitters_ok && self.outlier_scale >= 1.0 && self.timeout_factor > 1.0 {
+        // The three sensor outcomes are drawn from one partition of [0, 1).
+        let sensor_ok = self.dropout_prob + self.stale_prob + self.corrupt_prob <= 1.0
+            && (self.stale_prob == 0.0 || self.stale_max_age >= 1);
+        if probs_ok
+            && jitters_ok
+            && sensor_ok
+            && self.outlier_scale >= 1.0
+            && self.timeout_factor > 1.0
+        {
             Ok(())
         } else {
             Err(crate::VmmError::InvalidShare { value: f64::NAN })
@@ -211,6 +296,12 @@ static TM_TIMEOUTS: dbvirt_telemetry::Counter =
     dbvirt_telemetry::Counter::new("vmm.fault.timeouts");
 static TM_OUTLIERS: dbvirt_telemetry::Counter =
     dbvirt_telemetry::Counter::new("vmm.fault.outlier_spikes");
+static TM_DROPOUTS: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.sensor_dropouts");
+static TM_STALE: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.sensor_stale");
+static TM_CORRUPT: dbvirt_telemetry::Counter =
+    dbvirt_telemetry::Counter::new("vmm.fault.sensor_corrupt");
 
 impl FaultInjector {
     /// Creates an injector from a noise model and a seed.
@@ -245,7 +336,7 @@ impl FaultInjector {
     ) -> Result<f64, ProbeFault> {
         let (cpu, seq, random, write) = breakdown;
         let clean = cpu + seq + random + write;
-        if self.model.is_identity() {
+        if self.model.is_measurement_identity() {
             return Ok(clean);
         }
         TM_MEASURES.add(1);
@@ -282,6 +373,46 @@ impl FaultInjector {
             });
         }
         Ok(noisy)
+    }
+
+    /// Draws the fate of one whole sensor reading, keyed by
+    /// `(seed, context, probe, trial)` on a stream independent of
+    /// [`FaultInjector::measure`]'s (salted seed), so enabling sensor
+    /// faults does not re-shuffle the measurement noise. `components` is
+    /// the size of the consumer's reading layout; a corruption picks one
+    /// index uniformly from it.
+    pub fn sensor_fault(
+        &self,
+        context: u64,
+        probe: usize,
+        trial: usize,
+        components: usize,
+    ) -> SensorFault {
+        let m = &self.model;
+        if m.dropout_prob == 0.0 && m.stale_prob == 0.0 && m.corrupt_prob == 0.0 {
+            return SensorFault::Clean;
+        }
+        const SENSOR_SALT: u64 = 0x5E2_50E5_EED5;
+        let mut rng =
+            StdRng::seed_from_u64(mix(self.seed ^ SENSOR_SALT, context, probe, trial, 0));
+        let u: f64 = rng.gen_range(0.0..1.0);
+        if u < m.dropout_prob {
+            TM_DROPOUTS.add(1);
+            return SensorFault::Dropout;
+        }
+        if u < m.dropout_prob + m.stale_prob {
+            TM_STALE.add(1);
+            return SensorFault::Stale {
+                age: rng.gen_range(1..=m.stale_max_age.max(1)),
+            };
+        }
+        if u < m.dropout_prob + m.stale_prob + m.corrupt_prob {
+            TM_CORRUPT.add(1);
+            return SensorFault::Corrupt {
+                component: rng.gen_range(0..components.max(1)),
+            };
+        }
+        SensorFault::Clean
     }
 }
 
@@ -417,5 +548,57 @@ mod tests {
         let mut m = NoiseModel::none();
         m.timeout_factor = 0.5;
         assert!(m.validate().is_err());
+        // Sensor-fault probabilities partition [0, 1); stale needs an age.
+        assert!(NoiseModel::sensor_degraded(0.1, 0.1, 3, 0.1).validate().is_ok());
+        assert!(NoiseModel::sensor_degraded(0.6, 0.5, 3, 0.0).validate().is_err());
+        assert!(NoiseModel::sensor_degraded(0.0, 0.2, 0, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn sensor_faults_are_deterministic_and_bounded() {
+        let model = NoiseModel::sensor_degraded(0.2, 0.2, 3, 0.2);
+        assert!(!model.is_identity());
+        assert!(model.is_measurement_identity());
+        let inj = FaultInjector::new(model, 21);
+        let mut counts = [0usize; 4]; // clean, dropout, stale, corrupt
+        for trial in 0..2000 {
+            let a = inj.sensor_fault(5, 0, trial, 7);
+            let b = inj.sensor_fault(5, 0, trial, 7);
+            assert_eq!(a, b, "same key, same fate");
+            match a {
+                SensorFault::Clean => counts[0] += 1,
+                SensorFault::Dropout => counts[1] += 1,
+                SensorFault::Stale { age } => {
+                    assert!((1..=3).contains(&age));
+                    counts[2] += 1;
+                }
+                SensorFault::Corrupt { component } => {
+                    assert!(component < 7);
+                    counts[3] += 1;
+                }
+            }
+        }
+        // Each 20% mode should land near its rate.
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            let frac = c as f64 / 2000.0;
+            assert!((frac - 0.2).abs() < 0.05, "mode {i} observed {frac}");
+        }
+    }
+
+    #[test]
+    fn sensor_only_models_pass_measurements_through_bit_identically() {
+        // Sensor faults must not perturb the per-component measurement
+        // stream: a dropout-only injector measures exactly like a clean one.
+        let clean = FaultInjector::new(NoiseModel::none(), 17);
+        let sensor = FaultInjector::new(NoiseModel::sensor_degraded(0.5, 0.3, 2, 0.1), 17);
+        for trial in 0..50 {
+            let a = clean.measure(0, 0, trial, 0, BD).unwrap();
+            let b = sensor.measure(0, 0, trial, 0, BD).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And a clean model draws no sensor faults at all.
+        for trial in 0..50 {
+            assert_eq!(clean.sensor_fault(0, 0, trial, 7), SensorFault::Clean);
+        }
     }
 }

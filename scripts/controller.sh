@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Controller smoke gate: run the online control loop over the pinned
-# scenario suite (`ext_controller`) twice and hold it to its contract —
-# the binary's own assertions must pass (stationary stream never
-# reconfigures, drifting regret stays within 15% of the clairvoyant
-# oracle and beats never-reconfiguring, the decision trace is
-# bit-identical at every search parallelism), the per-scenario
-# CONTROLLER_FINGERPRINT lines must be identical across the two
+# scenario suite plus the fault-injected production zoo
+# (`ext_controller`) twice and hold it to its contract — the binary's
+# own assertions must pass (stationary stream never reconfigures,
+# drifting/bursty regret stays within ±1pp of its pin, the adversarial
+# alternation stays under the governor's 15% ceiling, every zoo
+# scenario completes under seeded sensor faults below its pinned regret
+# ceiling, and the decision trace is bit-identical at every search
+# parallelism), all nine expected CONTROLLER_FINGERPRINT and
+# CONTROLLER_REGRET lines must be present and identical across the two
 # processes, and the BENCH_controller.json artifact must be written.
 #
 # Runs as part of `scripts/tier1.sh`, or directly. Artifacts land in
@@ -39,8 +42,37 @@ if ! diff -u "$out_dir/fp_a.txt" "$out_dir/fp_b.txt"; then
   exit 1
 fi
 
+# Every scenario in the suite — the four pinned streams and the five
+# fault-injected zoo streams — must have fingerprinted its trace.
+for scenario in stationary drifting bursty adversarial \
+                diurnal flash-crowd noisy-neighbor correlated-drift slow-ramp; do
+  if ! grep -q "^CONTROLLER_FINGERPRINT $scenario=" "$out_dir/fp_a.txt"; then
+    echo "FAIL: scenario '$scenario' missing from the fingerprinted suite" >&2
+    exit 1
+  fi
+done
+
+# Regret lines must replay identically too, and the adversarial
+# alternation must stay under the governor's ceiling at the shell level
+# as well (belt and braces over the in-binary assert).
+grep '^CONTROLLER_REGRET' "$out_dir/run_a.log" > "$out_dir/regret_a.txt"
+grep '^CONTROLLER_REGRET' "$out_dir/run_b.log" > "$out_dir/regret_b.txt"
+if ! diff -u "$out_dir/regret_a.txt" "$out_dir/regret_b.txt"; then
+  echo "FAIL: regret accounting diverged between two identical runs" >&2
+  exit 1
+fi
+adversarial_regret="$(sed -n 's/^CONTROLLER_REGRET adversarial=//p' "$out_dir/regret_a.txt")"
+if [[ -z "$adversarial_regret" ]]; then
+  echo "FAIL: no adversarial regret line" >&2
+  exit 1
+fi
+if ! awk -v r="$adversarial_regret" 'BEGIN { exit !(r <= 0.15) }'; then
+  echo "FAIL: adversarial regret $adversarial_regret exceeds the 0.15 ceiling" >&2
+  exit 1
+fi
+
 if [[ ! -s "$out_dir/BENCH_controller.json" ]]; then
   echo "FAIL: ext_controller did not write BENCH_controller.json" >&2
   exit 1
 fi
-echo "controller gate OK: assertions held, traces replayed bit-identically"
+echo "controller gate OK: assertions held, 9 scenarios fingerprinted, adversarial regret $adversarial_regret <= 0.15, traces replayed bit-identically"

@@ -13,8 +13,10 @@ cargo test -q
 scripts/trace.sh
 
 # Controller smoke gate: the online control loop must hold still on a
-# stationary stream, stay within 15% of the clairvoyant oracle on the
-# pinned drifting stream, and replay its decision trace bit-identically
+# stationary stream, keep drifting/bursty regret within ±1pp of its
+# pins, keep the adversarial alternation under the switch governor's
+# 15% ceiling, complete the five-scenario fault-injected zoo under its
+# pinned regret ceilings, and replay its decision trace bit-identically
 # across processes and parallelism (see scripts/controller.sh).
 scripts/controller.sh
 
