@@ -18,6 +18,7 @@ use dbvirt_core::{
     metrics, CalibratedCostModel, DesignProblem, SearchAlgorithm, VirtualizationAdvisor,
     WorkloadSpec,
 };
+use dbvirt_fleet::{FleetAdvisor, FleetConfig, FleetProblem, FleetVm};
 use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 use dbvirt_vmm::{ResourceVector, Share};
 
@@ -61,6 +62,46 @@ fn main() {
     let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
     let model = CalibratedCostModel::new(advisor.grid());
     let equal_costs = metrics::equal_split_costs(&problem, &model).expect("baseline");
+
+    // Degenerate-fleet gate: the same consolidation served through the
+    // fleet advisor with M = 1 machine must reproduce this recommendation
+    // bit-for-bit (same cost model, same grid, same disk policy).
+    let fleet_cfg = FleetConfig::new(units)
+        .with_disk_share(1.0 / n as f64)
+        .with_parallelism(1);
+    let fleet_advisor =
+        FleetAdvisor::new(vec![machine], vec![&model], fleet_cfg).expect("fleet advisor");
+    let fleet_problem = FleetProblem::new(
+        vec![machine],
+        mixes
+            .iter()
+            .map(|w| FleetVm::new(w.name.clone(), &t.db, w.queries.clone()))
+            .collect(),
+    )
+    .expect("fleet problem");
+    let fleet_report = fleet_advisor.place(&fleet_problem).expect("fleet placement");
+    assert!(
+        fleet_report.placement.machine_of.iter().all(|&m| m == 0),
+        "fleet M=1: some VM left the only machine"
+    );
+    assert_eq!(
+        fleet_report.placement.steady_objective, rec.objective,
+        "fleet M=1 objective differs from the single-machine recommendation"
+    );
+    for (i, row) in rec.allocation.rows().enumerate() {
+        let cpu = (row.cpu().fraction() * units as f64).round() as u32;
+        let mem = (row.memory().fraction() * units as f64).round() as u32;
+        assert_eq!(
+            fleet_report.placement.units_of[i],
+            (cpu, mem),
+            "fleet M=1: workload {i} units differ from the recommendation"
+        );
+    }
+    println!(
+        "Fleet degenerate check OK: M=1 placement == advisor recommendation (bit-exact), \
+         LP-certified within {:.1}%.",
+        fleet_report.optimality_gap * 100.0
+    );
 
     println!("\nSerial vs parallel what-if evaluation (cold caches each run):");
     report_parallel_speedup(

@@ -18,6 +18,7 @@
 //! | `ext_controller` | online drift-detecting control loop vs clairvoyant oracle, writes `BENCH_controller.json` |
 //! | `ext_chaos` | calibration pipeline under fault-injection sweeps |
 //! | `ext_sched` | incremental vs reference co-scheduler: 48-config identity + speedup sweep, writes `BENCH_sched.json` |
+//! | `ext_fleet` | datacenter placement ladder (greedy → local search → LP bound) from 4 VMs/1 machine to 256 VMs/32 machines, writes `BENCH_fleet.json` |
 //!
 //! This library holds what the binaries share: the experiment machine and
 //! measurement/printing helpers.

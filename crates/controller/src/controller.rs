@@ -223,10 +223,25 @@ impl ControllerOutcome {
     }
 }
 
+/// Sequential refill time of the buffer pool a VM would run with at
+/// `shares` on `machine`: every page of the (new) pool re-read at full-disk
+/// sequential speed. This is the variable part of every reconfiguration
+/// charge — resizing a VM's memory flushes its cache, and the re-warm is
+/// paid at disk speed. `dbvirt-fleet` reuses this same pricing for
+/// cross-machine migrations, so fleet placement churn is charged exactly
+/// like the controller charges in-place resizes.
+pub fn pool_refill_seconds(
+    machine: MachineSpec,
+    shares: ResourceVector,
+) -> Result<f64, ControllerError> {
+    let vm = VirtualMachine::new(machine, shares)?;
+    Ok(vm.buffer_pool_pages() as f64 * machine.seq_page_seconds())
+}
+
 /// Modeled cost (in seconds of virtual time) of reconfiguring from `from`
 /// to `to`: a fixed base charge plus, for every VM whose memory share
-/// changes, the sequential refill time of its *new* buffer pool — resizing
-/// a VM's memory flushes its cache, and the re-warm is paid at disk speed.
+/// changes, the sequential refill time of its *new* buffer pool (see
+/// [`pool_refill_seconds`]).
 pub fn switch_cost_seconds(
     machine: MachineSpec,
     from: &AllocationMatrix,
@@ -236,8 +251,7 @@ pub fn switch_cost_seconds(
     let mut cost = base_seconds;
     for i in 0..to.num_workloads() {
         if from.row(i).memory() != to.row(i).memory() {
-            let vm = VirtualMachine::new(machine, to.row(i))?;
-            cost += vm.buffer_pool_pages() as f64 * machine.seq_page_seconds();
+            cost += pool_refill_seconds(machine, to.row(i))?;
         }
     }
     Ok(cost)

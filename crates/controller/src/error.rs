@@ -7,7 +7,7 @@ use std::fmt;
 
 /// Errors raised by the controller, its scenario driver, or the layers
 /// underneath it.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControllerError {
     /// A controller configuration parameter was out of range.
     BadConfig {

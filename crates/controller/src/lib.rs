@@ -41,7 +41,8 @@ mod scenario;
 mod stats;
 
 pub use controller::{
-    run_controller, switch_cost_seconds, ControllerConfig, ControllerOutcome, SwitchEvent,
+    pool_refill_seconds, run_controller, switch_cost_seconds, ControllerConfig,
+    ControllerOutcome, SwitchEvent,
 };
 pub use drift::{DriftConfig, PageHinkley};
 pub use error::ControllerError;

@@ -101,6 +101,26 @@ impl CostCache {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
+    /// A snapshot of every cached cell, sorted by key so the result is
+    /// deterministic regardless of insertion order or sharding.
+    ///
+    /// This is the seeding path for callers that maintain a longer-lived
+    /// cost store and spin up per-solve caches from it (the fleet advisor
+    /// re-keys cells from global VM identities to per-problem workload
+    /// indices this way). The snapshot is not atomic across shards —
+    /// concurrent inserts may or may not appear — which is sound for pure
+    /// memo values: a missed cell is merely re-evaluated to the identical
+    /// value.
+    pub fn entries(&self) -> Vec<(CellKey, f64)> {
+        let mut all: Vec<(CellKey, f64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap();
+            all.extend(guard.iter().map(|(k, v)| (*k, *v)));
+        }
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all
+    }
+
     /// True if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -122,6 +142,18 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&(0, 1, 2)), Some(1.5));
         assert_eq!(cache.get(&(2, 1, 2)), None);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_complete() {
+        let cache = CostCache::new();
+        cache.insert((1, 2, 3), 0.5);
+        cache.insert((0, 9, 1), 1.5);
+        cache.insert((0, 2, 7), 2.5);
+        assert_eq!(
+            cache.entries(),
+            vec![((0, 2, 7), 2.5), ((0, 9, 1), 1.5), ((1, 2, 3), 0.5)]
+        );
     }
 
     #[test]

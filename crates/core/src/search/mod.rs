@@ -885,6 +885,99 @@ mod tests {
         assert!((third.objective - 7.5 * third.per_workload_costs[0] - third.per_workload_costs[1]).abs() < 1e-9);
     }
 
+    /// Two threads sharing one warm cache across *different problems*
+    /// (different weights, different budgets) must produce recommendations
+    /// bit-identical to sequential runs over the same shared cache. The
+    /// fleet tier leans on exactly this: many concurrent what-if requests
+    /// draining one warm `CostCache`. Evaluation *attribution* is the one
+    /// quantity that may legitimately shift between interleavings (both
+    /// threads can race to fill the same cell), so the pinned contract is:
+    /// identical recommendations, and an identical *total* distinct-cell
+    /// count in the shared cache.
+    #[test]
+    fn concurrent_searches_share_one_cache_across_problems_deterministically() {
+        let db = dummy_db();
+        let model = SyntheticModel {
+            weights: vec![(5.0, 0.8), (0.7, 6.0), (2.0, 2.0)],
+        };
+        // Problem A: plain 3-workload solve. Problem B: same workloads
+        // reweighted, solved under a restricted budget (a localized
+        // re-solve) — weights live outside the cache, budgets only shrink
+        // the cell set, so sharing is sound.
+        let problem_a = dummy_problem(&db, 3);
+        let mut problem_b = dummy_problem(&db, 3);
+        problem_b.workloads[0].weight = 4.0;
+        problem_b.workloads[2].weight = 0.25;
+        let cfg_a = SearchConfig::for_workloads(9, 3);
+        let cfg_b = SearchConfig::for_workloads(9, 3).with_budgets(7, 8);
+
+        // Sequential reference: both problems against one fresh shared cache.
+        let seq_cache = Arc::new(CostCache::new());
+        let seq_a = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &problem_a,
+            &model,
+            cfg_a,
+            &seq_cache,
+        )
+        .unwrap();
+        let seq_b = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &problem_b,
+            &model,
+            cfg_b,
+            &seq_cache,
+        )
+        .unwrap();
+
+        for round in 0..8 {
+            let shared = Arc::new(CostCache::new());
+            let (par_a, par_b) = std::thread::scope(|scope| {
+                let cache_a = Arc::clone(&shared);
+                let cache_b = Arc::clone(&shared);
+                let (problem_a, problem_b) = (&problem_a, &problem_b);
+                let model = &model;
+                let ha = scope.spawn(move || {
+                    run_search_cached(
+                        SearchAlgorithm::DynamicProgramming,
+                        problem_a,
+                        model,
+                        cfg_a,
+                        &cache_a,
+                    )
+                    .unwrap()
+                });
+                let hb = scope.spawn(move || {
+                    run_search_cached(
+                        SearchAlgorithm::DynamicProgramming,
+                        problem_b,
+                        model,
+                        cfg_b,
+                        &cache_b,
+                    )
+                    .unwrap()
+                });
+                (ha.join().unwrap(), hb.join().unwrap())
+            });
+            for (seq, par, label) in [(&seq_a, &par_a, "A"), (&seq_b, &par_b, "B")] {
+                assert_eq!(seq.objective.to_bits(), par.objective.to_bits(), "round {round} {label}");
+                assert_eq!(seq.total_cost.to_bits(), par.total_cost.to_bits(), "round {round} {label}");
+                assert_eq!(
+                    seq.allocation.to_string(),
+                    par.allocation.to_string(),
+                    "round {round} {label}"
+                );
+                for (x, y) in seq.per_workload_costs.iter().zip(&par.per_workload_costs) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "round {round} {label}");
+                }
+            }
+            // The distinct-cell population of the shared cache is exact
+            // under any interleaving.
+            assert_eq!(shared.evaluations(), seq_cache.evaluations(), "round {round}");
+            assert_eq!(shared.entries(), seq_cache.entries(), "round {round}");
+        }
+    }
+
     #[test]
     fn batch_evaluate_reports_the_lowest_failing_cell() {
         struct FailsAboveCpu(f64);

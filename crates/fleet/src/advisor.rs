@@ -1,0 +1,378 @@
+//! The fleet advisor: a shared-warm-cache placement service.
+//!
+//! One [`FleetAdvisor`] is bound to a machine fleet (and one cost model
+//! per machine class) and serves placement requests over it. Each request
+//! runs the solver ladder:
+//!
+//! 1. **Pre-warm** — every `(class, VM, cell)` what-if cost the exact
+//!    solves can touch is evaluated into the shared [`FleetCostCache`],
+//!    sharded across [`FleetConfig::parallelism`] worker threads. This is
+//!    the *only* parallel stage; everything after it is pure cache
+//!    lookups, which is why placements are bit-identical at every
+//!    parallelism setting.
+//! 2. **Greedy seed** ([`crate::greedy`]) — demand-sorted best-fit
+//!    bin-packing by marginal modeled cost.
+//! 3. **Local search** ([`crate::local_search`]) — move/swap descent,
+//!    re-solving touched machines exactly.
+//! 4. **LP bound** ([`crate::lp`]) — Lagrangian lower bound, reported as
+//!    an optimality gap on the answer.
+//!
+//! The cache persists across requests: a second placement over the same
+//! VM universe (different weights, drift, a deployed placement to price
+//! against) answers almost entirely from warm cells. Concurrent requests
+//! may share the advisor — the cache is thread-safe, cached values are
+//! pure, and each request reads only exact keys it pre-warmed itself, so
+//! concurrent requests return exactly what they would have returned alone.
+//! Sharing is sound only while VM *indices* keep meaning the same
+//! `(database, queries)` across requests (weights may vary), mirroring the
+//! single-machine cache contract.
+
+use crate::placement::build;
+use crate::solver::{evaluate_cell, FleetSolver};
+use crate::{
+    greedy, local_search, lp, CurrentPlacement, FleetConfig, FleetCostCache, FleetError,
+    FleetProblem, LocalSearchStats, LpBound, MachineClasses, Placement, RebalanceDelta,
+};
+use dbvirt_core::CostModel;
+use dbvirt_telemetry as telemetry;
+use dbvirt_vmm::MachineSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Placement requests served.
+static TM_REQUESTS: telemetry::Counter = telemetry::Counter::new("fleet.requests");
+/// What-if cells evaluated by pre-warm sweeps.
+static TM_PREWARM_CELLS: telemetry::Counter = telemetry::Counter::new("fleet.prewarm_cells");
+/// Distinct per-machine DP solves run.
+static TM_SOLVES: telemetry::Counter = telemetry::Counter::new("fleet.solves");
+/// Per-machine solves answered from the subset memo.
+static TM_MEMO_HITS: telemetry::Counter = telemetry::Counter::new("fleet.solve_memo_hits");
+/// Local-search moves applied.
+static TM_MOVES: telemetry::Counter = telemetry::Counter::new("fleet.moves_applied");
+/// Local-search swaps applied.
+static TM_SWAPS: telemetry::Counter = telemetry::Counter::new("fleet.swaps_applied");
+/// Optimality gap of the most recent placement.
+static TM_GAP: telemetry::Gauge = telemetry::Gauge::new("fleet.optimality_gap");
+
+/// Everything one placement request produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The recommended placement (after local search).
+    pub placement: Placement,
+    /// The greedy seed it improved on.
+    pub greedy_placement: Placement,
+    /// What local search did.
+    pub local_search: LocalSearchStats,
+    /// The LP lower bound.
+    pub lp: LpBound,
+    /// `(steady − bound) / steady`: how far the answer can be from the
+    /// true optimum, certified by the LP bound.
+    pub optimality_gap: f64,
+    /// Priced against the deployed placement, when the request carried
+    /// one.
+    pub rebalance: Option<RebalanceDelta>,
+    /// Cells this request's pre-warm sweep had to evaluate (0 when the
+    /// cache was already warm).
+    pub prewarm_cells: usize,
+    /// Distinct per-machine DP solves this request ran.
+    pub solves: usize,
+    /// Solves answered from the subset memo.
+    pub memo_hits: usize,
+}
+
+impl FleetReport {
+    /// FNV-1a fingerprint over the full report: final and greedy
+    /// placements (assignments, units, bit-exact objectives), the LP
+    /// bound, and the gap. Cache warmth and solve counts are deliberately
+    /// excluded — they vary with request order, the answer must not.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.placement.fingerprint().to_le_bytes());
+        eat(&self.greedy_placement.fingerprint().to_le_bytes());
+        eat(&self.lp.bound.to_bits().to_le_bytes());
+        eat(&self.optimality_gap.to_bits().to_le_bytes());
+        h
+    }
+}
+
+/// A placement service over one fixed machine fleet. See the module docs
+/// for the request pipeline and the cache-sharing contract.
+pub struct FleetAdvisor<'m> {
+    machines: Vec<MachineSpec>,
+    classes: MachineClasses,
+    models: Vec<&'m dyn CostModel>,
+    cache: FleetCostCache,
+    config: FleetConfig,
+}
+
+impl<'m> FleetAdvisor<'m> {
+    /// Binds an advisor to `machines`, with one cost model per machine
+    /// *class* (machines grouped by exact spec equality, in
+    /// first-appearance order — see [`MachineClasses::of`]).
+    pub fn new(
+        machines: Vec<MachineSpec>,
+        class_models: Vec<&'m dyn CostModel>,
+        config: FleetConfig,
+    ) -> Result<FleetAdvisor<'m>, FleetError> {
+        if machines.is_empty() {
+            return Err(FleetError::BadFleet {
+                reason: "an advisor needs at least one machine".to_string(),
+            });
+        }
+        for (m, spec) in machines.iter().enumerate() {
+            spec.validate().map_err(|e| FleetError::BadFleet {
+                reason: format!("machine {m}: {e}"),
+            })?;
+        }
+        config.validate()?;
+        let classes = MachineClasses::of(&machines);
+        if class_models.len() != classes.num_classes() {
+            return Err(FleetError::BadFleet {
+                reason: format!(
+                    "{} cost models for {} machine classes",
+                    class_models.len(),
+                    classes.num_classes()
+                ),
+            });
+        }
+        let cache = FleetCostCache::new(classes.num_classes());
+        Ok(FleetAdvisor {
+            machines,
+            classes,
+            models: class_models,
+            cache,
+            config,
+        })
+    }
+
+    /// The machine classes this advisor grouped its fleet into.
+    pub fn classes(&self) -> &MachineClasses {
+        &self.classes
+    }
+
+    /// The advisor's configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// Distinct what-if cells in the shared cache.
+    pub fn cache_evaluations(&self) -> usize {
+        self.cache.evaluations()
+    }
+
+    /// The warm-rectangle ceiling for a request of `n` VMs: with forced
+    /// minimum occupancy `k` on every machine, no VM can ever hold more
+    /// than `units − (k−1)·min_units` of either resource.
+    fn rect_hi(&self, n: usize) -> u32 {
+        let m = self.machines.len();
+        let cap = self.config.max_vms_per_machine;
+        let min_occ = (n as i64 - (m as i64 - 1) * cap as i64).max(1) as u32;
+        self.config.units - (min_occ - 1) * self.config.min_units
+    }
+
+    /// Serves one placement request. See the module docs for the
+    /// pipeline; see [`FleetReport`] for what comes back.
+    pub fn place(&self, problem: &FleetProblem<'_>) -> Result<FleetReport, FleetError> {
+        let mut span = telemetry::span("fleet.place");
+        TM_REQUESTS.add(1);
+        if problem.machines != self.machines {
+            return Err(FleetError::BadFleet {
+                reason: "request's machine fleet differs from the advisor's".to_string(),
+            });
+        }
+        let n = problem.num_vms();
+        let m_count = problem.num_machines();
+        let cap = self.config.max_vms_per_machine;
+        if n > m_count * cap {
+            return Err(FleetError::Infeasible {
+                reason: format!("{n} VMs exceed {m_count} machines x {cap} VM cap"),
+            });
+        }
+        if let Some(current) = &problem.current {
+            for (i, &(c, mu)) in current.units_of.iter().enumerate() {
+                let ok = |u: u32| u >= self.config.min_units && u <= self.config.units;
+                if !ok(c) || !ok(mu) {
+                    return Err(FleetError::BadFleet {
+                        reason: format!(
+                            "current units ({c}, {mu}) of VM {i} outside [{}, {}]",
+                            self.config.min_units, self.config.units
+                        ),
+                    });
+                }
+            }
+        }
+        span.set_attr("vms", n);
+        span.set_attr("machines", m_count);
+
+        let rect_hi = self.rect_hi(n);
+        let prewarm_cells = self.prewarm(problem, rect_hi, span.id())?;
+        TM_PREWARM_CELLS.add(prewarm_cells as u64);
+
+        let solver = FleetSolver::new(
+            problem,
+            &self.classes,
+            &self.models,
+            self.config,
+            rect_hi,
+            &self.cache,
+        );
+
+        // Churn is priced against the deployed placement when the request
+        // carries one. A fresh placement migrates nothing — nothing is
+        // deployed yet — so no reference means migration is free, and the
+        // ladder optimizes pure steady-state cost.
+        let reference = problem.current.as_ref();
+        let greedy_placement = {
+            let mut greedy_span = telemetry::span_with_parent("fleet.greedy", span.id());
+            let seed = greedy::seed(&solver, rect_hi, reference)?;
+            let greedy_placement = build(&solver, reference, &seed)?;
+            greedy_span.set_attr("objective", greedy_placement.total_objective);
+            greedy_placement
+        };
+
+        let (placement, stats) = {
+            let mut ls_span = telemetry::span_with_parent("fleet.local_search", span.id());
+            let (placement, stats) =
+                local_search::improve(&solver, reference, greedy_placement.clone())?;
+            ls_span.set_attr("rounds", stats.rounds);
+            ls_span.set_attr("candidates", stats.candidates_evaluated);
+            (placement, stats)
+        };
+        TM_MOVES.add(stats.moves_applied as u64);
+        TM_SWAPS.add(stats.swaps_applied as u64);
+
+        let lp = {
+            let mut lp_span = telemetry::span_with_parent("fleet.lp", span.id());
+            let lp = lp::lower_bound(&solver, rect_hi, placement.steady_objective)?;
+            lp_span.set_attr("bound", lp.bound);
+            lp_span.set_attr("iterations", lp.iterations);
+            lp
+        };
+        let optimality_gap = if placement.steady_objective > 0.0 {
+            ((placement.steady_objective - lp.bound) / placement.steady_objective).max(0.0)
+        } else {
+            0.0
+        };
+        TM_GAP.set(optimality_gap);
+
+        let rebalance = match &problem.current {
+            Some(current) => Some(self.price_rebalance(&solver, current, &placement)?),
+            None => None,
+        };
+
+        TM_SOLVES.add(solver.solves() as u64);
+        TM_MEMO_HITS.add(solver.memo_hits() as u64);
+        span.set_attr("objective", placement.total_objective);
+        span.set_attr("gap", optimality_gap);
+        Ok(FleetReport {
+            placement,
+            greedy_placement,
+            local_search: stats,
+            lp,
+            optimality_gap,
+            rebalance,
+            prewarm_cells,
+            solves: solver.solves(),
+            memo_hits: solver.memo_hits(),
+        })
+    }
+
+    /// Evaluates every cell of the warm rectangle
+    /// (`min_units ..= rect_hi` squared, per class and VM) that the cache
+    /// does not hold yet, across the configured worker threads. Values are
+    /// pure in `(class, vm, cell)`, so insert order — and hence worker
+    /// count — cannot change any later lookup.
+    fn prewarm(
+        &self,
+        problem: &FleetProblem<'_>,
+        rect_hi: u32,
+        parent: Option<u64>,
+    ) -> Result<usize, FleetError> {
+        let mut span = telemetry::span_with_parent("fleet.prewarm", parent);
+        let before = self.cache.evaluations();
+        let lo = self.config.min_units;
+        let tasks: Vec<(usize, usize)> = (0..self.classes.num_classes())
+            .flat_map(|class| (0..problem.num_vms()).map(move |vm| (class, vm)))
+            .collect();
+        let workers = self.config.effective_parallelism().min(tasks.len().max(1));
+        span.set_attr("workers", workers);
+
+        let warm_task = |&(class, vm): &(usize, usize)| -> Result<(), FleetError> {
+            for c in lo..=rect_hi {
+                for mu in lo..=rect_hi {
+                    if self.cache.get(class, vm, c, mu).is_none() {
+                        let cost = evaluate_cell(
+                            &self.classes,
+                            &self.models,
+                            problem,
+                            self.config,
+                            class,
+                            vm,
+                            c,
+                            mu,
+                        )?;
+                        self.cache.insert(class, vm, c, mu, cost);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        if workers <= 1 {
+            for task in &tasks {
+                warm_task(task)?;
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failures: Mutex<Vec<(usize, FleetError)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let at = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(at) else { break };
+                        if let Err(e) = warm_task(task) {
+                            failures.lock().unwrap().push((at, e));
+                        }
+                    });
+                }
+            });
+            let mut failures = failures.into_inner().unwrap();
+            // Workers race, so surface the failure of the *earliest* task
+            // for a deterministic error.
+            failures.sort_by_key(|(at, _)| *at);
+            if let Some((_, e)) = failures.into_iter().next() {
+                return Err(e);
+            }
+        }
+        let cells = self.cache.evaluations() - before;
+        span.set_attr("cells", cells);
+        Ok(cells)
+    }
+
+    /// Prices the recommendation against the deployed placement.
+    fn price_rebalance(
+        &self,
+        solver: &FleetSolver<'_, '_>,
+        current: &CurrentPlacement,
+        placement: &Placement,
+    ) -> Result<RebalanceDelta, FleetError> {
+        let mut steady_before = 0.0;
+        for (i, &m) in current.machine_of.iter().enumerate() {
+            let class = self.classes.class_of[m];
+            let (c, mu) = current.units_of[i];
+            steady_before += solver.weight(i) * solver.cell_cost(class, i, c, mu)?;
+        }
+        Ok(RebalanceDelta {
+            steady_before,
+            steady_after: placement.steady_objective,
+            migration_seconds: placement.migration_seconds,
+            horizon_runs: self.config.migration_horizon_runs,
+        })
+    }
+}

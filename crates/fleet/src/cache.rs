@@ -1,0 +1,119 @@
+//! The fleet-level warm cost cache.
+//!
+//! One sharded [`CostCache`] per machine *class*, with cells keyed by the
+//! VM's **global index** (`(vm, cpu units, mem units)`), since a cell's
+//! cost depends only on the VM's workload, the machine class, and the
+//! shares — never on which co-residents it has or which concrete machine
+//! of the class hosts it (the disk share is a fixed per-VM policy, see
+//! [`crate::FleetConfig::disk_share`]).
+//!
+//! Per-machine solves run through `run_search_cached`, whose cache keys
+//! are *local* workload indices within that machine's `DesignProblem`.
+//! Sharing the fleet cache directly would therefore collide (local
+//! workload 0 is a different VM on every machine), so each solve gets a
+//! fresh local [`CostCache`] *seeded* from a snapshot of the fleet cache,
+//! re-keyed from global VM indices to local workload positions. Seeding is
+//! sound because cached costs are pure functions of `(class, vm, cell)`.
+
+use dbvirt_core::search::CostCache;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared warm cost store for one fleet advisor: a [`CostCache`] per
+/// machine class. Thread-safe; concurrent placement requests drain and
+/// fill it together.
+pub struct FleetCostCache {
+    per_class: Vec<Arc<CostCache>>,
+}
+
+impl FleetCostCache {
+    /// An empty cache covering `n_classes` machine classes.
+    pub fn new(n_classes: usize) -> FleetCostCache {
+        FleetCostCache {
+            per_class: (0..n_classes).map(|_| Arc::new(CostCache::new())).collect(),
+        }
+    }
+
+    /// Number of machine classes this cache partitions over.
+    pub fn num_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// The cached unweighted cost of `(class, vm, cpu, mem)`, if present.
+    pub fn get(&self, class: usize, vm: usize, cpu: u32, mem: u32) -> Option<f64> {
+        self.per_class[class].get(&(vm, cpu, mem))
+    }
+
+    /// Inserts a freshly evaluated cell. Returns `true` if it was new.
+    pub fn insert(&self, class: usize, vm: usize, cpu: u32, mem: u32, cost: f64) -> bool {
+        self.per_class[class].insert((vm, cpu, mem), cost)
+    }
+
+    /// Total distinct cells evaluated into this cache so far.
+    pub fn evaluations(&self) -> usize {
+        self.per_class.iter().map(|c| c.evaluations()).sum()
+    }
+
+    /// A deterministic per-VM snapshot of one class's cells, used to seed
+    /// local solve caches without re-walking the sharded store per solve.
+    pub fn snapshot_class(&self, class: usize) -> ClassSnapshot {
+        let mut by_vm: HashMap<usize, Vec<(u32, u32, f64)>> = HashMap::new();
+        for ((vm, c, m), cost) in self.per_class[class].entries() {
+            by_vm.entry(vm).or_default().push((c, m, cost));
+        }
+        ClassSnapshot { by_vm }
+    }
+}
+
+/// An immutable snapshot of one class's cached cells, grouped by VM.
+/// `CostCache::entries()` returns cells in sorted key order, so each VM's
+/// cell list is deterministic.
+pub struct ClassSnapshot {
+    by_vm: HashMap<usize, Vec<(u32, u32, f64)>>,
+}
+
+impl ClassSnapshot {
+    /// The cached cells of one VM (empty slice if none).
+    pub fn cells(&self, vm: usize) -> &[(u32, u32, f64)] {
+        self.by_vm.get(&vm).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Builds a fresh local [`CostCache`] for a per-machine solve over
+    /// `vms` (ascending global indices): every known cell of `vms[w]` is
+    /// inserted under local workload index `w`.
+    pub fn seed_local(&self, vms: &[usize]) -> Arc<CostCache> {
+        let local = CostCache::new();
+        for (w, &vm) in vms.iter().enumerate() {
+            for &(c, m, cost) in self.cells(vm) {
+                local.insert((w, c, m), cost);
+            }
+        }
+        Arc::new(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_rekeys_global_vms_to_local_workloads() {
+        let cache = FleetCostCache::new(2);
+        assert!(cache.insert(0, 5, 1, 2, 10.0));
+        assert!(cache.insert(0, 5, 2, 2, 8.0));
+        assert!(cache.insert(0, 9, 1, 2, 3.0));
+        assert!(cache.insert(1, 5, 1, 2, 99.0)); // other class: must not leak
+        assert!(!cache.insert(0, 5, 1, 2, 10.0)); // dedup
+        assert_eq!(cache.evaluations(), 4);
+
+        let snap = cache.snapshot_class(0);
+        let local = snap.seed_local(&[5, 9]);
+        assert_eq!(local.get(&(0, 1, 2)), Some(10.0));
+        assert_eq!(local.get(&(0, 2, 2)), Some(8.0));
+        assert_eq!(local.get(&(1, 1, 2)), Some(3.0));
+        assert_eq!(local.get(&(0, 99, 99)), None);
+        // Subset ordering defines the local index.
+        let local = snap.seed_local(&[9]);
+        assert_eq!(local.get(&(0, 1, 2)), Some(3.0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the fleet placement layer.
+
+use dbvirt_controller::ControllerError;
+use dbvirt_core::CoreError;
+use dbvirt_vmm::VmmError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating fleets, pricing cells, or placing VMs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A per-machine solve or what-if evaluation failed.
+    Core(CoreError),
+    /// Migration pricing failed (the refill model rejected a VM).
+    Pricing(ControllerError),
+    /// The fleet definition was malformed.
+    BadFleet {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// No placement satisfies the machine capacities.
+    Infeasible {
+        /// Description of the capacity shortfall.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Core(e) => write!(f, "core: {e}"),
+            FleetError::Pricing(e) => write!(f, "pricing: {e}"),
+            FleetError::BadFleet { reason } => write!(f, "bad fleet: {reason}"),
+            FleetError::Infeasible { reason } => write!(f, "infeasible fleet: {reason}"),
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> FleetError {
+        FleetError::Core(e)
+    }
+}
+
+impl From<VmmError> for FleetError {
+    fn from(e: VmmError) -> FleetError {
+        FleetError::Core(CoreError::Vmm(e))
+    }
+}
+
+impl From<ControllerError> for FleetError {
+    fn from(e: ControllerError) -> FleetError {
+        FleetError::Pricing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FleetError = CoreError::BadProblem {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("core"));
+        let e: FleetError = VmmError::InvalidShare { value: -1.0 }.into();
+        assert!(matches!(e, FleetError::Core(CoreError::Vmm(_))));
+        let e = FleetError::Infeasible {
+            reason: "9 VMs, 8 slots".into(),
+        };
+        assert!(e.to_string().contains("9 VMs"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Tier 1: deterministic greedy bin-packing seed.
+//!
+//! VMs are placed in descending order of *demand* (their weighted solo
+//! cost at the most generous warm cell), each onto the machine where the
+//! marginal modeled cost — the machine's re-solved objective minus its
+//! current objective, plus the amortized migration charge when a deployed
+//! placement exists — is smallest. First-fit-decreasing with exact
+//! marginal pricing: every candidate host is re-solved through the warm
+//! cache, so adding a VM re-balances its co-residents' shares.
+
+use crate::migrate::vm_migration_seconds;
+use crate::solver::FleetSolver;
+use crate::{CurrentPlacement, FleetError};
+
+/// Inserts `i` into sorted `v`, returning the new vector.
+pub(crate) fn insert_sorted(v: &[usize], i: usize) -> Vec<usize> {
+    let at = v.partition_point(|&x| x < i);
+    let mut out = Vec::with_capacity(v.len() + 1);
+    out.extend_from_slice(&v[..at]);
+    out.push(i);
+    out.extend_from_slice(&v[at..]);
+    out
+}
+
+/// Produces the greedy seed assignment (`machine_of`).
+pub(crate) fn seed(
+    solver: &FleetSolver<'_, '_>,
+    rect_hi: u32,
+    reference: Option<&CurrentPlacement>,
+) -> Result<Vec<usize>, FleetError> {
+    let n = solver.problem.num_vms();
+    let m_count = solver.problem.num_machines();
+    let cap = solver.cfg.max_vms_per_machine;
+
+    // Demand: weighted solo cost at the top warm cell, summed over the
+    // machine classes so heterogeneous fleets rank by fleet-wide appetite.
+    let mut demand = vec![0.0f64; n];
+    for (i, d) in demand.iter_mut().enumerate() {
+        for class in 0..solver.classes.num_classes() {
+            *d += solver.weight(i) * solver.cell_cost(class, i, rect_hi, rect_hi)?;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| demand[b].total_cmp(&demand[a]).then(a.cmp(&b)));
+
+    let mut residents: Vec<Vec<usize>> = vec![Vec::new(); m_count];
+    let mut objective = vec![0.0f64; m_count];
+    let mut machine_of = vec![usize::MAX; n];
+    for &i in &order {
+        let mut best: Option<(f64, usize, Vec<usize>, f64)> = None;
+        for m in 0..m_count {
+            if residents[m].len() >= cap {
+                continue;
+            }
+            let cand = insert_sorted(&residents[m], i);
+            let solve = solver.solve(m, &cand)?;
+            let mut delta = solve.objective - objective[m];
+            if let Some(reference) = reference {
+                let w = cand.iter().position(|&x| x == i).unwrap();
+                delta += vm_migration_seconds(
+                    &solver.problem.machines,
+                    solver.cfg,
+                    reference,
+                    i,
+                    m,
+                    solve.units_of[w],
+                )? / solver.cfg.migration_horizon_runs;
+            }
+            // Strict `<` keeps the first (lowest-index) machine on ties.
+            if best.as_ref().map_or(true, |b| delta < b.0) {
+                best = Some((delta, m, cand, solve.objective));
+            }
+        }
+        let (_, m, cand, obj) = best.ok_or_else(|| FleetError::Infeasible {
+            reason: format!(
+                "no machine below the {cap}-VM cap left for VM {i} ({} VMs, {m_count} machines)",
+                n
+            ),
+        })?;
+        residents[m] = cand;
+        objective[m] = obj;
+        machine_of[i] = m;
+    }
+    Ok(machine_of)
+}

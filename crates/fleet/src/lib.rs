@@ -1,0 +1,51 @@
+//! # dbvirt-fleet — datacenter-scale virtualization design
+//!
+//! The paper solves the virtualization design problem for *one* machine:
+//! split its resources among `N` workloads to minimize the weighted cost
+//! sum. At datacenter scale the problem gains a combinatorial outer
+//! layer — *which* machine should each VM live on — while the inner
+//! problem (share splits per machine) stays exactly the paper's. This
+//! crate solves the joint problem with a three-tier ladder:
+//!
+//! 1. **Greedy bin-pack**: demand-sorted best-fit by
+//!    marginal modeled cost, every candidate host re-solved exactly.
+//! 2. **Local search**: move/swap descent; share
+//!    rebalancing is implicit because every touched machine is re-solved
+//!    with the exact per-machine dynamic program.
+//! 3. **LP lower bound**: an in-tree Lagrangian relaxation
+//!    certifies how far the answer can be from optimal (the reported
+//!    *optimality gap*) — no external solver.
+//!
+//! All three tiers price what-if cells through a shared, thread-safe
+//! [`FleetCostCache`] keyed by `(machine class, VM, cell)`; the
+//! [`FleetAdvisor`] pre-warms the reachable rectangle in parallel and
+//! then runs the ladder over pure cache lookups, so placements are
+//! bit-identical at every parallelism setting. Re-placements over a
+//! deployed fleet price their churn with the controller's
+//! pool-refill model and account for it in a [`RebalanceLedger`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod cache;
+mod config;
+mod error;
+mod greedy;
+mod ledger;
+mod local_search;
+mod lp;
+mod migrate;
+mod placement;
+mod problem;
+mod solver;
+
+pub use advisor::{FleetAdvisor, FleetReport};
+pub use cache::{ClassSnapshot, FleetCostCache};
+pub use config::FleetConfig;
+pub use error::FleetError;
+pub use ledger::{RebalanceDelta, RebalanceLedger};
+pub use local_search::LocalSearchStats;
+pub use lp::LpBound;
+pub use placement::Placement;
+pub use problem::{CurrentPlacement, FleetProblem, FleetVm, MachineClasses};

@@ -1,0 +1,196 @@
+//! Tier 2: best-improvement local search over moves and swaps.
+//!
+//! Each round scans every single-VM relocation (and, within the
+//! [`crate::FleetConfig::swap_candidate_budget`], every cross-machine VM
+//! swap), re-solving the touched machines through the memoized solver, and
+//! applies the candidate with the lowest priced total. Share *rebalancing*
+//! needs no explicit neighborhood: every candidate re-solves its touched
+//! machines with the exact per-machine dynamic program, so shares are
+//! always jointly optimal for the assignment being scored.
+//!
+//! Determinism: candidates are enumerated in a fixed order and accepted
+//! only on strict improvement, so ties resolve to the earliest candidate;
+//! accepted placements are rebuilt from scratch through
+//! [`crate::placement::build`], so candidate-delta float drift never
+//! accumulates into the incumbent.
+
+use crate::migrate::vm_migration_seconds;
+use crate::placement::{build, residents_of, Placement};
+use crate::solver::FleetSolver;
+use crate::{CurrentPlacement, FleetError};
+
+/// What the local search did, including any neighborhood it *didn't*
+/// scan — large fleets gate swap enumeration, and that must be visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSearchStats {
+    /// Improvement rounds run (each applies at most one candidate).
+    pub rounds: usize,
+    /// Single-VM relocations applied.
+    pub moves_applied: usize,
+    /// Cross-machine swaps applied.
+    pub swaps_applied: usize,
+    /// Candidate placements priced across all rounds.
+    pub candidates_evaluated: usize,
+    /// Whether the swap neighborhood was enumerated at all. `false` means
+    /// `N x M` exceeded [`crate::FleetConfig::swap_candidate_budget`] and
+    /// the search was moves-only.
+    pub swaps_enumerated: bool,
+}
+
+/// One candidate step.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Relocate VM `vm` to machine `to`.
+    Move { vm: usize, to: usize },
+    /// Exchange machines between VMs `a` and `b`.
+    Swap { a: usize, b: usize },
+}
+
+/// The one-time migration cost a machine's residents would pay under a
+/// fresh solve of that machine.
+fn machine_migration(
+    solver: &FleetSolver<'_, '_>,
+    reference: Option<&CurrentPlacement>,
+    machine: usize,
+    vms: &[usize],
+    units_of: &[(u32, u32)],
+) -> Result<f64, FleetError> {
+    let Some(reference) = reference else {
+        return Ok(0.0);
+    };
+    let mut total = 0.0;
+    for (w, &vm) in vms.iter().enumerate() {
+        total += vm_migration_seconds(
+            &solver.problem.machines,
+            solver.cfg,
+            reference,
+            vm,
+            machine,
+            units_of[w],
+        )?;
+    }
+    Ok(total)
+}
+
+/// Removes `i` from sorted `v`, returning the new vector.
+fn remove_sorted(v: &[usize], i: usize) -> Vec<usize> {
+    v.iter().copied().filter(|&x| x != i).collect()
+}
+
+/// Improves `start` until no candidate strictly lowers the priced total
+/// (or the round cap is hit). Never returns a worse placement than
+/// `start`.
+pub(crate) fn improve(
+    solver: &FleetSolver<'_, '_>,
+    reference: Option<&CurrentPlacement>,
+    start: Placement,
+) -> Result<(Placement, LocalSearchStats), FleetError> {
+    let n = solver.problem.num_vms();
+    let m_count = solver.problem.num_machines();
+    let cap = solver.cfg.max_vms_per_machine;
+    let horizon = solver.cfg.migration_horizon_runs;
+    let swaps_enumerated = n * m_count <= solver.cfg.swap_candidate_budget;
+    let mut stats = LocalSearchStats {
+        rounds: 0,
+        moves_applied: 0,
+        swaps_applied: 0,
+        candidates_evaluated: 0,
+        swaps_enumerated,
+    };
+    let mut incumbent = start;
+
+    while stats.rounds < solver.cfg.max_rounds {
+        let residents = residents_of(&incumbent.machine_of, m_count);
+        // Per-machine migration contributions of the incumbent, so a
+        // candidate touching machines (a, b) can be priced from deltas.
+        let mut migration = vec![0.0f64; m_count];
+        let mut total_migration = 0.0;
+        for m in 0..m_count {
+            let solve = solver.solve(m, &residents[m])?;
+            migration[m] = machine_migration(solver, reference, m, &residents[m], &solve.units_of)?;
+            total_migration += migration[m];
+        }
+
+        let mut best: Option<(f64, Step)> = None;
+        let consider = |step: Step,
+                            stats: &mut LocalSearchStats,
+                            best: &mut Option<(f64, Step)>|
+         -> Result<(), FleetError> {
+            let (ma, mb, vms_a, vms_b) = match step {
+                Step::Move { vm, to } => {
+                    let from = incumbent.machine_of[vm];
+                    (
+                        from,
+                        to,
+                        remove_sorted(&residents[from], vm),
+                        crate::greedy::insert_sorted(&residents[to], vm),
+                    )
+                }
+                Step::Swap { a, b } => {
+                    let (ma, mb) = (incumbent.machine_of[a], incumbent.machine_of[b]);
+                    (
+                        ma,
+                        mb,
+                        crate::greedy::insert_sorted(&remove_sorted(&residents[ma], a), b),
+                        crate::greedy::insert_sorted(&remove_sorted(&residents[mb], b), a),
+                    )
+                }
+            };
+            let solve_a = solver.solve(ma, &vms_a)?;
+            let solve_b = solver.solve(mb, &vms_b)?;
+            let steady = incumbent.steady_objective
+                - incumbent.per_machine_objective[ma]
+                - incumbent.per_machine_objective[mb]
+                + solve_a.objective
+                + solve_b.objective;
+            let mig = total_migration - migration[ma] - migration[mb]
+                + machine_migration(solver, reference, ma, &vms_a, &solve_a.units_of)?
+                + machine_migration(solver, reference, mb, &vms_b, &solve_b.units_of)?;
+            let total = steady + mig / horizon;
+            stats.candidates_evaluated += 1;
+            if best.as_ref().map_or(incumbent.total_objective > total, |b| total < b.0) {
+                *best = Some((total, step));
+            }
+            Ok(())
+        };
+
+        for vm in 0..n {
+            for to in 0..m_count {
+                if to == incumbent.machine_of[vm] || residents[to].len() >= cap {
+                    continue;
+                }
+                consider(Step::Move { vm, to }, &mut stats, &mut best)?;
+            }
+        }
+        if swaps_enumerated {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if incumbent.machine_of[a] == incumbent.machine_of[b] {
+                        continue;
+                    }
+                    consider(Step::Swap { a, b }, &mut stats, &mut best)?;
+                }
+            }
+        }
+
+        let Some((_, step)) = best else { break };
+        let mut machine_of = incumbent.machine_of.clone();
+        match step {
+            Step::Move { vm, to } => machine_of[vm] = to,
+            Step::Swap { a, b } => machine_of.swap(a, b),
+        }
+        let rebuilt = build(solver, reference, &machine_of)?;
+        // The candidate won by delta arithmetic; the rebuild is the exact
+        // price. Accept only a genuine strict improvement.
+        if rebuilt.total_objective >= incumbent.total_objective {
+            break;
+        }
+        match step {
+            Step::Move { .. } => stats.moves_applied += 1,
+            Step::Swap { .. } => stats.swaps_applied += 1,
+        }
+        incumbent = rebuilt;
+        stats.rounds += 1;
+    }
+    Ok((incumbent, stats))
+}

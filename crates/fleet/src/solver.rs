@@ -1,0 +1,233 @@
+//! Per-machine what-if solves over the shared warm cache.
+//!
+//! Every placement candidate is priced by *re-solving* the machines it
+//! touches: the VM subset on a machine becomes a single-machine
+//! [`DesignProblem`] and the exact dynamic program from `dbvirt-core`
+//! chooses the residents' shares. Solves are memoized by
+//! `(machine class, VM subset)` — two machines of the same class hosting
+//! the same VMs have identical optimal share splits — and each solve runs
+//! against a local cache seeded from the fleet-wide store (see
+//! [`crate::FleetCostCache`] for why the keys must be re-mapped).
+
+use crate::{ClassSnapshot, FleetConfig, FleetCostCache, FleetError, FleetProblem, MachineClasses};
+use dbvirt_core::search::{run_search_cached, SearchAlgorithm, SearchConfig};
+use dbvirt_core::{CostModel, DesignProblem, WorkloadSpec};
+use dbvirt_vmm::ResourceVector;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// The outcome of solving one machine's share split for a VM subset.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MachineSolve {
+    /// Weighted steady-state objective contributed by this machine.
+    pub objective: f64,
+    /// `(cpu units, mem units)` per resident, parallel to the subset.
+    pub units_of: Vec<(u32, u32)>,
+}
+
+impl MachineSolve {
+    fn empty() -> MachineSolve {
+        MachineSolve {
+            objective: 0.0,
+            units_of: Vec::new(),
+        }
+    }
+}
+
+/// Prices machines and cells for one placement request. Single-threaded
+/// by design: all parallelism lives in the pre-warm sweep, so every path
+/// through here is a deterministic cache lookup plus pure arithmetic.
+pub(crate) struct FleetSolver<'s, 'a> {
+    pub problem: &'s FleetProblem<'a>,
+    pub classes: &'s MachineClasses,
+    models: &'s [&'s dyn CostModel],
+    pub cfg: FleetConfig,
+    rect_hi: u32,
+    cache: &'s FleetCostCache,
+    snapshots: Vec<ClassSnapshot>,
+    memo: RefCell<HashMap<(usize, Vec<usize>), MachineSolve>>,
+    solves: Cell<usize>,
+    memo_hits: Cell<usize>,
+}
+
+impl<'s, 'a> FleetSolver<'s, 'a> {
+    /// Builds a solver over a snapshot of the shared cache. The snapshot
+    /// is taken once per request, *after* that request's pre-warm sweep,
+    /// so it covers every cell the solves below will touch. `rect_hi` is
+    /// the request's warm-rectangle ceiling: no solve may hand any VM more
+    /// units of either resource.
+    pub fn new(
+        problem: &'s FleetProblem<'a>,
+        classes: &'s MachineClasses,
+        models: &'s [&'s dyn CostModel],
+        cfg: FleetConfig,
+        rect_hi: u32,
+        cache: &'s FleetCostCache,
+    ) -> FleetSolver<'s, 'a> {
+        let snapshots = (0..classes.num_classes())
+            .map(|k| cache.snapshot_class(k))
+            .collect();
+        FleetSolver {
+            problem,
+            classes,
+            models,
+            cfg,
+            rect_hi,
+            cache,
+            snapshots,
+            memo: RefCell::new(HashMap::new()),
+            solves: Cell::new(0),
+            memo_hits: Cell::new(0),
+        }
+    }
+
+    /// The SLO weight of VM `vm`.
+    pub fn weight(&self, vm: usize) -> f64 {
+        self.problem.vms[vm].weight
+    }
+
+    /// The unweighted cost of VM `vm` at `(cpu, mem)` units on machine
+    /// class `class`. Reads the snapshot first, then the live cache, and
+    /// only as a last resort calls the cost model (inserting the result so
+    /// the miss is paid once). The returned value is identical on every
+    /// path — cached costs are pure in `(class, vm, cell)`.
+    pub fn cell_cost(&self, class: usize, vm: usize, cpu: u32, mem: u32) -> Result<f64, FleetError> {
+        let cells = self.snapshots[class].cells(vm);
+        if let Ok(at) = cells.binary_search_by(|&(c, m, _)| (c, m).cmp(&(cpu, mem))) {
+            return Ok(cells[at].2);
+        }
+        if let Some(cost) = self.cache.get(class, vm, cpu, mem) {
+            return Ok(cost);
+        }
+        let cost = evaluate_cell(
+            self.classes,
+            self.models,
+            self.problem,
+            self.cfg,
+            class,
+            vm,
+            cpu,
+            mem,
+        )?;
+        self.cache.insert(class, vm, cpu, mem, cost);
+        Ok(cost)
+    }
+
+    /// The optimal share split for `vms` (ascending global indices) on
+    /// machine `machine`, memoized by `(class, subset)`.
+    pub fn solve(&self, machine: usize, vms: &[usize]) -> Result<MachineSolve, FleetError> {
+        if vms.is_empty() {
+            return Ok(MachineSolve::empty());
+        }
+        debug_assert!(vms.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        let class = self.classes.class_of[machine];
+        let key = (class, vms.to_vec());
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return Ok(hit.clone());
+        }
+
+        let workloads = vms
+            .iter()
+            .map(|&i| {
+                let vm = &self.problem.vms[i];
+                WorkloadSpec::new(vm.name.clone(), vm.db, vm.queries.clone())
+                    .with_weight(vm.weight)
+            })
+            .collect();
+        let dp = DesignProblem::new(self.classes.specs[class], workloads)?;
+        // Budget cap: a machine below the forced minimum occupancy (a
+        // transient greedy state — more VMs are still coming) may not hand
+        // any resident more than `rect_hi` units, or its solve would read
+        // cells outside the warm rectangle (and, for narrow calibration
+        // grids, outside the grid). At or above the forced occupancy the
+        // cap resolves to the full machine, so final placements — whose
+        // occupied machines always satisfy it — are solved unchanged.
+        let occ = vms.len() as u32;
+        let budget = self
+            .cfg
+            .units
+            .min(self.rect_hi + (occ - 1) * self.cfg.min_units);
+        let scfg = SearchConfig {
+            units: self.cfg.units,
+            disk_share: self.cfg.disk_share,
+            min_units: self.cfg.min_units,
+            parallelism: 1,
+            cpu_budget: budget,
+            mem_budget: budget,
+        };
+        let local = self.snapshots[class].seed_local(vms);
+        let rec = run_search_cached(
+            SearchAlgorithm::DynamicProgramming,
+            &dp,
+            self.models[class],
+            scfg,
+            &local,
+        )?;
+        // Flow any cells the local solve had to evaluate (snapshot gaps)
+        // back into the shared store, re-keyed to global VM indices.
+        if rec.evaluations > 0 {
+            for ((w, c, m), cost) in local.entries() {
+                self.cache.insert(class, vms[w], c, m, cost);
+            }
+        }
+
+        let units = self.cfg.units;
+        let units_of = rec
+            .allocation
+            .rows()
+            .map(|row| {
+                let c = (row.cpu().fraction() * units as f64).round() as u32;
+                let m = (row.memory().fraction() * units as f64).round() as u32;
+                (c, m)
+            })
+            .collect();
+        let solve = MachineSolve {
+            objective: rec.objective,
+            units_of,
+        };
+        self.solves.set(self.solves.get() + 1);
+        self.memo.borrow_mut().insert(key, solve.clone());
+        Ok(solve)
+    }
+
+    /// Distinct DP solves performed (memo misses).
+    pub fn solves(&self) -> usize {
+        self.solves.get()
+    }
+
+    /// Solves answered from the memo.
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits.get()
+    }
+}
+
+/// Evaluates one `(class, vm, cell)` what-if cost directly against the
+/// class's cost model, via a single-workload [`DesignProblem`]. Used by
+/// the pre-warm sweep and by [`FleetSolver::cell_cost`] misses; both paths
+/// produce bitwise-identical values because the model is a pure function
+/// of `(machine spec, workload, shares)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_cell(
+    classes: &MachineClasses,
+    models: &[&dyn CostModel],
+    problem: &FleetProblem<'_>,
+    cfg: FleetConfig,
+    class: usize,
+    vm: usize,
+    cpu: u32,
+    mem: u32,
+) -> Result<f64, FleetError> {
+    let spec = &problem.vms[vm];
+    let dp = DesignProblem::new(
+        classes.specs[class],
+        vec![WorkloadSpec::new(spec.name.clone(), spec.db, spec.queries.clone())],
+    )?;
+    let units = cfg.units as f64;
+    let shares = ResourceVector::from_fractions(
+        cpu as f64 / units,
+        mem as f64 / units,
+        cfg.disk_share,
+    )?;
+    Ok(models[class].cost(&dp, 0, shares)?)
+}

@@ -73,6 +73,27 @@ impl MachineSpec {
         if self.page_size == 0 {
             return bad("page_size must be positive");
         }
+        // Unit-mismatch guard: a machine whose physical memory cannot hold
+        // even the minimum buffer pool (64 pages) was almost certainly
+        // specified in the wrong unit (megabytes instead of bytes, or a
+        // page size in kilobytes). Catch it here with a typed error rather
+        // than letting a degenerate pool confuse every layer above.
+        let floor = crate::vm::MIN_BUFFER_PAGES as u64 * self.page_size as u64;
+        if self.memory_bytes < floor {
+            return bad(&format!(
+                "memory_bytes ({}) is smaller than the minimum buffer pool \
+                 ({} pages x {} bytes = {} bytes) — bytes/megabytes unit mismatch?",
+                self.memory_bytes,
+                crate::vm::MIN_BUFFER_PAGES,
+                self.page_size,
+                floor
+            ));
+        }
+        // Aggregate rates must stay representable: absurd per-core rates
+        // multiplied by the core count must not overflow to infinity.
+        if !self.total_cycles_per_sec().is_finite() {
+            return bad("cores x cycles_per_sec overflows to a non-finite rate");
+        }
         Ok(())
     }
 
@@ -124,6 +145,75 @@ mod tests {
 
         let mut m = MachineSpec::tiny();
         m.page_size = 0;
+        assert!(m.validate().is_err());
+    }
+
+    /// Hostile-input audit: zero / negative / NaN / infinite capacities and
+    /// unit-mismatched fields must all surface as typed `VmmError`s from
+    /// `validate()`, never as panics (or nonsense) further downstream.
+    #[test]
+    fn hostile_specs_return_typed_errors() {
+        let hostile: Vec<MachineSpec> = vec![
+            // Negative and non-finite float capacities.
+            MachineSpec {
+                cycles_per_sec: -2.8e9,
+                ..MachineSpec::tiny()
+            },
+            MachineSpec {
+                cycles_per_sec: f64::INFINITY,
+                ..MachineSpec::tiny()
+            },
+            MachineSpec {
+                disk_seq_bytes_per_sec: f64::NAN,
+                ..MachineSpec::tiny()
+            },
+            MachineSpec {
+                disk_seq_bytes_per_sec: -1.0,
+                ..MachineSpec::tiny()
+            },
+            MachineSpec {
+                disk_random_iops: 0.0,
+                ..MachineSpec::tiny()
+            },
+            // Unit mismatch: "64 megabytes" written as 64 bytes cannot hold
+            // the minimum buffer pool.
+            MachineSpec {
+                memory_bytes: 64,
+                ..MachineSpec::tiny()
+            },
+            // Memory smaller than a single page.
+            MachineSpec {
+                memory_bytes: 4096,
+                page_size: 8192,
+                ..MachineSpec::tiny()
+            },
+            // Per-core rate near f64::MAX overflows the aggregate rate.
+            MachineSpec {
+                cores: u32::MAX,
+                cycles_per_sec: f64::MAX / 2.0,
+                ..MachineSpec::tiny()
+            },
+        ];
+        for (i, m) in hostile.iter().enumerate() {
+            let err = m.validate().expect_err(&format!("spec {i} must be rejected"));
+            assert!(
+                matches!(err, VmmError::InvalidMachine { .. }),
+                "spec {i}: wrong error {err:?}"
+            );
+            // And the layers above propagate the same typed error instead
+            // of panicking.
+            let vm = crate::VirtualMachine::new(*m, crate::ResourceVector::full_machine());
+            assert!(matches!(vm, Err(VmmError::InvalidMachine { .. })), "spec {i}");
+        }
+    }
+
+    #[test]
+    fn smallest_honest_memory_is_accepted() {
+        // Exactly the minimum pool is fine; one byte less is not.
+        let mut m = MachineSpec::tiny();
+        m.memory_bytes = 64 * 8192;
+        m.validate().unwrap();
+        m.memory_bytes -= 1;
         assert!(m.validate().is_err());
     }
 

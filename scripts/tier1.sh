@@ -27,6 +27,14 @@ scripts/controller.sh
 # scripts/sched.sh).
 scripts/sched.sh
 
+# Fleet placement gate: the placement ladder (greedy -> local search ->
+# LP bound) must hold its pins — strict local-search improvement on the
+# 64-VM / 8-machine fleet, LP-certified gaps <= 25% everywhere, M=1
+# bit-identical to the single-machine DP, and placements replayed
+# bit-identically across processes and pre-warm parallelism (see
+# scripts/fleet.sh).
+scripts/fleet.sh
+
 # Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
 # under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
 if [[ "${CHAOS:-0}" == "1" ]]; then

@@ -19,7 +19,10 @@
 //!   problem** and its solution (calibrated cost model + allocation
 //!   search);
 //! * [`sql`] — a SQL front-end (lexer/parser/binder) so workloads can be
-//!   written as the paper writes them: "a sequence of SQL statements".
+//!   written as the paper writes them: "a sequence of SQL statements";
+//! * [`fleet`] — datacenter-scale placement: `N` VMs across `M`
+//!   heterogeneous machines (greedy bin-pack → local search → LP
+//!   optimality bound), served from a shared warm what-if cache.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@
 pub use dbvirt_calibrate as calibrate;
 pub use dbvirt_core as core;
 pub use dbvirt_engine as engine;
+pub use dbvirt_fleet as fleet;
 pub use dbvirt_optimizer as optimizer;
 pub use dbvirt_sql as sql;
 pub use dbvirt_storage as storage;
