@@ -19,10 +19,13 @@
 //! here exits non-zero.
 
 use dbvirt_bench::{experiment_machine, write_bench_artifact};
+use dbvirt_calibrate::CalibrationGrid;
 use dbvirt_core::measure::measure_workload_seconds;
 use dbvirt_core::{
     DesignProblem, SearchAlgorithm, TelemetrySummary, VirtualizationAdvisor, WorkloadSpec,
 };
+use dbvirt_design::{DesignAdvisor, DesignConfig};
+use dbvirt_sql::parse_query;
 use dbvirt_telemetry as telemetry;
 use dbvirt_tpch::{TpchConfig, TpchDb, TpchQuery, Workload};
 
@@ -92,6 +95,41 @@ fn main() {
         mixes[0].name
     );
 
+    // --- Design-advisor exercise ----------------------------------------
+    // A compact joint index+allocation run so the design.* instrumentation
+    // lands in the same smoke gate: the subsystem's spans must be
+    // recorded, its counters must move, and (checked below, after the
+    // snapshot) the recommendation must be bit-identical with telemetry
+    // disabled — tracing is observation-only.
+    println!("Advising a joint index+allocation design (2 VMs) ...");
+    let design_points = vec![0.25, 0.5, 0.75, 1.0];
+    let design_grid =
+        CalibrationGrid::calibrate(machine, design_points.clone(), design_points, 0.5)
+            .expect("design grid calibration");
+    // Lookup columns deliberately avoid the stock TPC-H index set so the
+    // enumerator has real candidates to price.
+    let lookups: Vec<_> = [
+        "SELECT l_suppkey, l_quantity FROM lineitem WHERE l_suppkey = 17",
+        "SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_quantity = 3",
+    ]
+    .iter()
+    .map(|s| parse_query(s, &t.db).expect("lookup SQL"))
+    .collect();
+    let design_problem = DesignProblem::new(
+        machine,
+        vec![
+            WorkloadSpec::new("lookups".to_string(), &t.db, lookups),
+            WorkloadSpec::new("scans".to_string(), &t.db, mixes[0].queries.clone()),
+        ],
+    )
+    .expect("design problem");
+    let design_advisor = DesignAdvisor::new(&design_grid, DesignConfig::new(4, 2).with_budget(4096));
+    let design_on = design_advisor.advise(&design_problem).expect("joint design advice");
+    println!(
+        "Joint design: objective {:.3}s, {} alternations, {} evaluations.",
+        design_on.objective, design_on.alternations, design_on.evaluations
+    );
+
     telemetry::disable();
     let snap = telemetry::snapshot();
 
@@ -120,6 +158,60 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // Design subsystem instrumentation: the advise run above must have
+    // recorded the whole span family and moved the what-if counters.
+    for name in [
+        "design.advise",
+        "design.enumerate",
+        "design.whatif",
+        "design.alternate",
+    ] {
+        if snap.last_span(name).is_none() {
+            eprintln!("FAIL: no {name} span recorded");
+            std::process::exit(1);
+        }
+    }
+    for name in [
+        "design.candidates",
+        "design.whatif_calls",
+        "design.cache_hits",
+        "design.alternations",
+    ] {
+        match snap.counter(name) {
+            Some(v) if v > 0 => {}
+            other => {
+                eprintln!("FAIL: counter {name} did not move (got {other:?})");
+                std::process::exit(1);
+            }
+        }
+    }
+    if snap.counter("design.pruned").is_none() {
+        eprintln!("FAIL: counter design.pruned was never registered");
+        std::process::exit(1);
+    }
+    println!(
+        "Design instrumentation: {} what-if calls, {} cache hits, {} candidates.",
+        snap.counter("design.whatif_calls").unwrap_or(0),
+        snap.counter("design.cache_hits").unwrap_or(0),
+        snap.counter("design.candidates").unwrap_or(0),
+    );
+
+    // Telemetry must be observation-only: the same advise with tracing
+    // disabled returns the identical recommendation, bit for bit.
+    let design_off = design_advisor
+        .advise(&design_problem)
+        .expect("design advice with telemetry off");
+    assert_eq!(
+        design_on.fingerprint, design_off.fingerprint,
+        "design recommendation fingerprint changed when telemetry was disabled"
+    );
+    assert_eq!(
+        design_on.objective.to_bits(),
+        design_off.objective.to_bits(),
+        "design objective bits changed when telemetry was disabled"
+    );
+    println!("Design on/off check OK: telemetry is invisible in the recommendation.");
 
     // --- Artifacts ------------------------------------------------------
     write_bench_artifact("TRACE_dump.json", &snap.to_json());

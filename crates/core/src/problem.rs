@@ -8,7 +8,7 @@ use dbvirt_vmm::MachineSpec;
 /// One workload: a name, the database it runs against, and its query
 /// sequence (the paper's `Wᵢ`, "a sequence of SQL statements against a
 /// separate database").
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec<'a> {
     /// Display name.
     pub name: String,

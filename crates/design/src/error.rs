@@ -1,0 +1,53 @@
+//! Error type for the design advisor.
+
+use dbvirt_calibrate::CalError;
+use dbvirt_core::CoreError;
+use dbvirt_optimizer::OptError;
+use std::fmt;
+
+/// Anything that can go wrong while advising a physical design.
+#[derive(Debug)]
+pub enum DesignError {
+    /// A what-if planning call failed.
+    Optimizer(OptError),
+    /// The calibration grid rejected an allocation.
+    Calibration(CalError),
+    /// The embedded allocation search failed.
+    Core(CoreError),
+    /// The advisor's inputs were malformed.
+    BadConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            DesignError::Calibration(e) => write!(f, "calibration: {e}"),
+            DesignError::Core(e) => write!(f, "allocation search: {e}"),
+            DesignError::BadConfig { reason } => write!(f, "bad design config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<OptError> for DesignError {
+    fn from(e: OptError) -> DesignError {
+        DesignError::Optimizer(e)
+    }
+}
+
+impl From<CalError> for DesignError {
+    fn from(e: CalError) -> DesignError {
+        DesignError::Calibration(e)
+    }
+}
+
+impl From<CoreError> for DesignError {
+    fn from(e: CoreError) -> DesignError {
+        DesignError::Core(e)
+    }
+}

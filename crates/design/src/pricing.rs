@@ -1,0 +1,364 @@
+//! CoPhy-style what-if pricing of `(index configuration, allocation)`
+//! pairs.
+//!
+//! The selection objective is defined over enumerated **configurations**:
+//! per query, the empty set, every relevant single candidate, and every
+//! relevant candidate pair. A config's cost is the what-if optimizer's
+//! estimate with exactly that config offered as hypothetical indexes,
+//! under the calibrated parameters `P(R)` of the allocation cell being
+//! priced. The cost of an index *set* for a query is then the cheapest
+//! config contained in the set — monotone non-increasing in the set, and
+//! an upper bound on the true planner cost with the whole set available
+//! (a larger menu can only help). Restricting to configurations of size
+//! ≤ 2 is what makes the companion LP relaxation ([`crate::lp`]) an exact
+//! relaxation of this objective, so the reported optimality gap is sound.
+//!
+//! Every `(query, config, cell)` price is memoized in the same sharded
+//! [`CostCache`] the allocation search uses, keyed
+//! `(global query index, config id, (cpu units << 16) | mem units)`.
+//! Prices are pure functions of the key, so parallel pre-warming fills
+//! the identical table a serial run would — the foundation of the
+//! advisor's serial-vs-parallel determinism contract.
+
+use crate::candidates::CandidateSet;
+use crate::DesignError;
+use dbvirt_calibrate::CalibrationGrid;
+use dbvirt_core::search::CostCache;
+use dbvirt_engine::Database;
+use dbvirt_optimizer::{plan_query_with_indexes, HypoIndex, LogicalPlan};
+use dbvirt_telemetry as telemetry;
+use dbvirt_vmm::ResourceVector;
+use std::sync::{Arc, Mutex};
+
+/// What-if prices answered from the shared cache.
+static TM_CACHE_HITS: telemetry::Counter = telemetry::Counter::new("design.cache_hits");
+/// What-if prices that had to run the planner.
+static TM_WHATIF_CALLS: telemetry::Counter = telemetry::Counter::new("design.whatif_calls");
+
+/// One query's priced configuration menu: `configs[k]` is the candidate
+/// indices of config `k` (empty first, then singletons, then pairs, in
+/// candidate order), `masks[k]` the same as a bitmask.
+#[derive(Debug, Clone)]
+pub struct ConfigMenu {
+    /// Candidate indices per config.
+    pub configs: Vec<Vec<usize>>,
+    /// Bitmask per config (bit `i` = candidate `i`).
+    pub masks: Vec<u64>,
+}
+
+/// Builds the per-query config menus from a candidate set: `∅`, relevant
+/// singletons, relevant pairs.
+pub fn config_menus(cands: &CandidateSet) -> Vec<ConfigMenu> {
+    cands
+        .relevant
+        .iter()
+        .map(|rel| {
+            let mut configs = vec![Vec::new()];
+            for &c in rel {
+                configs.push(vec![c]);
+            }
+            for (i, &a) in rel.iter().enumerate() {
+                for &b in &rel[i + 1..] {
+                    configs.push(vec![a, b]);
+                }
+            }
+            let masks = configs
+                .iter()
+                .map(|cfg| cfg.iter().fold(0u64, |m, &c| m | (1 << c)))
+                .collect();
+            ConfigMenu { configs, masks }
+        })
+        .collect()
+}
+
+/// The pricing context for one workload (one VM): its database, queries,
+/// candidates, config menus, and a global query-index offset that keeps
+/// its cache keys disjoint from other VMs sharing the same cache.
+pub struct VmPricer<'a> {
+    /// The workload's database (catalog + statistics only).
+    pub db: &'a Database,
+    /// The workload's queries.
+    pub queries: &'a [LogicalPlan],
+    /// Enumerated candidates.
+    pub cands: CandidateSet,
+    /// Per-query config menus.
+    pub menus: Vec<ConfigMenu>,
+    /// Global query-index base for cache keys.
+    pub offset: usize,
+}
+
+impl<'a> VmPricer<'a> {
+    /// Builds a pricer from an already-enumerated candidate set.
+    pub fn new(
+        db: &'a Database,
+        queries: &'a [LogicalPlan],
+        cands: CandidateSet,
+        offset: usize,
+    ) -> VmPricer<'a> {
+        let menus = config_menus(&cands);
+        VmPricer {
+            db,
+            queries,
+            cands,
+            menus,
+            offset,
+        }
+    }
+}
+
+/// Shared pricing state: the calibration grid mapping cells to `P(R)`,
+/// the share discretization, and the cost cache.
+pub struct DesignPricer<'g> {
+    grid: &'g CalibrationGrid,
+    units: u32,
+    disk_share: f64,
+    cache: Arc<CostCache>,
+}
+
+/// Encodes a `(cpu units, mem units)` cell into one cache-key word.
+pub fn cell_code(cpu: u32, mem: u32) -> u32 {
+    (cpu << 16) | mem
+}
+
+impl<'g> DesignPricer<'g> {
+    /// A pricer over a fresh cache.
+    pub fn new(grid: &'g CalibrationGrid, units: u32, disk_share: f64) -> DesignPricer<'g> {
+        DesignPricer {
+            grid,
+            units,
+            disk_share,
+            cache: Arc::new(CostCache::new()),
+        }
+    }
+
+    /// The underlying cache (shared with the allocation search's warm
+    /// pre-computation).
+    pub fn cache(&self) -> &Arc<CostCache> {
+        &self.cache
+    }
+
+    /// Distinct what-if evaluations performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.cache.evaluations()
+    }
+
+    /// The resource shares a cell denotes.
+    pub fn shares(&self, cpu: u32, mem: u32) -> Result<ResourceVector, DesignError> {
+        ResourceVector::from_fractions(
+            cpu as f64 / self.units as f64,
+            mem as f64 / self.units as f64,
+            self.disk_share,
+        )
+        .map_err(|e| DesignError::BadConfig {
+            reason: format!("cell ({cpu}, {mem}) of {} units: {e}", self.units),
+        })
+    }
+
+    /// Price of `(query, config, cell)`: the what-if estimate with exactly
+    /// the config's candidates offered as hypothetical indexes under the
+    /// calibrated `P(R)` of the cell. Memoized; pure in the key.
+    pub fn price(
+        &self,
+        vm: &VmPricer<'_>,
+        q: usize,
+        config: usize,
+        cpu: u32,
+        mem: u32,
+    ) -> Result<f64, DesignError> {
+        let key = (vm.offset + q, config as u32, cell_code(cpu, mem));
+        if let Some(c) = self.cache.get(&key) {
+            TM_CACHE_HITS.add(1);
+            return Ok(c);
+        }
+        TM_WHATIF_CALLS.add(1);
+        let params = self.grid.params_for(self.shares(cpu, mem)?)?;
+        let hypo: Vec<HypoIndex> = vm.menus[q].configs[config]
+            .iter()
+            .map(|&c| HypoIndex {
+                table: vm.cands.candidates[c].table,
+                columns: vm.cands.candidates[c].columns.clone(),
+            })
+            .collect();
+        let planned = plan_query_with_indexes(vm.db, &vm.queries[q], &params, &hypo)?;
+        let cost = planned.est_seconds(&params);
+        self.cache.insert(key, cost);
+        Ok(cost)
+    }
+
+    /// Unweighted workload cost of an index set (as a candidate bitmask)
+    /// at a cell: per query, the cheapest config contained in the mask.
+    /// Summed in query order — deterministic.
+    pub fn workload_cost(
+        &self,
+        vm: &VmPricer<'_>,
+        mask: u64,
+        cpu: u32,
+        mem: u32,
+    ) -> Result<f64, DesignError> {
+        let mut total = 0.0;
+        for q in 0..vm.queries.len() {
+            let menu = &vm.menus[q];
+            let mut best = f64::INFINITY;
+            for (k, &kmask) in menu.masks.iter().enumerate() {
+                if kmask & !mask != 0 {
+                    continue;
+                }
+                let c = self.price(vm, q, k, cpu, mem)?;
+                if c < best {
+                    best = c;
+                }
+            }
+            total += best;
+        }
+        Ok(total)
+    }
+
+    /// Fills the cache with every `(query, config, cell)` price for the
+    /// given VMs over the given cells, splitting work across `workers`
+    /// threads. Prices are pure in the key, so any interleaving produces
+    /// the identical table; the error for the lowest-indexed failing
+    /// triple is returned regardless of interleaving.
+    pub fn prewarm(
+        &self,
+        vms: &[VmPricer<'_>],
+        cells: &[(u32, u32)],
+        workers: usize,
+    ) -> Result<(), DesignError> {
+        let mut triples: Vec<(usize, usize, usize, u32, u32)> = Vec::new();
+        for (v, vm) in vms.iter().enumerate() {
+            for q in 0..vm.queries.len() {
+                for k in 0..vm.menus[q].configs.len() {
+                    for &(c, m) in cells {
+                        triples.push((v, q, k, c, m));
+                    }
+                }
+            }
+        }
+        let mut span = telemetry::span("design.whatif");
+        span.set_attr("prices", triples.len());
+        span.set_attr("workers", workers.max(1));
+        if workers <= 1 || triples.len() <= 1 {
+            for &(v, q, k, c, m) in &triples {
+                self.price(&vms[v], q, k, c, m)?;
+            }
+            return Ok(());
+        }
+        let failures: Mutex<Vec<(usize, DesignError)>> = Mutex::new(Vec::new());
+        let chunk_len = triples.len().div_ceil(workers);
+        let parent = span.id();
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in triples.chunks(chunk_len).enumerate() {
+                let failures = &failures;
+                scope.spawn(move || {
+                    let mut wspan = telemetry::span_with_parent("design.whatif_worker", parent);
+                    wspan.set_attr("chunk", chunk_idx);
+                    wspan.set_attr("prices", chunk.len());
+                    for (offset, &(v, q, k, c, m)) in chunk.iter().enumerate() {
+                        if let Err(e) = self.price(&vms[v], q, k, c, m) {
+                            failures
+                                .lock()
+                                .unwrap()
+                                .push((chunk_idx * chunk_len + offset, e));
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().unwrap();
+        failures.sort_by_key(|(idx, _)| *idx);
+        match failures.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::enumerate_candidates;
+    use crate::testutil::small_grid;
+    use dbvirt_engine::Expr;
+    use dbvirt_storage::{DataType, Datum, Field, Schema, Tuple};
+
+    fn fixture() -> (Database, Vec<LogicalPlan>) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
+        );
+        db.insert_rows(
+            t,
+            (0..20_000).map(|i| Tuple::new(vec![Datum::Int(i), Datum::Int(i % 100)])),
+        )
+        .unwrap();
+        db.analyze_all().unwrap();
+        let q = LogicalPlan::scan_filtered(t, Expr::eq(Expr::col(0), Expr::int(7)));
+        (db, vec![q])
+    }
+
+    fn grid() -> CalibrationGrid {
+        small_grid()
+    }
+
+    #[test]
+    fn config_menus_enumerate_empty_singletons_pairs() {
+        let (db, queries) = fixture();
+        let cands = enumerate_candidates(&db, &queries, 16);
+        assert_eq!(cands.len(), 1);
+        let menus = config_menus(&cands);
+        assert_eq!(menus[0].configs, vec![vec![], vec![0]]);
+        assert_eq!(menus[0].masks, vec![0, 1]);
+    }
+
+    #[test]
+    fn an_index_config_prices_below_empty_and_is_cached() {
+        let (db, queries) = fixture();
+        let grid = grid();
+        let cands = enumerate_candidates(&db, &queries, 16);
+        let vm = VmPricer::new(&db, &queries, cands, 0);
+        let pricer = DesignPricer::new(&grid, 4, 0.5);
+        // A CPU- and memory-scarce cell: random index I/O is cheaper than
+        // grinding 20k tuples through a slow CPU share.
+        let empty = pricer.price(&vm, 0, 0, 2, 1).unwrap();
+        let indexed = pricer.price(&vm, 0, 1, 2, 1).unwrap();
+        assert!(
+            indexed < empty,
+            "a 1-in-20000 equality must prefer the hypothetical index \
+             ({indexed} vs {empty})"
+        );
+        let evals = pricer.evaluations();
+        // Re-pricing answers from the cache.
+        assert_eq!(pricer.price(&vm, 0, 1, 2, 1).unwrap(), indexed);
+        assert_eq!(pricer.evaluations(), evals);
+        // The set cost picks the cheaper config; the empty mask can only
+        // use the empty config.
+        assert_eq!(pricer.workload_cost(&vm, 1, 2, 1).unwrap(), indexed);
+        assert_eq!(pricer.workload_cost(&vm, 0, 2, 1).unwrap(), empty);
+    }
+
+    #[test]
+    fn prewarm_parallel_fills_the_same_table_as_serial() {
+        let (db, queries) = fixture();
+        let grid = grid();
+        let cells: Vec<(u32, u32)> = (1..=3).flat_map(|c| (1..=3).map(move |m| (c, m))).collect();
+
+        let serial = DesignPricer::new(&grid, 4, 0.5);
+        let cands = enumerate_candidates(&db, &queries, 16);
+        let vm = VmPricer::new(&db, &queries, cands.clone(), 0);
+        serial.prewarm(std::slice::from_ref(&vm), &cells, 1).unwrap();
+
+        let parallel = DesignPricer::new(&grid, 4, 0.5);
+        let vm2 = VmPricer::new(&db, &queries, cands, 0);
+        parallel
+            .prewarm(std::slice::from_ref(&vm2), &cells, 4)
+            .unwrap();
+
+        assert_eq!(serial.cache().entries(), parallel.cache().entries());
+        assert_eq!(serial.evaluations(), parallel.evaluations());
+    }
+}

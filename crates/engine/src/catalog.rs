@@ -48,8 +48,35 @@ pub struct IndexMeta {
     pub name: String,
     /// Indexed table.
     pub table: TableId,
-    /// Indexed column (position in the table schema).
-    pub column: usize,
+    /// Indexed columns (positions in the table schema). Single-column
+    /// indexes key the B+tree with the raw column [`Datum`]; composite
+    /// indexes key it with the order-preserving encoding from
+    /// [`dbvirt_storage::keyenc`].
+    pub columns: Vec<usize>,
+}
+
+impl IndexMeta {
+    /// The leading indexed column.
+    pub fn column(&self) -> usize {
+        self.columns[0]
+    }
+
+    /// True for multi-column indexes (encoded composite keys).
+    pub fn is_composite(&self) -> bool {
+        self.columns.len() > 1
+    }
+
+    /// The B+tree key for one table row: the raw datum for single-column
+    /// indexes, the memcomparable encoding for composites.
+    pub fn key_for(&self, tuple: &Tuple) -> dbvirt_storage::Datum {
+        if self.columns.len() == 1 {
+            tuple.get(self.columns[0]).clone()
+        } else {
+            let values: Vec<dbvirt_storage::Datum> =
+                self.columns.iter().map(|&c| tuple.get(c).clone()).collect();
+            dbvirt_storage::keyenc::encode_key(&values)
+        }
+    }
 }
 
 /// A database: disk, catalog, heaps, and indexes, all owned together.
@@ -113,12 +140,33 @@ impl Database {
         table: TableId,
         column: usize,
     ) -> Result<IndexId, StorageError> {
+        self.create_index_multi(name, table, &[column])
+    }
+
+    /// Builds a B+tree index on one or more columns, bulk-loading from
+    /// the heap. Composite indexes (two or more columns) store
+    /// memcomparable encoded keys ([`dbvirt_storage::keyenc`]), so a key
+    /// *prefix* maps to one contiguous tree range.
+    pub fn create_index_multi(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        columns: &[usize],
+    ) -> Result<IndexId, StorageError> {
         let meta = &self.tables[table.0];
-        assert!(
-            column < meta.schema.len(),
-            "column {column} out of range for {}",
-            meta.name
-        );
+        assert!(!columns.is_empty(), "index needs at least one column");
+        for &column in columns {
+            assert!(
+                column < meta.schema.len(),
+                "column {column} out of range for {}",
+                meta.name
+            );
+        }
+        let index_meta = IndexMeta {
+            name: name.into(),
+            table,
+            columns: columns.to_vec(),
+        };
         let heap = meta.heap;
         let mut entries = Vec::new();
         for page_no in 0..heap.num_pages(&self.disk) {
@@ -130,18 +178,14 @@ impl Database {
             for (slot, bytes) in page.records() {
                 let tuple = Tuple::decode(bytes)?;
                 entries.push((
-                    tuple.get(column).clone(),
+                    index_meta.key_for(&tuple),
                     dbvirt_storage::TupleId { page_no, slot },
                 ));
             }
         }
         let tree = BPlusTree::bulk_load(&mut self.disk, entries)?;
         self.index_trees.push(tree);
-        self.index_meta.push(IndexMeta {
-            name: name.into(),
-            table,
-            column,
-        });
+        self.index_meta.push(index_meta);
         let id = IndexId(self.index_meta.len() - 1);
         self.tables[table.0].indexes.push(id);
         Ok(id)
@@ -200,12 +244,25 @@ impl Database {
         &self.index_trees[id.0]
     }
 
-    /// Finds an index on `(table, column)`, if one exists.
+    /// Finds a single-column index on `(table, column)`, if one exists.
     pub fn index_on(&self, table: TableId, column: usize) -> Option<IndexId> {
         self.index_meta
             .iter()
-            .position(|m| m.table == table && m.column == column)
+            .position(|m| m.table == table && m.columns == [column])
             .map(IndexId)
+    }
+
+    /// Finds an index on exactly `(table, columns)`, if one exists.
+    pub fn index_on_columns(&self, table: TableId, columns: &[usize]) -> Option<IndexId> {
+        self.index_meta
+            .iter()
+            .position(|m| m.table == table && m.columns == columns)
+            .map(IndexId)
+    }
+
+    /// Number of indexes in the catalog.
+    pub fn num_indexes(&self) -> usize {
+        self.index_meta.len()
     }
 
     /// All indexes, with ids.
@@ -285,7 +342,29 @@ mod tests {
         assert_eq!(db.index_on(t, 0), Some(idx));
         assert_eq!(db.index_on(t, 1), None);
         assert_eq!(db.index_tree(idx).len(), 1000);
-        assert_eq!(db.index(idx).column, 0);
+        assert_eq!(db.index(idx).columns, vec![0]);
+    }
+
+    #[test]
+    fn composite_index_keys_are_prefix_rangeable() {
+        let mut db = Database::new();
+        let t = db.create_table("t", schema());
+        // (id % 10, val) so the leading composite column has duplicates.
+        let rows = (0..500).map(|i| Tuple::new(vec![Datum::Int(i % 10), Datum::str(format!("v{i}"))]));
+        db.insert_rows(t, rows).unwrap();
+        let idx = db.create_index_multi("t_id_val", t, &[0, 1]).unwrap();
+        assert!(db.index(idx).is_composite());
+        assert_eq!(db.index_on_columns(t, &[0, 1]), Some(idx));
+        assert_eq!(db.index_on(t, 0), None, "no single-column index exists");
+        // All 50 rows with leading value 3 fall inside the encoded prefix
+        // range, and nothing else does.
+        let lo = dbvirt_storage::keyenc::encode_key(&[Datum::Int(3)]);
+        let hi = dbvirt_storage::keyenc::encode_prefix_upper(&[Datum::Int(3)]);
+        let hits = db.index_tree(idx).range(
+            std::ops::Bound::Included(&lo),
+            std::ops::Bound::Excluded(&hi),
+        );
+        assert_eq!(hits.len(), 50);
     }
 
     #[test]

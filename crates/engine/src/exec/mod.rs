@@ -22,6 +22,8 @@ fn op_name(plan: &PhysicalPlan) -> &'static str {
     match plan {
         PhysicalPlan::SeqScan { .. } => "exec.seq_scan",
         PhysicalPlan::IndexScan { .. } => "exec.index_scan",
+        PhysicalPlan::IndexAnd { .. } => "exec.index_and",
+        PhysicalPlan::IndexOr { .. } => "exec.index_or",
         PhysicalPlan::Filter { .. } => "exec.filter",
         PhysicalPlan::Project { .. } => "exec.project",
         PhysicalPlan::Sort { .. } => "exec.sort",
@@ -59,6 +61,16 @@ fn execute_inner(
             hi,
             filter,
         } => scan::index_scan(ctx, *table, *index, lo, hi, filter.as_ref()),
+        PhysicalPlan::IndexAnd {
+            table,
+            arms,
+            filter,
+        } => scan::index_and_scan(ctx, *table, arms, filter.as_ref()),
+        PhysicalPlan::IndexOr {
+            table,
+            arms,
+            filter,
+        } => scan::index_or_scan(ctx, *table, arms, filter.as_ref()),
         PhysicalPlan::Filter { input, predicate } => {
             let rows = execute(ctx, input)?;
             Ok(apply_filter(ctx, rows, predicate))

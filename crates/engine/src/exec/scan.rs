@@ -1,8 +1,10 @@
-//! Scan operators: sequential heap scans and B+tree index scans.
+//! Scan operators: sequential heap scans, B+tree index scans, and
+//! multi-index intersection/union scans.
 
 use crate::runtime::{EngineError, ExecContext};
+use crate::IndexArm;
 use crate::{Expr, IndexId, TableId};
-use dbvirt_storage::{AccessPattern, Datum, Tuple};
+use dbvirt_storage::{AccessPattern, Datum, Tuple, TupleId};
 use std::ops::Bound;
 
 /// Full heap scan with an optional pushed-down filter.
@@ -39,7 +41,9 @@ pub fn seq_scan(
     Ok(out)
 }
 
-/// Index range scan: B+tree traversal, then heap fetches in index order,
+/// Index range scan: B+tree traversal, then heap fetches in **tuple-id
+/// order** (so the output ordering — and therefore every downstream
+/// float accumulation — is bit-identical to a filtered sequential scan),
 /// then the residual filter.
 pub fn index_scan(
     ctx: &mut ExecContext<'_>,
@@ -57,9 +61,118 @@ pub fn index_scan(
         let (disk, _, trees) = ctx.db.disk_and_catalog();
         trees[index.0].range_metered(disk, ctx.pool, lo.as_ref(), hi.as_ref())?
     };
+    let mut tids: Vec<TupleId> = entries.iter().map(|(_, tid)| *tid).collect();
+    tids.sort_unstable();
     let mut cpu = entries.len() as f64 * costs.per_index_tuple;
-    let mut out = Vec::with_capacity(entries.len());
-    for (_key, tid) in entries {
+    let mut out = Vec::with_capacity(tids.len());
+    for tid in tids {
+        let tuple = {
+            let (disk, _, _) = ctx.db.disk_and_catalog();
+            heap.fetch(disk, ctx.pool, tid)?
+        };
+        cpu += costs.per_tuple + filter_ops * costs.per_operator;
+        let keep = filter.is_none_or(|f| f.eval_bool(&tuple) == Some(true));
+        if keep {
+            out.push(tuple);
+        }
+    }
+    ctx.charge_cpu(cpu);
+    Ok(out)
+}
+
+/// Index intersection scan: probe every arm's key range, intersect the
+/// resulting TID sets, fetch each surviving heap tuple once (in TID
+/// order), apply the residual filter.
+pub fn index_and_scan(
+    ctx: &mut ExecContext<'_>,
+    table: TableId,
+    arms: &[IndexArm],
+    filter: Option<&Expr>,
+) -> Result<Vec<Tuple>, EngineError> {
+    multi_index_scan(ctx, table, arms, filter, true)
+}
+
+/// Index union scan: probe every arm's key range, union (dedup) the TID
+/// sets, fetch each surviving heap tuple once (in TID order), apply the
+/// residual filter.
+pub fn index_or_scan(
+    ctx: &mut ExecContext<'_>,
+    table: TableId,
+    arms: &[IndexArm],
+    filter: Option<&Expr>,
+) -> Result<Vec<Tuple>, EngineError> {
+    multi_index_scan(ctx, table, arms, filter, false)
+}
+
+fn merge_tids(acc: Vec<TupleId>, arm: Vec<TupleId>, intersect: bool) -> Vec<TupleId> {
+    // Both inputs sorted and deduped; linear merge keeps it that way.
+    let mut out = Vec::with_capacity(if intersect {
+        acc.len().min(arm.len())
+    } else {
+        acc.len() + arm.len()
+    });
+    let (mut i, mut j) = (0, 0);
+    while i < acc.len() && j < arm.len() {
+        match acc[i].cmp(&arm[j]) {
+            std::cmp::Ordering::Less => {
+                if !intersect {
+                    out.push(acc[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if !intersect {
+                    out.push(arm[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(acc[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if !intersect {
+        out.extend_from_slice(&acc[i..]);
+        out.extend_from_slice(&arm[j..]);
+    }
+    out
+}
+
+fn multi_index_scan(
+    ctx: &mut ExecContext<'_>,
+    table: TableId,
+    arms: &[IndexArm],
+    filter: Option<&Expr>,
+    intersect: bool,
+) -> Result<Vec<Tuple>, EngineError> {
+    let costs = ctx.costs;
+    let filter_ops = filter.map_or(0.0, |f| f.num_operators() as f64);
+    let heap = ctx.db.table(table).heap;
+
+    let mut tids: Option<Vec<TupleId>> = None;
+    let mut cpu = 0.0;
+    for arm in arms {
+        let entries = {
+            let (disk, _, trees) = ctx.db.disk_and_catalog();
+            trees[arm.index.0].range_metered(disk, ctx.pool, arm.lo.as_ref(), arm.hi.as_ref())?
+        };
+        cpu += entries.len() as f64 * costs.per_index_tuple;
+        let mut arm_tids: Vec<TupleId> = entries.into_iter().map(|(_key, tid)| tid).collect();
+        arm_tids.sort_unstable();
+        arm_tids.dedup();
+        // One comparison per merged entry for the TID-set combine.
+        cpu += arm_tids.len() as f64 * costs.per_operator;
+        tids = Some(match tids {
+            None => arm_tids,
+            Some(acc) => merge_tids(acc, arm_tids, intersect),
+        });
+    }
+
+    let tids = tids.unwrap_or_default();
+    let mut out = Vec::with_capacity(tids.len());
+    for tid in tids {
         let tuple = {
             let (disk, _, _) = ctx.db.disk_and_catalog();
             heap.fetch(disk, ctx.pool, tid)?
@@ -132,6 +245,50 @@ mod tests {
             ctx.pool.demand().random_page_reads > 0,
             "index path is random I/O"
         );
+    }
+
+    #[test]
+    fn index_and_or_match_filtered_seq_scan() {
+        let (mut db, mut pool) = small_db(1000);
+        let ia = db.create_index("t_a", TableId(0), 0).unwrap();
+        let ib = db.create_index("t_b", TableId(0), 1).unwrap();
+        let arm_a = IndexArm {
+            index: ia,
+            lo: Bound::Included(Datum::Int(100)),
+            hi: Bound::Excluded(Datum::Int(300)),
+        };
+        let arm_b = IndexArm {
+            index: ib,
+            lo: Bound::Included(Datum::str("row-1")),
+            hi: Bound::Excluded(Datum::str("row-2")),
+        };
+        let pred_a = Expr::and(
+            Expr::ge(Expr::col(0), Expr::int(100)),
+            Expr::lt(Expr::col(0), Expr::int(300)),
+        );
+        let pred_b = Expr::and(
+            Expr::ge(Expr::col(1), Expr::str("row-1")),
+            Expr::lt(Expr::col(1), Expr::str("row-2")),
+        );
+        let mut ctx = context(&mut db, &mut pool);
+
+        let arms = vec![arm_a.clone(), arm_b.clone()];
+        let both = Expr::and(pred_a.clone(), pred_b.clone());
+        let mut anded = index_and_scan(&mut ctx, TableId(0), &arms, Some(&both)).unwrap();
+        let mut expect = seq_scan(&mut ctx, TableId(0), Some(&both)).unwrap();
+        let key = |t: &Tuple| t.get(0).as_int().unwrap();
+        anded.sort_by_key(key);
+        expect.sort_by_key(key);
+        assert_eq!(anded, expect);
+        assert_eq!(anded.len(), 100, "a in 100..199 also has b prefix row-1");
+
+        let either = Expr::or(pred_a, pred_b);
+        let mut ored = index_or_scan(&mut ctx, TableId(0), &arms, Some(&either)).unwrap();
+        let mut expect = seq_scan(&mut ctx, TableId(0), Some(&either)).unwrap();
+        ored.sort_by_key(key);
+        expect.sort_by_key(key);
+        assert_eq!(ored, expect);
+        assert_eq!(ored.len(), 211, "200 + 111 - 100 overlapping");
     }
 
     #[test]

@@ -39,5 +39,5 @@ mod runtime;
 pub use catalog::{Database, IndexId, IndexMeta, TableId, TableMeta};
 pub use cpu::CpuCosts;
 pub use expr::{AggExpr, AggFunc, BinOp, CmpOp, Expr};
-pub use plan::{JoinType, PhysicalPlan, SortKey};
+pub use plan::{IndexArm, JoinType, PhysicalPlan, SortKey};
 pub use runtime::{run_plan, EngineError, ExecContext, QueryOutput};

@@ -57,6 +57,18 @@ impl SortKey {
     }
 }
 
+/// One index range probed by a multi-index scan ([`PhysicalPlan::IndexAnd`]
+/// / [`PhysicalPlan::IndexOr`]): an index plus a key range over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexArm {
+    /// The index probed by this arm.
+    pub index: IndexId,
+    /// Lower key bound.
+    pub lo: Bound<Datum>,
+    /// Upper key bound.
+    pub hi: Bound<Datum>,
+}
+
 /// A physical query plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -78,6 +90,26 @@ pub enum PhysicalPlan {
         lo: Bound<Datum>,
         /// Upper key bound.
         hi: Bound<Datum>,
+        /// Residual predicate applied to fetched tuples.
+        filter: Option<Expr>,
+    },
+    /// Index intersection: probe every arm, intersect the TID sets, fetch
+    /// the surviving heap tuples once, apply the residual filter.
+    IndexAnd {
+        /// Scanned table.
+        table: TableId,
+        /// Index ranges intersected (two or more).
+        arms: Vec<IndexArm>,
+        /// Residual predicate applied to fetched tuples.
+        filter: Option<Expr>,
+    },
+    /// Index union: probe every arm, union (dedup) the TID sets, fetch each
+    /// surviving heap tuple once, apply the residual filter.
+    IndexOr {
+        /// Scanned table.
+        table: TableId,
+        /// Index ranges unioned (two or more).
+        arms: Vec<IndexArm>,
         /// Residual predicate applied to fetched tuples.
         filter: Option<Expr>,
     },
@@ -189,9 +221,10 @@ impl PhysicalPlan {
     /// The output schema, resolved against a database catalog.
     pub fn output_schema(&self, db: &crate::Database) -> Schema {
         match self {
-            PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
-                db.table(*table).schema.clone()
-            }
+            PhysicalPlan::SeqScan { table, .. }
+            | PhysicalPlan::IndexScan { table, .. }
+            | PhysicalPlan::IndexAnd { table, .. }
+            | PhysicalPlan::IndexOr { table, .. } => db.table(*table).schema.clone(),
             PhysicalPlan::Filter { input, .. } | PhysicalPlan::Limit { input, .. } => {
                 input.output_schema(db)
             }
@@ -245,6 +278,8 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::SeqScan { .. } => "SeqScan",
             PhysicalPlan::IndexScan { .. } => "IndexScan",
+            PhysicalPlan::IndexAnd { .. } => "IndexAnd",
+            PhysicalPlan::IndexOr { .. } => "IndexOr",
             PhysicalPlan::Filter { .. } => "Filter",
             PhysicalPlan::Project { .. } => "Project",
             PhysicalPlan::Sort { .. } => "Sort",
@@ -260,7 +295,10 @@ impl PhysicalPlan {
     /// Child plans, for tree walks.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => vec![],
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexScan { .. }
+            | PhysicalPlan::IndexAnd { .. }
+            | PhysicalPlan::IndexOr { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }

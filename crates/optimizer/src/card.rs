@@ -23,6 +23,55 @@ fn clamp01(x: f64) -> f64 {
     x.clamp(0.0, 1.0)
 }
 
+/// The literal prefix of a `LIKE` pattern, if any: the characters before
+/// the first wildcard (`%` or `_`). Returns `(prefix, exact)` where
+/// `exact` means the pattern is precisely `prefix%` — i.e. the prefix
+/// match alone decides the predicate, with no residual matching beyond it.
+pub fn like_prefix(pattern: &str) -> Option<(String, bool)> {
+    let mut prefix = String::new();
+    let mut rest = pattern.chars();
+    for c in rest.by_ref() {
+        if c == '%' || c == '_' {
+            let exact = c == '%' && rest.clone().next().is_none();
+            if prefix.is_empty() {
+                return None;
+            }
+            return Some((prefix, exact));
+        }
+        prefix.push(c);
+    }
+    // No wildcard at all: LIKE degenerates to equality on the prefix.
+    Some((prefix, false))
+}
+
+/// The smallest string strictly greater than every string starting with
+/// `prefix` (increment the last character, dropping characters with no
+/// valid successor). `None` when no such string exists.
+pub fn string_prefix_successor(prefix: &str) -> Option<String> {
+    let mut chars: Vec<char> = prefix.chars().collect();
+    while let Some(c) = chars.pop() {
+        if let Some(next) = char::from_u32(c as u32 + 1) {
+            chars.push(next);
+            return Some(chars.into_iter().collect());
+        }
+    }
+    None
+}
+
+/// Histogram-backed selectivity of a string column falling in
+/// `[prefix, successor(prefix))` — the key range a `LIKE 'prefix%'`
+/// predicate selects.
+pub fn prefix_range_selectivity(stats: &TableStats, col: usize, prefix: &str) -> Option<f64> {
+    let cs = stats.columns.get(col)?;
+    let h = cs.histogram.as_ref()?;
+    let below_lo = h.fraction_below(&Datum::str(prefix));
+    let below_hi = match string_prefix_successor(prefix) {
+        Some(succ) => h.fraction_below(&Datum::str(succ)),
+        None => 1.0,
+    };
+    Some(clamp01((below_hi - below_lo) * (1.0 - cs.null_frac)))
+}
+
 /// Extracts `(column, op, literal)` from a comparison, normalizing
 /// `literal op column` to `column op' literal`.
 fn as_col_cmp(expr: &Expr) -> Option<(usize, CmpOp, &Datum)> {
@@ -167,11 +216,33 @@ pub fn filter_selectivity(expr: &Expr, stats: &TableStats) -> f64 {
             Some((col, op, lit)) => col_cmp_selectivity(stats, col, op, lit),
             None => DEFAULT_RANGE_SEL,
         },
-        Expr::Like { negated, .. } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let sel = match (expr.as_ref(), like_prefix(pattern)) {
+                (Expr::Column(c), Some((prefix, exact))) => {
+                    match prefix_range_selectivity(stats, *c, &prefix) {
+                        // A residual beyond the prefix (more wildcards or
+                        // a missing `%`) filters further; halve, like
+                        // PostgreSQL's heuristic rest-selectivity.
+                        Some(range) => {
+                            if exact {
+                                range
+                            } else {
+                                clamp01(range * 0.5)
+                            }
+                        }
+                        None => DEFAULT_MATCH_SEL,
+                    }
+                }
+                _ => DEFAULT_MATCH_SEL,
+            };
             if *negated {
-                1.0 - DEFAULT_MATCH_SEL
+                clamp01(1.0 - sel)
             } else {
-                DEFAULT_MATCH_SEL
+                sel
             }
         }
         Expr::InList { expr, list } => {
@@ -310,6 +381,29 @@ mod tests {
         let neg = filter_selectivity(&Expr::not_like(Expr::col(1), "%x%"), &s);
         assert_eq!(pos, DEFAULT_MATCH_SEL);
         assert!((pos + neg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn like_prefix_extraction() {
+        assert_eq!(like_prefix("abc%"), Some(("abc".into(), true)));
+        assert_eq!(like_prefix("abc%def"), Some(("abc".into(), false)));
+        assert_eq!(like_prefix("abc_"), Some(("abc".into(), false)));
+        assert_eq!(like_prefix("abc"), Some(("abc".into(), false)));
+        assert_eq!(like_prefix("%abc"), None);
+        assert_eq!(like_prefix("_bc"), None);
+        assert_eq!(string_prefix_successor("abc"), Some("abd".into()));
+        assert_eq!(string_prefix_successor(""), None);
+    }
+
+    #[test]
+    fn like_prefix_uses_histogram() {
+        // Column 1 holds s0..s9 uniformly; "s3%" selects ~10%.
+        let s = uniform_stats(1000);
+        let sel = filter_selectivity(&Expr::like(Expr::col(1), "s3%"), &s);
+        assert!((sel - 0.1).abs() < 0.05, "prefix range estimate, got {sel}");
+        // Prefix covering everything.
+        let all = filter_selectivity(&Expr::like(Expr::col(1), "s%"), &s);
+        assert!(all > 0.8, "got {all}");
     }
 
     #[test]

@@ -98,6 +98,105 @@ pub fn index_scan_cost(
     index_io + index_cpu + heap_io + heap_cpu
 }
 
+/// Heap-fetch side shared by all index access paths: distinct pages fault
+/// once (Yao), repeats fault only when the table exceeds the effective
+/// cache, plus per-tuple CPU and residual-filter evaluation.
+fn heap_fetch_cost(
+    p: &OptimizerParams,
+    table_pages: f64,
+    table_rows: f64,
+    tuples_fetched: f64,
+    filter_ops: f64,
+) -> f64 {
+    let distinct = yao_pages(table_pages, table_rows, tuples_fetched);
+    let cached_frac = if table_pages > 0.0 {
+        (p.effective_cache_size_pages / table_pages).min(1.0)
+    } else {
+        1.0
+    };
+    let repeats = (tuples_fetched - distinct).max(0.0);
+    let heap_pages = distinct + repeats * (1.0 - cached_frac);
+    heap_pages * p.random_page_cost
+        + tuples_fetched * (p.cpu_tuple_cost + filter_ops * p.cpu_operator_cost)
+}
+
+/// Statistics describing one arm of a multi-index scan for costing:
+/// the probed index's geometry plus the arm condition's selectivity.
+#[derive(Debug, Clone, Copy)]
+pub struct ArmStats {
+    /// B+tree height of the probed index.
+    pub height: f64,
+    /// Total node pages of the probed index.
+    pub pages: f64,
+    /// Total entries in the probed index.
+    pub entries: f64,
+    /// Fraction of entries the arm's key range selects.
+    pub selectivity: f64,
+}
+
+/// Index side of one multi-index arm: descent + visited leaf fraction,
+/// per-entry index CPU, plus one comparison per entry for the TID merge.
+fn arm_cost(p: &OptimizerParams, a: &ArmStats) -> f64 {
+    let sel = a.selectivity.clamp(0.0, 1.0);
+    let index_pages = a.height + sel * a.pages;
+    index_pages * p.random_page_cost + sel * a.entries * (p.cpu_index_tuple_cost + p.cpu_operator_cost)
+}
+
+fn multi_index_cost(
+    p: &OptimizerParams,
+    arms: &[ArmStats],
+    combined_selectivity: f64,
+    table_pages: f64,
+    table_rows: f64,
+    filter_ops: f64,
+) -> f64 {
+    let index_side: f64 = arms.iter().map(|a| arm_cost(p, a)).sum();
+    let tuples = (table_rows * combined_selectivity.clamp(0.0, 1.0)).max(0.0);
+    index_side + heap_fetch_cost(p, table_pages, table_rows, tuples, filter_ops)
+}
+
+/// Index intersection (`IndexAnd`): every arm pays its index side, then
+/// only the intersection (`combined_selectivity`, typically the product of
+/// arm selectivities) is fetched from the heap.
+pub fn index_and_cost(
+    p: &OptimizerParams,
+    arms: &[ArmStats],
+    combined_selectivity: f64,
+    table_pages: f64,
+    table_rows: f64,
+    filter_ops: f64,
+) -> f64 {
+    multi_index_cost(
+        p,
+        arms,
+        combined_selectivity,
+        table_pages,
+        table_rows,
+        filter_ops,
+    )
+}
+
+/// Index union (`IndexOr`): every arm pays its index side, then the union
+/// (`combined_selectivity`, at most the sum of arm selectivities) is
+/// fetched from the heap.
+pub fn index_or_cost(
+    p: &OptimizerParams,
+    arms: &[ArmStats],
+    combined_selectivity: f64,
+    table_pages: f64,
+    table_rows: f64,
+    filter_ops: f64,
+) -> f64 {
+    multi_index_cost(
+        p,
+        arms,
+        combined_selectivity,
+        table_pages,
+        table_rows,
+        filter_ops,
+    )
+}
+
 /// Sort: `2 * cpu_operator_cost` per comparison over `n log2 n`
 /// comparisons, plus one spill write+read pass when the input exceeds
 /// `work_mem`.

@@ -42,5 +42,5 @@ pub mod whatif;
 pub use error::OptError;
 pub use logical::{JoinCondition, LogicalPlan};
 pub use params::OptimizerParams;
-pub use planner::{plan_query, PlannedQuery};
+pub use planner::{plan_query, plan_query_with_indexes, HypoIndex, PlannedQuery};
 pub use whatif::{estimate_query_seconds, estimate_workload_seconds};

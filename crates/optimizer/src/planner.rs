@@ -19,10 +19,25 @@
 //! chosen plan, exactly as in the paper.
 
 use crate::{card, cost, LogicalPlan, OptError, OptimizerParams};
-use dbvirt_engine::{CmpOp, Database, Expr, JoinType, PhysicalPlan, SortKey, TableId};
-use dbvirt_storage::{Datum, TableStats, PAGE_SIZE};
+use dbvirt_engine::{
+    CmpOp, Database, Expr, IndexArm, IndexId, JoinType, PhysicalPlan, SortKey, TableId,
+};
+use dbvirt_storage::{keyenc, BPlusTree, DataType, Datum, TableStats, PAGE_SIZE};
 use std::collections::HashMap;
 use std::ops::Bound;
+
+/// A hypothetical ("what-if") index over `columns` of `table`, priced by
+/// the planner exactly as a real index would be — its B+tree geometry is
+/// computed from the table's row count via [`BPlusTree::bulk_geometry`]
+/// without building anything. Plans that pick a hypothetical access path
+/// are estimate-only (see [`PlannedQuery::uses_hypothetical`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HypoIndex {
+    /// The indexed table.
+    pub table: TableId,
+    /// Key columns, major first.
+    pub columns: Vec<usize>,
+}
 
 /// A fully planned query: the physical plan plus its estimates.
 #[derive(Debug, Clone)]
@@ -33,6 +48,10 @@ pub struct PlannedQuery {
     pub est_rows: f64,
     /// Estimated total cost, in optimizer units.
     pub est_cost_units: f64,
+    /// True when the plan references a hypothetical index (what-if
+    /// planning via [`plan_query_with_indexes`]); such plans cost-estimate
+    /// but must not be executed.
+    pub uses_hypothetical: bool,
 }
 
 impl PlannedQuery {
@@ -108,6 +127,64 @@ fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
     }
 }
 
+/// Planning context threaded through the recursive planner: the catalog,
+/// the environment-parameter vector, and any hypothetical indexes to price
+/// alongside the real ones.
+struct PlanCtx<'a> {
+    db: &'a Database,
+    params: &'a OptimizerParams,
+    hypo: &'a [HypoIndex],
+}
+
+/// One access-path candidate's index description: a real catalog index or
+/// a hypothetical one (id numbered past the catalog), with its (actual or
+/// computed) B+tree geometry.
+struct IndexInfo {
+    id: IndexId,
+    columns: Vec<usize>,
+    height: f64,
+    pages: f64,
+    entries: f64,
+}
+
+impl PlanCtx<'_> {
+    /// Real indexes on `table` (catalog order) followed by hypothetical
+    /// ones (declaration order, ids continuing past the catalog).
+    fn index_menu(&self, table: TableId, stats: &TableStats) -> Vec<IndexInfo> {
+        let meta = self.db.table(table);
+        let mut menu: Vec<IndexInfo> = meta
+            .indexes
+            .iter()
+            .map(|&id| {
+                let m = self.db.index(id);
+                let t = self.db.index_tree(id);
+                IndexInfo {
+                    id,
+                    columns: m.columns.clone(),
+                    height: t.height() as f64,
+                    pages: t.num_pages() as f64,
+                    entries: t.len() as f64,
+                }
+            })
+            .collect();
+        let base = self.db.num_indexes();
+        for (i, h) in self.hypo.iter().enumerate() {
+            if h.table != table {
+                continue;
+            }
+            let (height, pages) = BPlusTree::bulk_geometry(stats.n_rows as usize);
+            menu.push(IndexInfo {
+                id: IndexId(base + i),
+                columns: h.columns.clone(),
+                height: height as f64,
+                pages: pages as f64,
+                entries: stats.n_rows as f64,
+            });
+        }
+        menu
+    }
+}
+
 /// A sargable bound extracted from one conjunct: `column op literal`.
 struct Sarg {
     column: usize,
@@ -144,14 +221,231 @@ fn as_sarg(expr: &Expr) -> Option<Sarg> {
     }
 }
 
-/// Plans a base-table scan: sequential scan vs. every usable index.
+/// Splits a disjunction into its top-level disjuncts.
+fn split_disjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Or(l, r) => {
+            split_disjuncts(l, out);
+            split_disjuncts(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Coerces a literal to a column's type for index-key comparison; `None`
+/// when no order-preserving coercion exists (the predicate then stays a
+/// residual filter).
+fn coerce_literal(lit: &Datum, ty: DataType) -> Option<Datum> {
+    match (lit, ty) {
+        (Datum::Int(i), DataType::Float) => Some(Datum::Float(*i as f64)),
+        _ if lit.data_type() == Some(ty) => Some(lit.clone()),
+        _ => None,
+    }
+}
+
+/// Max per-arm selectivity for an index to participate in a multi-index
+/// AND/OR (the fanout gate: wide arms make intersection/union pointless).
+const MULTI_INDEX_ARM_MAX_SEL: f64 = 0.25;
+/// Max arms of a multi-index AND (each arm pays a full index probe).
+const MULTI_INDEX_MAX_ARMS: usize = 4;
+
+/// Key bounds and bookkeeping extracted for one single-column index from
+/// a conjunct list.
+struct ColBounds {
+    lo: Bound<Datum>,
+    hi: Bound<Datum>,
+    /// Remaining conjuncts (applied as the residual filter).
+    residual: Vec<Expr>,
+    /// Estimated fraction of the index's entries the bounds select.
+    selectivity: f64,
+}
+
+/// Extracts single-column key bounds on `column` from `conjuncts`:
+/// comparison sargs plus `LIKE 'prefix%'` ranges on string columns.
+fn single_col_bounds(
+    conjuncts: &[Expr],
+    column: usize,
+    col_type: DataType,
+    stats: &TableStats,
+) -> Option<ColBounds> {
+    let mut lo: Bound<Datum> = Bound::Unbounded;
+    let mut hi: Bound<Datum> = Bound::Unbounded;
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut bound_terms: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        if let Some(s) = as_sarg(c).filter(|s| s.column == column) {
+            match s.op {
+                CmpOp::Eq => {
+                    lo = Bound::Included(s.literal.clone());
+                    hi = Bound::Included(s.literal);
+                    bound_terms.push(c.clone());
+                }
+                CmpOp::Lt => {
+                    hi = Bound::Excluded(s.literal);
+                    bound_terms.push(c.clone());
+                }
+                CmpOp::Le => {
+                    hi = Bound::Included(s.literal);
+                    bound_terms.push(c.clone());
+                }
+                CmpOp::Gt => {
+                    lo = Bound::Excluded(s.literal);
+                    bound_terms.push(c.clone());
+                }
+                CmpOp::Ge => {
+                    lo = Bound::Included(s.literal);
+                    bound_terms.push(c.clone());
+                }
+                CmpOp::Ne => residual.push(c.clone()),
+            }
+            continue;
+        }
+        // LIKE 'prefix%' on a string column: the prefix is a key range.
+        if let Expr::Like {
+            expr,
+            pattern,
+            negated: false,
+        } = c
+        {
+            if matches!(expr.as_ref(), Expr::Column(lc) if *lc == column)
+                && col_type == DataType::Str
+            {
+                if let Some((prefix, exact)) = card::like_prefix(pattern) {
+                    lo = Bound::Included(Datum::str(prefix.clone()));
+                    hi = match card::string_prefix_successor(&prefix) {
+                        Some(succ) => {
+                            bound_terms.push(Expr::lt(Expr::col(column), Expr::str(succ.clone())));
+                            Bound::Excluded(Datum::str(succ))
+                        }
+                        None => Bound::Unbounded,
+                    };
+                    bound_terms.push(Expr::ge(Expr::col(column), Expr::str(prefix)));
+                    if !exact {
+                        // The range over-covers; re-check the pattern.
+                        residual.push(c.clone());
+                    }
+                    continue;
+                }
+            }
+        }
+        residual.push(c.clone());
+    }
+    if bound_terms.is_empty() {
+        return None;
+    }
+    let selectivity = card::filter_selectivity(&Expr::and_all(bound_terms), stats);
+    Some(ColBounds {
+        lo,
+        hi,
+        residual,
+        selectivity,
+    })
+}
+
+/// Encoded key bounds for a composite index given an equality prefix and
+/// an optional range on the following key column (see `storage::keyenc`
+/// for why the sentinel arithmetic is sound).
+fn composite_bounds(
+    prefix: &[Datum],
+    range: Option<&(Bound<Datum>, Bound<Datum>)>,
+) -> (Bound<Datum>, Bound<Datum>) {
+    let ext = |v: &Datum| {
+        let mut p = prefix.to_vec();
+        p.push(v.clone());
+        p
+    };
+    match range {
+        None => (
+            Bound::Included(keyenc::encode_key(prefix)),
+            Bound::Excluded(keyenc::encode_prefix_upper(prefix)),
+        ),
+        Some((lo, hi)) => {
+            let lo_enc = match lo {
+                Bound::Included(v) => Bound::Included(keyenc::encode_key(&ext(v))),
+                Bound::Excluded(v) => Bound::Included(keyenc::encode_prefix_upper(&ext(v))),
+                Bound::Unbounded if prefix.is_empty() => Bound::Unbounded,
+                Bound::Unbounded => Bound::Included(keyenc::encode_key(prefix)),
+            };
+            let hi_enc = match hi {
+                Bound::Included(v) => Bound::Excluded(keyenc::encode_prefix_upper(&ext(v))),
+                Bound::Excluded(v) => Bound::Excluded(keyenc::encode_key(&ext(v))),
+                Bound::Unbounded if prefix.is_empty() => Bound::Unbounded,
+                Bound::Unbounded => Bound::Excluded(keyenc::encode_prefix_upper(prefix)),
+            };
+            (lo_enc, hi_enc)
+        }
+    }
+}
+
+/// Encoded key bounds + matched terms for a composite index: an equality
+/// prefix over the leading key columns, optionally extended by a range on
+/// the next one. `None` when the filter doesn't constrain the leading
+/// column.
+fn composite_col_bounds(
+    conjuncts: &[Expr],
+    info: &IndexInfo,
+    schema: &dbvirt_storage::Schema,
+    stats: &TableStats,
+) -> Option<(Bound<Datum>, Bound<Datum>, f64)> {
+    let mut prefix: Vec<Datum> = Vec::new();
+    let mut matched: Vec<Expr> = Vec::new();
+    let mut range: Option<(Bound<Datum>, Bound<Datum>)> = None;
+    for &col in &info.columns {
+        let ty = schema.field(col).data_type;
+        // An equality pins the column and extends the prefix.
+        let eq = conjuncts.iter().find_map(|c| {
+            as_sarg(c)
+                .filter(|s| s.column == col && s.op == CmpOp::Eq)
+                .and_then(|s| coerce_literal(&s.literal, ty).map(|lit| (lit, c.clone())))
+        });
+        if let Some((lit, term)) = eq {
+            prefix.push(lit);
+            matched.push(term);
+            continue;
+        }
+        // Otherwise a range on this column ends the prefix.
+        let mut lo: Bound<Datum> = Bound::Unbounded;
+        let mut hi: Bound<Datum> = Bound::Unbounded;
+        for c in conjuncts {
+            let Some(s) = as_sarg(c).filter(|s| s.column == col) else {
+                continue;
+            };
+            let Some(lit) = coerce_literal(&s.literal, ty) else {
+                continue;
+            };
+            match s.op {
+                CmpOp::Lt => hi = Bound::Excluded(lit),
+                CmpOp::Le => hi = Bound::Included(lit),
+                CmpOp::Gt => lo = Bound::Excluded(lit),
+                CmpOp::Ge => lo = Bound::Included(lit),
+                CmpOp::Eq | CmpOp::Ne => continue,
+            }
+            matched.push(c.clone());
+        }
+        if !matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
+            range = Some((lo, hi));
+        }
+        break;
+    }
+    if matched.is_empty() {
+        return None;
+    }
+    let selectivity = card::filter_selectivity(&Expr::and_all(matched), stats);
+    let (lo, hi) = composite_bounds(&prefix, range.as_ref());
+    Some((lo, hi, selectivity))
+}
+
+/// Plans a base-table scan: sequential scan vs. every usable index access
+/// path — single-column and composite-prefix index scans, plus fanout-gated
+/// multi-index intersections (`IndexAnd`) and unions (`IndexOr`).
 fn plan_scan(
-    db: &Database,
-    params: &OptimizerParams,
+    cx: &PlanCtx<'_>,
     table: TableId,
     filter: &Option<Expr>,
     working_set_pages: f64,
 ) -> Result<Planned, OptError> {
+    let db = cx.db;
+    let params = cx.params;
     let stats = table_stats(db, table)?;
     let meta = db.table(table);
     let pages = stats.n_pages as f64;
@@ -189,76 +483,213 @@ fn plan_scan(
     let mut conjuncts = Vec::new();
     split_conjuncts(filter, &mut conjuncts);
 
-    for &index_id in &meta.indexes {
-        let index_col = db.index(index_id).column;
-        let mut lo: Bound<Datum> = Bound::Unbounded;
-        let mut hi: Bound<Datum> = Bound::Unbounded;
-        let mut residual: Vec<Expr> = Vec::new();
-        let mut bound_terms: Vec<Expr> = Vec::new();
-        for c in &conjuncts {
-            let usable = as_sarg(c).filter(|s| s.column == index_col);
-            match usable {
-                Some(s) => match s.op {
-                    CmpOp::Eq => {
-                        lo = Bound::Included(s.literal.clone());
-                        hi = Bound::Included(s.literal);
-                        bound_terms.push(c.clone());
-                    }
-                    CmpOp::Lt => {
-                        hi = Bound::Excluded(s.literal);
-                        bound_terms.push(c.clone());
-                    }
-                    CmpOp::Le => {
-                        hi = Bound::Included(s.literal);
-                        bound_terms.push(c.clone());
-                    }
-                    CmpOp::Gt => {
-                        lo = Bound::Excluded(s.literal);
-                        bound_terms.push(c.clone());
-                    }
-                    CmpOp::Ge => {
-                        lo = Bound::Included(s.literal);
-                        bound_terms.push(c.clone());
-                    }
-                    CmpOp::Ne => residual.push(c.clone()),
+    let menu = cx.index_menu(table, stats);
+    // Single-column bounds per menu entry, reused as multi-index arms.
+    let mut arm_pool: Vec<(usize, ColBounds)> = Vec::new();
+
+    for (pos, info) in menu.iter().enumerate() {
+        let candidate = if info.columns.len() == 1 {
+            let col = info.columns[0];
+            let col_type = meta.schema.field(col).data_type;
+            let Some(cb) = single_col_bounds(&conjuncts, col, col_type, stats) else {
+                continue;
+            };
+            let residual_ops: f64 = cb.residual.iter().map(|e| e.num_operators() as f64).sum();
+            let index_cost = cost::index_scan_cost(
+                params,
+                info.height,
+                info.pages,
+                info.entries,
+                cb.selectivity,
+                pages,
+                rows,
+                residual_ops,
+            );
+            let phys = PhysicalPlan::IndexScan {
+                table,
+                index: info.id,
+                lo: cb.lo.clone(),
+                hi: cb.hi.clone(),
+                filter: if cb.residual.is_empty() {
+                    None
+                } else {
+                    Some(Expr::and_all(cb.residual.clone()))
                 },
-                None => residual.push(c.clone()),
-            }
-        }
-        if bound_terms.is_empty() {
-            continue;
-        }
-        let index_sel = card::filter_selectivity(&Expr::and_all(bound_terms), stats);
-        let residual_ops: f64 = residual.iter().map(|e| e.num_operators() as f64).sum();
-        let tree = db.index_tree(index_id);
-        let index_cost = cost::index_scan_cost(
-            params,
-            tree.height() as f64,
-            tree.num_pages() as f64,
-            tree.len() as f64,
-            index_sel,
-            pages,
-            rows,
-            residual_ops,
-        );
-        if index_cost < best.cost {
+            };
+            arm_pool.push((pos, cb));
+            (phys, index_cost)
+        } else {
+            // Composite index: encoded prefix (+ range) bounds. The full
+            // original filter stays as the residual — the encoded range is
+            // a superset of the qualifying rows, never a subset.
+            let Some((lo, hi, index_sel)) =
+                composite_col_bounds(&conjuncts, info, &meta.schema, stats)
+            else {
+                continue;
+            };
+            let index_cost = cost::index_scan_cost(
+                params,
+                info.height,
+                info.pages,
+                info.entries,
+                index_sel,
+                pages,
+                rows,
+                filter_ops,
+            );
+            let phys = PhysicalPlan::IndexScan {
+                table,
+                index: info.id,
+                lo,
+                hi,
+                filter: Some(filter.clone()),
+            };
+            (phys, index_cost)
+        };
+        if candidate.1 < best.cost {
             best = Planned {
-                phys: PhysicalPlan::IndexScan {
-                    table,
-                    index: index_id,
-                    lo,
-                    hi,
-                    filter: if residual.is_empty() {
-                        None
-                    } else {
-                        Some(Expr::and_all(residual.clone()))
-                    },
-                },
+                phys: candidate.0,
                 rows: out_rows,
-                cost: index_cost,
+                cost: candidate.1,
                 width,
                 origins: origins.clone(),
             };
+        }
+    }
+
+    // Candidate: multi-index intersection over selective single-column
+    // arms (fanout-gated; every arm pays its own index probe, so the cost
+    // comparison rejects useless extra arms via the seq/single baselines).
+    let mut and_arms: Vec<&(usize, ColBounds)> = arm_pool
+        .iter()
+        .filter(|(_, cb)| cb.selectivity <= MULTI_INDEX_ARM_MAX_SEL)
+        .collect();
+    and_arms.sort_by(|a, b| {
+        a.1.selectivity
+            .total_cmp(&b.1.selectivity)
+            .then(a.0.cmp(&b.0))
+    });
+    and_arms.truncate(MULTI_INDEX_MAX_ARMS);
+    // Distinct columns only: two arms on one column add probes, not power.
+    {
+        let mut seen_cols: Vec<usize> = Vec::new();
+        and_arms.retain(|(pos, _)| {
+            let col = menu[*pos].columns[0];
+            if seen_cols.contains(&col) {
+                false
+            } else {
+                seen_cols.push(col);
+                true
+            }
+        });
+    }
+    if and_arms.len() >= 2 {
+        let arm_stats: Vec<cost::ArmStats> = and_arms
+            .iter()
+            .map(|(pos, cb)| cost::ArmStats {
+                height: menu[*pos].height,
+                pages: menu[*pos].pages,
+                entries: menu[*pos].entries,
+                selectivity: cb.selectivity,
+            })
+            .collect();
+        let combined: f64 = and_arms
+            .iter()
+            .map(|(_, cb)| cb.selectivity)
+            .product::<f64>()
+            .clamp(0.0, 1.0);
+        let and_cost = cost::index_and_cost(params, &arm_stats, combined, pages, rows, filter_ops);
+        if and_cost < best.cost {
+            best = Planned {
+                phys: PhysicalPlan::IndexAnd {
+                    table,
+                    arms: and_arms
+                        .iter()
+                        .map(|(pos, cb)| IndexArm {
+                            index: menu[*pos].id,
+                            lo: cb.lo.clone(),
+                            hi: cb.hi.clone(),
+                        })
+                        .collect(),
+                    filter: Some(filter.clone()),
+                },
+                rows: out_rows,
+                cost: and_cost,
+                width,
+                origins: origins.clone(),
+            };
+        }
+    }
+
+    // Candidate: multi-index union when the whole filter is a disjunction
+    // and every disjunct is sargable on some single-column index.
+    if conjuncts.len() == 1 && matches!(conjuncts[0], Expr::Or(..)) {
+        let mut disjuncts = Vec::new();
+        split_disjuncts(&conjuncts[0], &mut disjuncts);
+        let mut or_arms: Vec<(IndexArm, cost::ArmStats)> = Vec::new();
+        let mut covered = true;
+        for d in &disjuncts {
+            let mut d_terms = Vec::new();
+            split_conjuncts(d, &mut d_terms);
+            // Cheapest sargable arm for this disjunct, menu order on ties.
+            let mut arm: Option<(f64, usize, ColBounds)> = None;
+            for (pos, info) in menu.iter().enumerate() {
+                if info.columns.len() != 1 {
+                    continue;
+                }
+                let col = info.columns[0];
+                let col_type = meta.schema.field(col).data_type;
+                let Some(cb) = single_col_bounds(&d_terms, col, col_type, stats) else {
+                    continue;
+                };
+                if cb.selectivity > MULTI_INDEX_ARM_MAX_SEL {
+                    continue;
+                }
+                if arm.as_ref().is_none_or(|(s, _, _)| cb.selectivity < *s) {
+                    arm = Some((cb.selectivity, pos, cb));
+                }
+            }
+            match arm {
+                Some((_, pos, cb)) => or_arms.push((
+                    IndexArm {
+                        index: menu[pos].id,
+                        lo: cb.lo,
+                        hi: cb.hi,
+                    },
+                    cost::ArmStats {
+                        height: menu[pos].height,
+                        pages: menu[pos].pages,
+                        entries: menu[pos].entries,
+                        selectivity: cb.selectivity,
+                    },
+                )),
+                None => {
+                    covered = false;
+                    break;
+                }
+            }
+        }
+        if covered && or_arms.len() >= 2 {
+            let combined: f64 = or_arms
+                .iter()
+                .map(|(_, s)| s.selectivity)
+                .sum::<f64>()
+                .clamp(0.0, 1.0);
+            let arm_stats: Vec<cost::ArmStats> = or_arms.iter().map(|(_, s)| *s).collect();
+            let or_cost = cost::index_or_cost(params, &arm_stats, combined, pages, rows, filter_ops);
+            if or_cost < best.cost {
+                best = Planned {
+                    phys: PhysicalPlan::IndexOr {
+                        table,
+                        arms: or_arms.into_iter().map(|(a, _)| a).collect(),
+                        filter: Some(filter.clone()),
+                    },
+                    rows: out_rows,
+                    cost: or_cost,
+                    width,
+                    origins: origins.clone(),
+                };
+            }
         }
     }
     Ok(best)
@@ -279,10 +710,8 @@ struct FlatEdge {
 
 /// Flattens a tree of inner equi-joins into base relations plus edges.
 /// Non-inner joins and non-join nodes become opaque leaves.
-#[allow(clippy::too_many_arguments)]
 fn flatten_inner_joins(
-    db: &Database,
-    params: &OptimizerParams,
+    cx: &PlanCtx<'_>,
     plan: &LogicalPlan,
     relations: &mut Vec<FlatRelation>,
     edges: &mut Vec<FlatEdge>,
@@ -296,18 +725,10 @@ fn flatten_inner_joins(
             on,
             join_type: JoinType::Inner,
         } => {
-            let left_width = flatten_inner_joins(
-                db,
-                params,
-                left,
-                relations,
-                edges,
-                offset,
-                working_set_pages,
-            )?;
+            let left_width =
+                flatten_inner_joins(cx, left, relations, edges, offset, working_set_pages)?;
             let right_width = flatten_inner_joins(
-                db,
-                params,
+                cx,
                 right,
                 relations,
                 edges,
@@ -323,7 +744,7 @@ fn flatten_inner_joins(
             Ok(left_width + right_width)
         }
         other => {
-            let planned = plan_node(db, params, other, working_set_pages)?;
+            let planned = plan_node(cx, other, working_set_pages)?;
             let width = planned.arity();
             relations.push(FlatRelation {
                 planned,
@@ -343,12 +764,12 @@ struct DpEntry {
 }
 
 fn hash_join_entry(
-    db: &Database,
-    params: &OptimizerParams,
+    cx: &PlanCtx<'_>,
     probe: &DpEntry,
     build: &DpEntry,
     conditions: &[(usize, usize)], // positions (probe_pos, build_pos)
 ) -> DpEntry {
+    let (db, params) = (cx.db, cx.params);
     let mut sel = 1.0;
     let (mut lkeys, mut rkeys) = (Vec::new(), Vec::new());
     for &(lp, rp) in conditions {
@@ -414,12 +835,7 @@ fn connecting_conditions(a: &DpEntry, b: &DpEntry, edges: &[FlatEdge]) -> Vec<(u
 
 /// Selinger DP over relation subsets; falls back to greedy cross joins for
 /// disconnected graphs. Returns the best full-set entry.
-fn dp_join_order(
-    db: &Database,
-    params: &OptimizerParams,
-    relations: Vec<FlatRelation>,
-    edges: &[FlatEdge],
-) -> DpEntry {
+fn dp_join_order(cx: &PlanCtx<'_>, relations: Vec<FlatRelation>, edges: &[FlatEdge]) -> DpEntry {
     let n = relations.len();
     let base: Vec<DpEntry> = relations
         .into_iter()
@@ -439,7 +855,7 @@ fn dp_join_order(
     // For large N, cap DP with a greedy fallback (never hit by the TPC-H
     // subset, whose widest query joins 6 relations).
     if n > 12 {
-        return greedy_join(db, params, base, edges);
+        return greedy_join(cx, base, edges);
     }
 
     let full: u32 = (1u32 << n) - 1;
@@ -466,7 +882,7 @@ fn dp_join_order(
                     } else {
                         (b, a, conds.iter().map(|&(x, y)| (y, x)).collect())
                     };
-                    let candidate = hash_join_entry(db, params, probe, build, &conds);
+                    let candidate = hash_join_entry(cx, probe, build, &conds);
                     let better = best
                         .as_ref()
                         .is_none_or(|cur| candidate.planned.cost < cur.planned.cost);
@@ -487,19 +903,14 @@ fn dp_join_order(
         // Disconnected join graph: stitch components with cross joins.
         None => {
             let components: Vec<DpEntry> = base;
-            greedy_join(db, params, components, edges)
+            greedy_join(cx, components, edges)
         }
     }
 }
 
 /// Greedy fallback: repeatedly join the pair with the cheapest result,
 /// using a cross nested-loop join when no equi-edge connects a pair.
-fn greedy_join(
-    db: &Database,
-    params: &OptimizerParams,
-    mut entries: Vec<DpEntry>,
-    edges: &[FlatEdge],
-) -> DpEntry {
+fn greedy_join(cx: &PlanCtx<'_>, mut entries: Vec<DpEntry>, edges: &[FlatEdge]) -> DpEntry {
     while entries.len() > 1 {
         let mut best: Option<(usize, usize, DpEntry)> = None;
         for i in 0..entries.len() {
@@ -509,9 +920,9 @@ fn greedy_join(
                 }
                 let conds = connecting_conditions(&entries[i], &entries[j], edges);
                 let candidate = if conds.is_empty() {
-                    cross_join_entry(params, &entries[i], &entries[j])
+                    cross_join_entry(cx.params, &entries[i], &entries[j])
                 } else {
-                    hash_join_entry(db, params, &entries[i], &entries[j], &conds)
+                    hash_join_entry(cx, &entries[i], &entries[j], &conds)
                 };
                 let better = best.as_ref().is_none_or(|(_, _, cur)| {
                     candidate.planned.cost < cur.planned.cost
@@ -556,23 +967,15 @@ fn cross_join_entry(params: &OptimizerParams, a: &DpEntry, b: &DpEntry) -> DpEnt
 
 /// Plans an inner-join tree: flatten, DP-order, restore column order.
 fn plan_inner_join_tree(
-    db: &Database,
-    params: &OptimizerParams,
+    cx: &PlanCtx<'_>,
     plan: &LogicalPlan,
     working_set_pages: f64,
 ) -> Result<Planned, OptError> {
     let mut relations = Vec::new();
     let mut edges = Vec::new();
-    let total_width = flatten_inner_joins(
-        db,
-        params,
-        plan,
-        &mut relations,
-        &mut edges,
-        0,
-        working_set_pages,
-    )?;
-    let entry = dp_join_order(db, params, relations, &edges);
+    let total_width =
+        flatten_inner_joins(cx, plan, &mut relations, &mut edges, 0, working_set_pages)?;
+    let entry = dp_join_order(cx, relations, &edges);
 
     // The DP may have permuted columns; restore the logical (left-to-right)
     // order with a projection if needed.
@@ -597,7 +1000,7 @@ fn plan_inner_join_tree(
             exprs,
         },
         rows: entry.planned.rows,
-        cost: entry.planned.cost + cost::project_cost(params, entry.planned.rows, 0.0),
+        cost: entry.planned.cost + cost::project_cost(cx.params, entry.planned.rows, 0.0),
         width: entry.planned.width,
         origins,
     })
@@ -605,19 +1008,17 @@ fn plan_inner_join_tree(
 
 /// Recursive planning entry point.
 fn plan_node(
-    db: &Database,
-    params: &OptimizerParams,
+    cx: &PlanCtx<'_>,
     plan: &LogicalPlan,
     working_set_pages: f64,
 ) -> Result<Planned, OptError> {
+    let (db, params) = (cx.db, cx.params);
     match plan {
-        LogicalPlan::Scan { table, filter } => {
-            plan_scan(db, params, *table, filter, working_set_pages)
-        }
+        LogicalPlan::Scan { table, filter } => plan_scan(cx, *table, filter, working_set_pages),
         LogicalPlan::Join {
             join_type: JoinType::Inner,
             ..
-        } => plan_inner_join_tree(db, params, plan, working_set_pages),
+        } => plan_inner_join_tree(cx, plan, working_set_pages),
         LogicalPlan::Join {
             left,
             right,
@@ -629,8 +1030,8 @@ fn plan_node(
                     reason: "join without conditions".to_string(),
                 });
             }
-            let l = plan_node(db, params, left, working_set_pages)?;
-            let r = plan_node(db, params, right, working_set_pages)?;
+            let l = plan_node(cx, left, working_set_pages)?;
+            let r = plan_node(cx, right, working_set_pages)?;
             let mut sel_parts = Vec::new();
             for c in on {
                 sel_parts.push((ndv_of(db, &l, c.left_col), ndv_of(db, &r, c.right_col)));
@@ -683,7 +1084,7 @@ fn plan_node(
             group_by,
             aggs,
         } => {
-            let child = plan_node(db, params, input, working_set_pages)?;
+            let child = plan_node(cx, input, working_set_pages)?;
             let ndvs: Vec<f64> = group_by.iter().map(|&c| ndv_of(db, &child, c)).collect();
             let groups = card::num_groups(child.rows, &ndvs);
             let arg_ops: f64 = aggs
@@ -741,7 +1142,7 @@ fn plan_node(
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = plan_node(db, params, input, working_set_pages)?;
+            let child = plan_node(cx, input, working_set_pages)?;
             let sel = card::filter_selectivity(predicate, &empty_stats());
             let ops = predicate.num_operators() as f64;
             Ok(Planned {
@@ -756,7 +1157,7 @@ fn plan_node(
             })
         }
         LogicalPlan::Project { input, exprs } => {
-            let child = plan_node(db, params, input, working_set_pages)?;
+            let child = plan_node(cx, input, working_set_pages)?;
             let ops: f64 = exprs.iter().map(|(e, _)| e.num_operators() as f64).sum();
             let origins: Vec<Option<(TableId, usize)>> = exprs
                 .iter()
@@ -777,7 +1178,7 @@ fn plan_node(
             })
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = plan_node(db, params, input, working_set_pages)?;
+            let child = plan_node(cx, input, working_set_pages)?;
             Ok(Planned {
                 rows: child.rows,
                 cost: child.cost + cost::sort_cost(params, child.rows, child.width),
@@ -790,7 +1191,7 @@ fn plan_node(
             })
         }
         LogicalPlan::Limit { input, limit } => {
-            let child = plan_node(db, params, input, working_set_pages)?;
+            let child = plan_node(cx, input, working_set_pages)?;
             Ok(Planned {
                 rows: child.rows.min(*limit as f64),
                 cost: child.cost,
@@ -842,13 +1243,43 @@ pub fn plan_query(
     plan: &LogicalPlan,
     params: &OptimizerParams,
 ) -> Result<PlannedQuery, OptError> {
+    plan_query_with_indexes(db, plan, params, &[])
+}
+
+/// True if any scan in the plan references an index id past the catalog —
+/// i.e. a hypothetical index.
+fn references_hypo(phys: &PhysicalPlan, num_real: usize) -> bool {
+    let local = match phys {
+        PhysicalPlan::IndexScan { index, .. } => index.0 >= num_real,
+        PhysicalPlan::IndexAnd { arms, .. } | PhysicalPlan::IndexOr { arms, .. } => {
+            arms.iter().any(|a| a.index.0 >= num_real)
+        }
+        _ => false,
+    };
+    local || phys.children().iter().any(|c| references_hypo(c, num_real))
+}
+
+/// What-if planning: like [`plan_query`], but the access-path menu also
+/// offers `hypo` as hypothetical indexes (ids numbered past the catalog,
+/// in declaration order). A returned plan with
+/// [`PlannedQuery::uses_hypothetical`] set prices what the plan *would*
+/// cost if those indexes were built; it must not be executed.
+pub fn plan_query_with_indexes(
+    db: &Database,
+    plan: &LogicalPlan,
+    params: &OptimizerParams,
+    hypo: &[HypoIndex],
+) -> Result<PlannedQuery, OptError> {
     params.validate()?;
+    let cx = PlanCtx { db, params, hypo };
     let ws = working_set_pages(db, plan, &mut Vec::new());
-    let planned = plan_node(db, params, plan, ws)?;
+    let planned = plan_node(&cx, plan, ws)?;
+    let uses_hypothetical = !hypo.is_empty() && references_hypo(&planned.phys, db.num_indexes());
     Ok(PlannedQuery {
         physical: planned.phys,
         est_rows: planned.rows,
         est_cost_units: planned.cost,
+        uses_hypothetical,
     })
 }
 
@@ -946,6 +1377,231 @@ mod tests {
         let poor = plan_query(&db, &q, &poor_cache).unwrap();
         assert_eq!(rich.physical.node_name(), "IndexScan");
         assert_eq!(poor.physical.node_name(), "SeqScan");
+    }
+
+    #[test]
+    fn hypothetical_index_prices_like_a_real_one() {
+        let (db, fact, _) = fixture();
+        // Cheap random I/O + big cache: the 1%-selective point lookup
+        // should prefer an index when one is available.
+        let p = OptimizerParams {
+            effective_cache_size_pages: 1e6,
+            random_page_cost: 1.0,
+            ..OptimizerParams::default()
+        };
+        // k = 7 (200 rows in 20k): no real index on k, so a scan...
+        let q = LogicalPlan::scan_filtered(fact, Expr::eq(Expr::col(0), Expr::int(7)));
+        let without = plan_query(&db, &q, &p).unwrap();
+        assert_eq!(without.physical.node_name(), "SeqScan");
+        assert!(!without.uses_hypothetical);
+        // ...but a hypothetical index on k flips the access path.
+        let hypo = vec![HypoIndex {
+            table: fact,
+            columns: vec![0],
+        }];
+        let with = plan_query_with_indexes(&db, &q, &p, &hypo).unwrap();
+        assert_eq!(with.physical.node_name(), "IndexScan");
+        assert!(with.uses_hypothetical);
+        assert!(with.est_cost_units < without.est_cost_units);
+        // Its priced geometry must match what a real build produces.
+        let mut db2 = db;
+        let real = db2.create_index("fact_k", fact, 0).unwrap();
+        let with_real = plan_query(&db2, &q, &p).unwrap();
+        assert_eq!(with_real.physical.node_name(), "IndexScan");
+        assert!(!with_real.uses_hypothetical);
+        let tree = db2.index_tree(real);
+        let (h, pg) = dbvirt_storage::BPlusTree::bulk_geometry(tree.len());
+        assert_eq!((h, pg), (tree.height(), tree.num_pages()));
+        assert!(
+            (with.est_cost_units - with_real.est_cost_units).abs() < 1e-9,
+            "hypothetical pricing {} != real pricing {}",
+            with.est_cost_units,
+            with_real.est_cost_units
+        );
+    }
+
+    #[test]
+    fn composite_hypothetical_beats_single_on_two_column_predicate() {
+        let (db, fact, _) = fixture();
+        let p = OptimizerParams::default();
+        // k = 7 AND v < 1000: composite (k, v) prefix range is far more
+        // selective at the index than k alone.
+        let q = LogicalPlan::scan_filtered(
+            fact,
+            Expr::and(
+                Expr::eq(Expr::col(0), Expr::int(7)),
+                Expr::lt(Expr::col(1), Expr::int(1000)),
+            ),
+        );
+        let single = plan_query_with_indexes(
+            &db,
+            &q,
+            &p,
+            &[HypoIndex {
+                table: fact,
+                columns: vec![0],
+            }],
+        )
+        .unwrap();
+        let composite = plan_query_with_indexes(
+            &db,
+            &q,
+            &p,
+            &[HypoIndex {
+                table: fact,
+                columns: vec![0, 1],
+            }],
+        )
+        .unwrap();
+        assert_eq!(composite.physical.node_name(), "IndexScan");
+        assert!(composite.uses_hypothetical);
+        assert!(
+            composite.est_cost_units < single.est_cost_units,
+            "composite {} vs single {}",
+            composite.est_cost_units,
+            single.est_cost_units
+        );
+    }
+
+    #[test]
+    fn composite_index_scan_executes_and_matches_seq_scan() {
+        let (mut db, fact, _) = fixture();
+        let idx = db.create_index_multi("fact_k_v", fact, &[0, 1]).unwrap();
+        db.analyze_all().unwrap();
+        let p = OptimizerParams::default();
+        let filter = Expr::and(
+            Expr::eq(Expr::col(0), Expr::int(7)),
+            Expr::lt(Expr::col(1), Expr::int(1000)),
+        );
+        let q = LogicalPlan::scan_filtered(fact, filter.clone());
+        let planned = plan_query(&db, &q, &p).unwrap();
+        match &planned.physical {
+            PhysicalPlan::IndexScan { index, .. } => assert_eq!(*index, idx),
+            other => panic!("expected composite IndexScan, got {}", other.node_name()),
+        }
+        let run = |db: &mut Database, plan: &PhysicalPlan| {
+            let mut pool = dbvirt_storage::BufferPool::new(256);
+            dbvirt_engine::run_plan(db, &mut pool, plan, 1 << 20, dbvirt_engine::CpuCosts::default())
+                .unwrap()
+                .rows
+        };
+        let via_index = run(&mut db, &planned.physical);
+        let via_scan = run(
+            &mut db,
+            &PhysicalPlan::SeqScan {
+                table: fact,
+                filter: Some(filter),
+            },
+        );
+        // k=7, v<1000 -> v in {7, 107, ..., 907}: 10 rows.
+        assert_eq!(via_index.len(), 10);
+        let sorted = |mut rows: Vec<Tuple>| {
+            rows.sort_by_key(|t| t.get(1).as_int());
+            rows
+        };
+        assert_eq!(sorted(via_index), sorted(via_scan));
+    }
+
+    #[test]
+    fn like_prefix_is_sargable_on_string_index() {
+        let mut db = Database::new();
+        let t = db.create_table("s", Schema::new(vec![Field::new("name", DataType::Str)]));
+        db.insert_rows(
+            t,
+            (0..10_000).map(|i| Tuple::new(vec![Datum::str(format!("n{:04}", i % 1000))])),
+        )
+        .unwrap();
+        db.create_index("s_name", t, 0).unwrap();
+        db.analyze_all().unwrap();
+        let p = OptimizerParams {
+            effective_cache_size_pages: 1e6,
+            random_page_cost: 1.0,
+            ..OptimizerParams::default()
+        };
+        // "n000%" matches n0000..n0009: 1% of rows.
+        let filter = Expr::like(Expr::col(0), "n000%");
+        let q = LogicalPlan::scan_filtered(t, filter.clone());
+        let planned = plan_query(&db, &q, &p).unwrap();
+        assert_eq!(planned.physical.node_name(), "IndexScan");
+        let mut pool = dbvirt_storage::BufferPool::new(256);
+        let out = dbvirt_engine::run_plan(
+            &mut db,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            dbvirt_engine::CpuCosts::default(),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 100, "10 names x 10 repeats");
+        assert!(out.rows.iter().all(|t| match t.get(0) {
+            Datum::Str(s) => s.starts_with("n000"),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn index_and_path_chosen_for_two_selective_arms() {
+        let (mut db, fact, _) = fixture();
+        db.create_index("fact_k", fact, 0).unwrap();
+        db.analyze_all().unwrap();
+        // Pay dearly for page I/O of any kind: each single-index arm still
+        // fetches ~200 heap tuples, while the intersection fetches 2 —
+        // narrowing before the heap wins.
+        let p = OptimizerParams {
+            effective_cache_size_pages: 1.0,
+            random_page_cost: 400.0,
+            seq_page_cost: 400.0,
+            ..OptimizerParams::default()
+        };
+        let filter = Expr::and(
+            Expr::eq(Expr::col(0), Expr::int(7)),
+            Expr::lt(Expr::col(1), Expr::int(200)),
+        );
+        let q = LogicalPlan::scan_filtered(fact, filter.clone());
+        let planned = plan_query(&db, &q, &p).unwrap();
+        assert_eq!(planned.physical.node_name(), "IndexAnd");
+        let mut pool = dbvirt_storage::BufferPool::new(256);
+        let out = dbvirt_engine::run_plan(
+            &mut db,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            dbvirt_engine::CpuCosts::default(),
+        )
+        .unwrap();
+        // k=7 and v<200 -> v in {7, 107}: 2 rows.
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn index_or_path_covers_disjunction() {
+        let (mut db, fact, _) = fixture();
+        db.analyze_all().unwrap();
+        // Expensive pages: two point probes beat one full scan.
+        let p = OptimizerParams {
+            effective_cache_size_pages: 1.0,
+            random_page_cost: 400.0,
+            seq_page_cost: 400.0,
+            ..OptimizerParams::default()
+        };
+        let filter = Expr::or(
+            Expr::eq(Expr::col(1), Expr::int(7)),
+            Expr::eq(Expr::col(1), Expr::int(9901)),
+        );
+        let q = LogicalPlan::scan_filtered(fact, filter.clone());
+        let planned = plan_query(&db, &q, &p).unwrap();
+        assert_eq!(planned.physical.node_name(), "IndexOr");
+        let mut pool = dbvirt_storage::BufferPool::new(256);
+        let out = dbvirt_engine::run_plan(
+            &mut db,
+            &mut pool,
+            &planned.physical,
+            1 << 20,
+            dbvirt_engine::CpuCosts::default(),
+        )
+        .unwrap();
+        // v=7 plus v=9901: 2 distinct rows.
+        assert_eq!(out.rows.len(), 2);
     }
 
     #[test]

@@ -76,6 +76,29 @@ pub enum ExprAst {
         /// Argument (`None` = `*`).
         arg: Option<Box<ExprAst>>,
     },
+    /// `CASE WHEN c THEN v [WHEN ...]* [ELSE e] END`.
+    Case {
+        /// `(condition, value)` branches in order.
+        branches: Vec<(ExprAst, ExprAst)>,
+        /// The `ELSE` value (`NULL` if absent).
+        else_expr: Option<Box<ExprAst>>,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// `NOT EXISTS` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSelect {
+        /// Operand.
+        expr: Box<ExprAst>,
+        /// The subquery (its first output column is matched).
+        query: Box<SelectStmt>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
 }
 
 /// One `SELECT` list item.
@@ -83,6 +106,8 @@ pub enum ExprAst {
 pub enum SelectItem {
     /// `*`
     Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
     /// `expr [AS alias]`
     Expr {
         /// The expression.
@@ -133,13 +158,27 @@ pub struct OrderKey {
     pub descending: bool,
 }
 
+/// The first `FROM` entry: a base table or a parenthesised subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// `FROM table [alias]`
+    Table(TableRef),
+    /// `FROM (SELECT ...) alias` — a derived table.
+    Derived {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// The mandatory alias.
+        alias: String,
+    },
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     /// The projection list.
     pub items: Vec<SelectItem>,
-    /// First table.
-    pub from: TableRef,
+    /// First table (or derived subquery).
+    pub from: FromItem,
     /// Remaining joined tables.
     pub joins: Vec<JoinClause>,
     /// `WHERE` predicate.
@@ -170,6 +209,20 @@ impl ExprAst {
             ExprAst::Between { expr, lo, hi } => {
                 expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
+            ExprAst::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .is_some_and(|e| e.contains_aggregate())
+            }
+            // Subqueries are separate aggregation scopes.
+            ExprAst::Exists { .. } => false,
+            ExprAst::InSelect { expr, .. } => expr.contains_aggregate(),
             _ => false,
         }
     }

@@ -12,7 +12,7 @@
 //! 4. lower `GROUP BY`/aggregates, `HAVING`, the projection, `ORDER BY`
 //!    (by output name or 1-based position), and `LIMIT`.
 
-use crate::ast::{ExprAst, JoinKind, OrderKey, SelectItem, SelectStmt};
+use crate::ast::{ExprAst, FromItem, JoinKind, OrderKey, SelectItem, SelectStmt};
 use crate::SqlError;
 use dbvirt_engine::{AggExpr, AggFunc, CmpOp, Database, Expr, JoinType, SortKey, TableId};
 use dbvirt_optimizer::{JoinCondition, LogicalPlan};
@@ -61,11 +61,30 @@ fn parse_date(s: &str) -> Result<i32, SqlError> {
 struct Binder<'a> {
     db: &'a Database,
     tables: Vec<BoundTable>,
+    /// Set when the `FROM` clause is a derived table: `(alias, output
+    /// column names of the subquery)`. Columns then resolve against the
+    /// subquery's output schema instead of the catalog.
+    derived: Option<(String, Vec<String>)>,
 }
 
 impl<'a> Binder<'a> {
     /// Resolves `[qualifier.]name` to a global column index.
     fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<usize, SqlError> {
+        if let Some((alias, names)) = &self.derived {
+            if let Some(q) = qualifier {
+                if q != alias {
+                    return Err(SqlError::bind(format!("unknown table alias {q:?}")));
+                }
+            }
+            let mut hits = names.iter().enumerate().filter(|(_, n)| *n == name);
+            let first = hits.next();
+            if hits.next().is_some() {
+                return Err(SqlError::bind(format!("ambiguous column {name:?}")));
+            }
+            return first
+                .map(|(i, _)| i)
+                .ok_or_else(|| SqlError::bind(format!("unknown column {name}")));
+        }
         let mut found: Option<usize> = None;
         for t in &self.tables {
             if let Some(q) = qualifier {
@@ -165,8 +184,24 @@ impl<'a> Binder<'a> {
                 expr: Box::new(self.lower(expr)?),
                 negated: *negated,
             }),
+            ExprAst::Case {
+                branches,
+                else_expr,
+            } => Ok(Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.lower(c)?, self.lower(v)?)))
+                    .collect::<Result<_, SqlError>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| Ok::<_, SqlError>(Box::new(self.lower(e)?)))
+                    .transpose()?,
+            }),
             ExprAst::Agg { .. } => Err(SqlError::bind(
                 "aggregate used where a scalar expression is required",
+            )),
+            ExprAst::Exists { .. } | ExprAst::InSelect { .. } => Err(SqlError::bind(
+                "subqueries are only supported as top-level WHERE conjuncts",
             )),
         }
     }
@@ -253,6 +288,18 @@ fn collect_aggs(e: &ExprAst, out: &mut Vec<ExprAst>) {
             collect_aggs(lo, out);
             collect_aggs(hi, out);
         }
+        ExprAst::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                collect_aggs(c, out);
+                collect_aggs(v, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggs(e, out);
+            }
+        }
         _ => {}
     }
 }
@@ -316,11 +363,31 @@ fn lower_over_agg(
 
 /// Binds a parsed statement against the catalog, producing a logical plan.
 pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
-    // --- 1. Resolve FROM tables and offsets. ---
+    Ok(bind_with_names(stmt, db)?.0)
+}
+
+/// One `EXISTS` / `IN (SELECT ...)` conjunct, lowered to a semi/anti join
+/// to be appended after the main join tree.
+struct SemiJoinSpec {
+    plan: LogicalPlan,
+    conditions: Vec<JoinCondition>,
+    join_type: JoinType,
+}
+
+/// Binds a statement, also returning its output column names (needed when
+/// the statement is used as a derived table or a subquery).
+pub(crate) fn bind_with_names(
+    stmt: &SelectStmt,
+    db: &Database,
+) -> Result<(LogicalPlan, Vec<String>), SqlError> {
+    // --- 1. Resolve the FROM clause. ---
     let mut binder = Binder {
         db,
         tables: Vec::new(),
+        derived: None,
     };
+    // Set when FROM is a derived table: the bound subquery plan.
+    let mut derived_plan: Option<LogicalPlan> = None;
     let mut offset = 0usize;
     let mut add_table = |binder: &mut Binder<'_>,
                          name: &str,
@@ -347,17 +414,29 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
         offset += arity;
         Ok(())
     };
-    add_table(
-        &mut binder,
-        &stmt.from.table,
-        &stmt.from.alias,
-        JoinKind::Inner,
-    )?;
-    for j in &stmt.joins {
-        add_table(&mut binder, &j.table.table, &j.table.alias, j.kind)?;
+    match &stmt.from {
+        FromItem::Table(t) => {
+            add_table(&mut binder, &t.table, &t.alias, JoinKind::Inner)?;
+            for j in &stmt.joins {
+                add_table(&mut binder, &j.table.table, &j.table.alias, j.kind)?;
+            }
+        }
+        FromItem::Derived { query, alias } => {
+            if !stmt.joins.is_empty() {
+                return Err(SqlError::bind(
+                    "derived tables are only supported as the sole FROM entry",
+                ));
+            }
+            let (inner, names) = bind_with_names(query, db)?;
+            binder.derived = Some((alias.clone(), names));
+            derived_plan = Some(inner);
+        }
     }
 
-    // --- 2. Bind ON clauses (each may only reference its prefix). ---
+    // --- 2. Bind ON clauses (each may only reference its prefix).
+    // Equality conjuncts become join conditions; any other conjunct that
+    // touches only the joined table is pushed into that table's scan
+    // (which, for a LEFT JOIN, is the only meaning-preserving placement).
     for (i, j) in stmt.joins.iter().enumerate() {
         let table_idx = i + 1;
         let Some(on) = &j.on else { continue };
@@ -365,24 +444,36 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
         split_conjuncts_ast(on, &mut conjuncts);
         for c in conjuncts {
             let lowered = binder.lower(&c)?;
-            let Some((a, b)) = as_equi_edge(&binder, &lowered) else {
-                return Err(SqlError::bind(
-                    "ON clauses must be conjunctions of column equalities",
-                ));
-            };
-            let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
-            let (prefix_col, new_col) = if ob == table_idx && oa < table_idx {
-                (a, b)
-            } else if oa == table_idx && ob < table_idx {
-                (b, a)
-            } else {
-                return Err(SqlError::bind(
-                    "ON condition must relate the joined table to an earlier one",
-                ));
-            };
-            binder.tables[table_idx]
-                .on_conditions
-                .push((prefix_col, new_col));
+            if let Some((a, b)) = as_equi_edge(&binder, &lowered) {
+                let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
+                let (prefix_col, new_col) = if ob == table_idx && oa < table_idx {
+                    (a, b)
+                } else if oa == table_idx && ob < table_idx {
+                    (b, a)
+                } else {
+                    return Err(SqlError::bind(
+                        "ON condition must relate the joined table to an earlier one",
+                    ));
+                };
+                binder.tables[table_idx]
+                    .on_conditions
+                    .push((prefix_col, new_col));
+                continue;
+            }
+            let owners = binder.tables_of(&lowered);
+            if owners.as_slice() == [table_idx] {
+                let t = &mut binder.tables[table_idx];
+                let rebased = rebase(&lowered, t.offset);
+                t.pushdown = Some(match t.pushdown.take() {
+                    Some(existing) => Expr::and(existing, rebased),
+                    None => rebased,
+                });
+                continue;
+            }
+            return Err(SqlError::bind(
+                "ON clauses must be conjunctions of column equalities \
+                 (plus filters on the joined table)",
+            ));
         }
         if binder.tables[table_idx].on_conditions.is_empty() {
             return Err(SqlError::bind("JOIN ... ON needs at least one equality"));
@@ -392,6 +483,7 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
     // --- 3. Classify WHERE conjuncts. ---
     let mut residual: Vec<Expr> = Vec::new();
     let mut where_edges: Vec<(usize, usize)> = Vec::new();
+    let mut semi_joins: Vec<SemiJoinSpec> = Vec::new();
     if let Some(w) = &stmt.where_clause {
         if w.contains_aggregate() {
             return Err(SqlError::bind("aggregates are not allowed in WHERE"));
@@ -399,7 +491,27 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
         let mut conjuncts = Vec::new();
         split_conjuncts_ast(w, &mut conjuncts);
         for c in conjuncts {
+            match &c {
+                ExprAst::Exists { query, negated } => {
+                    semi_joins.push(bind_exists(&binder, query, *negated)?);
+                    continue;
+                }
+                ExprAst::InSelect {
+                    expr,
+                    query,
+                    negated,
+                } => {
+                    semi_joins.push(bind_in_select(&binder, expr, query, *negated)?);
+                    continue;
+                }
+                _ => {}
+            }
             let lowered = binder.lower(&c)?;
+            if binder.derived.is_some() {
+                // Derived-table FROM: no pushdown bookkeeping, just filter.
+                residual.push(lowered);
+                continue;
+            }
             if let Some(edge) = as_equi_edge(&binder, &lowered) {
                 where_edges.push(edge);
                 continue;
@@ -408,9 +520,7 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
             match owners.as_slice() {
                 [one] if !binder.tables[*one].nullable_side => {
                     let t = &mut binder.tables[*one];
-                    let local = lowered.shift_columns(0); // clone
-                                                          // Rebase global indexes to table-local ones.
-                    let rebased = rebase(&local, t.offset);
+                    let rebased = rebase(&lowered, t.offset);
                     t.pushdown = Some(match t.pushdown.take() {
                         Some(existing) => Expr::and(existing, rebased),
                         None => rebased,
@@ -422,61 +532,70 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
     }
 
     // --- 4. Build the left-deep join tree. ---
-    let mut plan = LogicalPlan::Scan {
-        table: binder.tables[0].table,
-        filter: binder.tables[0].pushdown.clone(),
-    };
-    let mut prefix_width = binder.tables[0].arity;
-    for i in 1..binder.tables.len() {
-        let t = &binder.tables[i];
-        let scan = LogicalPlan::Scan {
-            table: t.table,
-            filter: t.pushdown.clone(),
-        };
-        // Conditions: the table's ON edges plus any WHERE edge touching it
-        // and the prefix.
-        let mut conditions: Vec<JoinCondition> = t
-            .on_conditions
-            .iter()
-            .map(|&(p, n)| JoinCondition {
-                left_col: p,
-                right_col: n - t.offset,
-            })
-            .collect();
-        for &(a, b) in &where_edges {
-            let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
-            let (prefix_col, new_col) = if ob == i && oa < i {
-                (a, b)
-            } else if oa == i && ob < i {
-                (b, a)
-            } else {
-                continue;
+    let mut plan = match derived_plan {
+        Some(inner) => inner,
+        None => {
+            let mut plan = LogicalPlan::Scan {
+                table: binder.tables[0].table,
+                filter: binder.tables[0].pushdown.clone(),
             };
-            if t.join_kind == JoinKind::Left {
-                return Err(SqlError::bind(
-                    "LEFT JOIN conditions must be written in the ON clause",
-                ));
+            for i in 1..binder.tables.len() {
+                let t = &binder.tables[i];
+                let scan = LogicalPlan::Scan {
+                    table: t.table,
+                    filter: t.pushdown.clone(),
+                };
+                // Conditions: the table's ON edges plus any WHERE edge
+                // touching it and the prefix.
+                let mut conditions: Vec<JoinCondition> = t
+                    .on_conditions
+                    .iter()
+                    .map(|&(p, n)| JoinCondition {
+                        left_col: p,
+                        right_col: n - t.offset,
+                    })
+                    .collect();
+                for &(a, b) in &where_edges {
+                    let (oa, ob) = (binder.owner_of(a), binder.owner_of(b));
+                    let (prefix_col, new_col) = if ob == i && oa < i {
+                        (a, b)
+                    } else if oa == i && ob < i {
+                        (b, a)
+                    } else {
+                        continue;
+                    };
+                    if t.join_kind == JoinKind::Left {
+                        return Err(SqlError::bind(
+                            "LEFT JOIN conditions must be written in the ON clause",
+                        ));
+                    }
+                    conditions.push(JoinCondition {
+                        left_col: prefix_col,
+                        right_col: new_col - t.offset,
+                    });
+                }
+                if conditions.is_empty() {
+                    return Err(SqlError::bind(format!(
+                        "no join condition relates table {:?} to the preceding tables \
+                         (cross joins are not supported)",
+                        t.alias
+                    )));
+                }
+                let join_type = match t.join_kind {
+                    JoinKind::Inner => JoinType::Inner,
+                    JoinKind::Left => JoinType::Left,
+                };
+                plan = plan.join_as(scan, conditions, join_type);
             }
-            conditions.push(JoinCondition {
-                left_col: prefix_col,
-                right_col: new_col - t.offset,
-            });
+            plan
         }
-        if conditions.is_empty() {
-            return Err(SqlError::bind(format!(
-                "no join condition relates table {:?} to the preceding tables \
-                 (cross joins are not supported)",
-                t.alias
-            )));
-        }
-        let join_type = match t.join_kind {
-            JoinKind::Inner => JoinType::Inner,
-            JoinKind::Left => JoinType::Left,
-        };
-        plan = plan.join_as(scan, conditions, join_type);
-        prefix_width += t.arity;
+    };
+
+    // Semi/anti joins from EXISTS / IN (SELECT ...): they only filter the
+    // left side, so appending them after the inner-join tree is sound.
+    for s in semi_joins {
+        plan = plan.join_as(s.plan, s.conditions, s.join_type);
     }
-    let _ = prefix_width;
 
     if !residual.is_empty() {
         plan = plan.filter(Expr::and_all(residual));
@@ -485,7 +604,7 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
     // --- 5. Aggregation. ---
     let has_aggs = stmt.items.iter().any(|i| match i {
         SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-        SelectItem::Wildcard => false,
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => false,
     }) || stmt
         .having
         .as_ref()
@@ -494,7 +613,12 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
 
     let mut output_names: Vec<String> = Vec::new();
     if has_aggs {
-        if stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+        if stmt.items.iter().any(|i| {
+            matches!(
+                i,
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)
+            )
+        }) {
             return Err(SqlError::bind("SELECT * cannot be combined with GROUP BY"));
         }
         // Group columns must be plain columns.
@@ -552,7 +676,7 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
         let mut proj: Vec<(Expr, String)> = Vec::new();
         for (i, item) in stmt.items.iter().enumerate() {
             let SelectItem::Expr { expr, alias } = item else {
-                unreachable!("wildcard rejected above")
+                unreachable!("wildcards rejected above")
             };
             let lowered = lower_over_agg(&binder, expr, &group_cols, &agg_asts)?;
             let name = alias.clone().unwrap_or_else(|| default_name(expr, i));
@@ -564,10 +688,14 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
         // Plain projection.
         let wildcard_only = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
         if wildcard_only {
-            for t in &binder.tables {
-                let schema = &db.table(t.table).schema;
-                for f in schema.fields() {
-                    output_names.push(f.name.clone());
+            if let Some((_, names)) = &binder.derived {
+                output_names.extend(names.iter().cloned());
+            } else {
+                for t in &binder.tables {
+                    let schema = &db.table(t.table).schema;
+                    for f in schema.fields() {
+                        output_names.push(f.name.clone());
+                    }
                 }
             }
         } else {
@@ -578,6 +706,32 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
                         return Err(SqlError::bind(
                             "`*` mixed with other select items is not supported",
                         ))
+                    }
+                    SelectItem::QualifiedWildcard(q) => {
+                        if let Some((alias, names)) = &binder.derived {
+                            if q != alias {
+                                return Err(SqlError::bind(format!(
+                                    "unknown table alias {q:?}"
+                                )));
+                            }
+                            for (i, n) in names.iter().enumerate() {
+                                output_names.push(n.clone());
+                                proj.push((Expr::col(i), n.clone()));
+                            }
+                            continue;
+                        }
+                        let t = binder
+                            .tables
+                            .iter()
+                            .find(|t| &t.alias == q)
+                            .ok_or_else(|| {
+                                SqlError::bind(format!("unknown table alias {q:?}"))
+                            })?;
+                        let schema = &db.table(t.table).schema;
+                        for (i, f) in schema.fields().iter().enumerate() {
+                            output_names.push(f.name.clone());
+                            proj.push((Expr::col(t.offset + i), f.name.clone()));
+                        }
                     }
                     SelectItem::Expr { expr, alias } => {
                         let lowered = binder.lower(expr)?;
@@ -603,7 +757,158 @@ pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<LogicalPlan, SqlError> {
     if let Some(n) = stmt.limit {
         plan = plan.limit(n);
     }
-    Ok(plan)
+    Ok((plan, output_names))
+}
+
+/// Lowers a correlated `EXISTS (SELECT ... FROM one_table WHERE ...)`
+/// conjunct to a semi (or anti) join against the outer plan. Inner-only
+/// conjuncts become the scan's filter; equalities between an inner and an
+/// outer column become the join conditions.
+fn bind_exists(
+    outer: &Binder<'_>,
+    query: &SelectStmt,
+    negated: bool,
+) -> Result<SemiJoinSpec, SqlError> {
+    let FromItem::Table(tref) = &query.from else {
+        return Err(SqlError::bind(
+            "EXISTS subqueries must select from a single base table",
+        ));
+    };
+    if !query.joins.is_empty() || !query.group_by.is_empty() || query.having.is_some() {
+        return Err(SqlError::bind(
+            "EXISTS subqueries support a single table with a WHERE clause only",
+        ));
+    }
+    let table = outer
+        .db
+        .table_id(&tref.table)
+        .ok_or_else(|| SqlError::bind(format!("unknown table {:?}", tref.table)))?;
+    let arity = outer.db.table(table).schema.len();
+    let inner = Binder {
+        db: outer.db,
+        tables: vec![BoundTable {
+            alias: tref.alias.clone(),
+            table,
+            offset: 0,
+            arity,
+            nullable_side: false,
+            join_kind: JoinKind::Inner,
+            on_conditions: Vec::new(),
+            pushdown: None,
+        }],
+        derived: None,
+    };
+    let mut pushdown: Option<Expr> = None;
+    let mut conditions: Vec<JoinCondition> = Vec::new();
+    if let Some(w) = &query.where_clause {
+        let mut conjuncts = Vec::new();
+        split_conjuncts_ast(w, &mut conjuncts);
+        for c in conjuncts {
+            // Inner-only conjunct?
+            if let Ok(lowered) = inner.lower(&c) {
+                pushdown = Some(match pushdown.take() {
+                    Some(existing) => Expr::and(existing, lowered),
+                    None => lowered,
+                });
+                continue;
+            }
+            // Correlation: an equality between an inner and an outer column.
+            let ExprAst::Binary { op, lhs, rhs } = &c else {
+                return Err(SqlError::bind(
+                    "unsupported correlated predicate in EXISTS (need inner = outer)",
+                ));
+            };
+            let col = |side: &ExprAst| -> Option<(Option<String>, String)> {
+                match side {
+                    ExprAst::Column { qualifier, name } => {
+                        Some((qualifier.clone(), name.clone()))
+                    }
+                    _ => None,
+                }
+            };
+            let pair = (op.as_str(), col(lhs), col(rhs));
+            let ("=", Some((lq, ln)), Some((rq, rn))) = pair else {
+                return Err(SqlError::bind(
+                    "correlated EXISTS predicates must be column equalities",
+                ));
+            };
+            let sides = [(lq, ln), (rq, rn)];
+            let mut resolved: Option<(usize, usize)> = None; // (outer global, inner local)
+            for (a, b) in [(0, 1), (1, 0)] {
+                let (aq, an) = &sides[a];
+                let (bq, bn) = &sides[b];
+                if let (Ok(o), Ok(i)) = (
+                    outer.resolve_column(aq.as_deref(), an),
+                    inner.resolve_column(bq.as_deref(), bn),
+                ) {
+                    resolved = Some((o, i));
+                    break;
+                }
+            }
+            let Some((outer_col, inner_col)) = resolved else {
+                return Err(SqlError::bind(format!(
+                    "cannot resolve correlated EXISTS equality {} = {}",
+                    sides[0].1, sides[1].1
+                )));
+            };
+            conditions.push(JoinCondition {
+                left_col: outer_col,
+                right_col: inner_col,
+            });
+        }
+    }
+    if conditions.is_empty() {
+        return Err(SqlError::bind(
+            "EXISTS subqueries must be correlated with the outer query",
+        ));
+    }
+    Ok(SemiJoinSpec {
+        plan: LogicalPlan::Scan {
+            table,
+            filter: pushdown,
+        },
+        conditions,
+        join_type: if negated {
+            JoinType::Anti
+        } else {
+            JoinType::Semi
+        },
+    })
+}
+
+/// Lowers an uncorrelated `expr IN (SELECT ...)` conjunct to a semi (or
+/// anti) join against the subquery's single output column.
+fn bind_in_select(
+    outer: &Binder<'_>,
+    expr: &ExprAst,
+    query: &SelectStmt,
+    negated: bool,
+) -> Result<SemiJoinSpec, SqlError> {
+    let lowered = outer.lower(expr)?;
+    let Expr::Column(outer_col) = lowered else {
+        return Err(SqlError::bind(
+            "the IN (SELECT ...) operand must be a plain column",
+        ));
+    };
+    let (inner_plan, names) = bind_with_names(query, outer.db)?;
+    if names.len() != 1 {
+        return Err(SqlError::bind(format!(
+            "IN subqueries must return exactly one column, got {}",
+            names.len()
+        )));
+    }
+    Ok(SemiJoinSpec {
+        plan: inner_plan,
+        conditions: vec![JoinCondition {
+            left_col: outer_col,
+            right_col: 0,
+        }],
+        join_type: if negated {
+            JoinType::Anti
+        } else {
+            JoinType::Semi
+        },
+    })
 }
 
 /// Rebases global column indexes to table-local ones (subtract `offset`).
@@ -887,6 +1192,82 @@ mod tests {
         );
         let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
         assert_eq!(ids, vec![1, 10, 11]);
+    }
+
+    #[test]
+    fn qualified_star_expands() {
+        let (rows, names) = run(
+            "SELECT c.*, u.name FROM users u JOIN cities c ON u.city_id = c.id WHERE c.id = 0",
+        );
+        assert_eq!(names, vec!["id", "city", "name"]);
+        assert_eq!(rows.len(), 50);
+        for r in &rows {
+            assert_eq!(r.get(1).as_str(), Some("city0"));
+        }
+    }
+
+    #[test]
+    fn case_expression_evaluates() {
+        // Ages are 18 + (i % 60); >= 50 means i % 60 >= 32, i.e. 28 of
+        // every 60 users across 8 full cycles (480 users), none in the
+        // 20-user tail.
+        let (rows, _) =
+            run("SELECT SUM(CASE WHEN age >= 50 THEN 1 ELSE 0 END) AS n FROM users");
+        assert_eq!(rows[0].get(0).as_int(), Some(224));
+    }
+
+    #[test]
+    fn exists_becomes_semi_join() {
+        // age > 70 means i % 60 in 53..=59, whose i % 10 is always 3..=9.
+        let (rows, _) = run(
+            "SELECT id FROM cities c WHERE EXISTS \
+             (SELECT * FROM users u WHERE u.city_id = c.id AND u.age > 70) ORDER BY id",
+        );
+        let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn not_exists_becomes_anti_join() {
+        let (rows, _) = run(
+            "SELECT id FROM cities c WHERE NOT EXISTS \
+             (SELECT * FROM users u WHERE u.city_id = c.id AND u.age > 70) ORDER BY id",
+        );
+        let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn in_select_becomes_semi_join() {
+        let (rows, _) = run(
+            "SELECT city FROM cities WHERE id IN \
+             (SELECT city_id FROM users WHERE age > 70) ORDER BY city",
+        );
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].get(0).as_str(), Some("city3"));
+    }
+
+    #[test]
+    fn derived_table_as_sole_from() {
+        let (rows, names) = run(
+            "SELECT n, COUNT(*) AS cnt FROM \
+             (SELECT city_id, COUNT(*) AS n FROM users GROUP BY city_id) d GROUP BY n",
+        );
+        assert_eq!(names, vec!["n", "cnt"]);
+        assert_eq!(rows.len(), 1, "every city has exactly 50 users");
+        assert_eq!(rows[0].get(0).as_int(), Some(50));
+        assert_eq!(rows[0].get(1).as_int(), Some(10));
+    }
+
+    #[test]
+    fn left_join_on_filter_pushes_to_right_side() {
+        let (rows, _) = run(
+            "SELECT u.name, c.city FROM users u \
+             LEFT JOIN cities c ON u.city_id = c.id AND c.id < 3",
+        );
+        assert_eq!(rows.len(), 500, "left side preserved");
+        let matched = rows.iter().filter(|r| !r.get(1).is_null()).count();
+        assert_eq!(matched, 150, "only cities 0-2 match");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Recursive-descent `SELECT` parser.
 
-use crate::ast::{ExprAst, JoinClause, JoinKind, OrderKey, SelectItem, SelectStmt, TableRef};
+use crate::ast::{ExprAst, FromItem, JoinClause, JoinKind, OrderKey, SelectItem, SelectStmt, TableRef};
 use crate::lexer::Token;
 use crate::SqlError;
 
@@ -8,7 +8,8 @@ use crate::SqlError;
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
     "OUTER", "ON", "AS", "AND", "OR", "NOT", "LIKE", "IN", "BETWEEN", "IS", "NULL", "ASC", "DESC",
-    "TRUE", "FALSE", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "TRUE", "FALSE", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "EXISTS",
 ];
 
 const AGG_FUNCS: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX"];
@@ -102,20 +103,23 @@ fn parse_select(c: &mut Cursor<'_>) -> Result<SelectStmt, SqlError> {
     loop {
         if c.eat_sym("*") {
             items.push(SelectItem::Wildcard);
+        } else if let Some(Token::Ident { upper, raw }) = c.peek() {
+            // `alias.*`?
+            if !RESERVED.contains(&upper.as_str())
+                && c.tokens.get(c.pos + 1).is_some_and(|t| t.is_sym("."))
+                && c.tokens.get(c.pos + 2).is_some_and(|t| t.is_sym("*"))
+            {
+                let q = raw.clone();
+                c.pos += 3;
+                items.push(SelectItem::QualifiedWildcard(q));
+            } else {
+                let expr = parse_expr(c)?;
+                let alias = parse_item_alias(c)?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
         } else {
             let expr = parse_expr(c)?;
-            let alias = if c.eat_kw("AS") {
-                Some(c.expect_name("alias")?)
-            } else {
-                match c.peek() {
-                    Some(Token::Ident { upper, raw }) if !RESERVED.contains(&upper.as_str()) => {
-                        let a = raw.clone();
-                        c.pos += 1;
-                        Some(a)
-                    }
-                    _ => None,
-                }
-            };
+            let alias = parse_item_alias(c)?;
             items.push(SelectItem::Expr { expr, alias });
         }
         if !c.eat_sym(",") {
@@ -124,7 +128,18 @@ fn parse_select(c: &mut Cursor<'_>) -> Result<SelectStmt, SqlError> {
     }
 
     c.expect_kw("FROM")?;
-    let from = parse_table_ref(c)?;
+    let from = if c.eat_sym("(") {
+        let query = parse_select(c)?;
+        c.expect_sym(")")?;
+        c.eat_kw("AS");
+        let alias = c.expect_name("derived-table alias")?;
+        FromItem::Derived {
+            query: Box::new(query),
+            alias,
+        }
+    } else {
+        FromItem::Table(parse_table_ref(c)?)
+    };
     let mut joins = Vec::new();
     loop {
         if c.eat_sym(",") {
@@ -224,6 +239,21 @@ fn parse_select(c: &mut Cursor<'_>) -> Result<SelectStmt, SqlError> {
     })
 }
 
+/// `[AS] alias` after a select item, if present.
+fn parse_item_alias(c: &mut Cursor<'_>) -> Result<Option<String>, SqlError> {
+    if c.eat_kw("AS") {
+        return Ok(Some(c.expect_name("alias")?));
+    }
+    match c.peek() {
+        Some(Token::Ident { upper, raw }) if !RESERVED.contains(&upper.as_str()) => {
+            let a = raw.clone();
+            c.pos += 1;
+            Ok(Some(a))
+        }
+        _ => Ok(None),
+    }
+}
+
 fn parse_table_ref(c: &mut Cursor<'_>) -> Result<TableRef, SqlError> {
     let table = c.expect_name("table name")?;
     let alias = if c.eat_kw("AS") {
@@ -269,11 +299,29 @@ fn parse_and(c: &mut Cursor<'_>) -> Result<ExprAst, SqlError> {
 }
 
 fn parse_not(c: &mut Cursor<'_>) -> Result<ExprAst, SqlError> {
+    if c.peek().is_some_and(|t| t.is_kw("NOT"))
+        && c.tokens.get(c.pos + 1).is_some_and(|t| t.is_kw("EXISTS"))
+    {
+        c.pos += 1;
+        return parse_exists(c, true);
+    }
     if c.eat_kw("NOT") {
         Ok(ExprAst::Not(Box::new(parse_not(c)?)))
     } else {
         parse_predicate(c)
     }
+}
+
+/// `EXISTS (SELECT ...)` — the EXISTS keyword is at the cursor.
+fn parse_exists(c: &mut Cursor<'_>, negated: bool) -> Result<ExprAst, SqlError> {
+    c.expect_kw("EXISTS")?;
+    c.expect_sym("(")?;
+    let query = parse_select(c)?;
+    c.expect_sym(")")?;
+    Ok(ExprAst::Exists {
+        query: Box::new(query),
+        negated,
+    })
 }
 
 /// Comparison / LIKE / IN / BETWEEN / IS NULL level.
@@ -310,6 +358,15 @@ fn parse_predicate(c: &mut Cursor<'_>) -> Result<ExprAst, SqlError> {
     }
     if c.eat_kw("IN") {
         c.expect_sym("(")?;
+        if c.peek().is_some_and(|t| t.is_kw("SELECT")) {
+            let query = parse_select(c)?;
+            c.expect_sym(")")?;
+            return Ok(ExprAst::InSelect {
+                expr: Box::new(lhs),
+                query: Box::new(query),
+                negated,
+            });
+        }
         let mut list = Vec::new();
         loop {
             list.push(parse_additive(c)?);
@@ -437,6 +494,32 @@ fn parse_primary(c: &mut Cursor<'_>) -> Result<ExprAst, SqlError> {
                 c.pos += 1;
                 return Ok(ExprAst::Null);
             }
+            if upper == "CASE" {
+                c.pos += 1;
+                let mut branches = Vec::new();
+                while c.eat_kw("WHEN") {
+                    let cond = parse_expr(c)?;
+                    c.expect_kw("THEN")?;
+                    let val = parse_expr(c)?;
+                    branches.push((cond, val));
+                }
+                if branches.is_empty() {
+                    return Err(SqlError::parse("CASE needs at least one WHEN branch"));
+                }
+                let else_expr = if c.eat_kw("ELSE") {
+                    Some(Box::new(parse_expr(c)?))
+                } else {
+                    None
+                };
+                c.expect_kw("END")?;
+                return Ok(ExprAst::Case {
+                    branches,
+                    else_expr,
+                });
+            }
+            if upper == "EXISTS" {
+                return parse_exists(c, false);
+            }
             if upper == "DATE" {
                 c.pos += 1;
                 match c.advance() {
@@ -497,12 +580,19 @@ mod tests {
         parse(&tokenize(sql).unwrap()).unwrap()
     }
 
+    fn from_table(s: &SelectStmt) -> &TableRef {
+        match &s.from {
+            FromItem::Table(t) => t,
+            other => panic!("expected a base table, got {other:?}"),
+        }
+    }
+
     #[test]
     fn minimal_select() {
         let s = p("SELECT * FROM t");
         assert_eq!(s.items, vec![SelectItem::Wildcard]);
-        assert_eq!(s.from.table, "t");
-        assert_eq!(s.from.alias, "t");
+        assert_eq!(from_table(&s).table, "t");
+        assert_eq!(from_table(&s).alias, "t");
         assert!(s.where_clause.is_none());
     }
 
@@ -510,7 +600,7 @@ mod tests {
     fn aliases_and_projection() {
         let s = p("SELECT a, b + 1 AS b1, count(*) cnt FROM t x");
         assert_eq!(s.items.len(), 3);
-        assert_eq!(s.from.alias, "x");
+        assert_eq!(from_table(&s).alias, "x");
         match &s.items[1] {
             SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("b1")),
             other => panic!("{other:?}"),
@@ -597,6 +687,69 @@ mod tests {
     fn date_literal_and_negation() {
         let s = p("SELECT 1 FROM t WHERE d >= DATE '1994-01-01' AND v > -5");
         assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn qualified_star_in_projection() {
+        let s = p("SELECT u.*, c.city FROM u JOIN c ON u.x = c.y");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.items[0], SelectItem::QualifiedWildcard("u".into()));
+    }
+
+    #[test]
+    fn case_when_parses() {
+        let s = p("SELECT CASE WHEN a > 1 THEN b ELSE 0 END FROM t");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr:
+                    ExprAst::Case {
+                        branches,
+                        else_expr,
+                    },
+                ..
+            } => {
+                assert_eq!(branches.len(), 1);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_and_in_subqueries_parse() {
+        let s = p(
+            "SELECT 1 FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x) \
+             AND NOT EXISTS (SELECT * FROM v WHERE v.y = t.y) \
+             AND k IN (SELECT k FROM w)",
+        );
+        let mut conj = Vec::new();
+        fn walk(e: &ExprAst, out: &mut Vec<ExprAst>) {
+            if let ExprAst::Binary { op, lhs, rhs } = e {
+                if op == "AND" {
+                    walk(lhs, out);
+                    walk(rhs, out);
+                    return;
+                }
+            }
+            out.push(e.clone());
+        }
+        walk(s.where_clause.as_ref().unwrap(), &mut conj);
+        assert_eq!(conj.len(), 3);
+        assert!(matches!(&conj[0], ExprAst::Exists { negated: false, .. }));
+        assert!(matches!(&conj[1], ExprAst::Exists { negated: true, .. }));
+        assert!(matches!(&conj[2], ExprAst::InSelect { negated: false, .. }));
+    }
+
+    #[test]
+    fn derived_table_from_parses() {
+        let s = p("SELECT n FROM (SELECT k AS n FROM t GROUP BY k) d GROUP BY n");
+        match &s.from {
+            FromItem::Derived { alias, query } => {
+                assert_eq!(alias, "d");
+                assert_eq!(query.group_by.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

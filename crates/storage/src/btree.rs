@@ -152,6 +152,28 @@ impl BPlusTree {
         self.nodes.len() as u32
     }
 
+    /// The exact `(height, total node pages)` that [`BPlusTree::bulk_load`]
+    /// produces for `len` entries, computed without building the tree.
+    ///
+    /// Mirrors `bulk_load`'s chunking arithmetic (`BULK_FILL` entries per
+    /// leaf, `BULK_FILL` children per internal node, levels collapsed until
+    /// a single root remains), so what-if pricing of a *hypothetical* index
+    /// sees the same geometry a real build would.
+    pub fn bulk_geometry(len: usize) -> (u32, u32) {
+        if len == 0 {
+            return (1, 1);
+        }
+        let mut level = (len + BULK_FILL - 1) / BULK_FILL;
+        let mut pages = level;
+        let mut height = 1u32;
+        while level > 1 {
+            level = (level + BULK_FILL - 1) / BULK_FILL;
+            pages += level;
+            height += 1;
+        }
+        (height, pages as u32)
+    }
+
     fn page_id(&self, node: usize) -> PageId {
         PageId {
             file: self.file,
@@ -371,6 +393,25 @@ mod tests {
             (0..n).map(|i| (Datum::Int(i as i64), tid(i))).collect();
         let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
         (disk, tree)
+    }
+
+    #[test]
+    fn bulk_geometry_matches_bulk_load() {
+        for n in [0usize, 1, 99, 100, 101, 250, 10_000, 10_001, 1_000_000] {
+            let mut disk = DiskManager::new();
+            let entries: Vec<(Datum, TupleId)> = (0..n.min(20_000))
+                .map(|i| (Datum::Int(i as i64), tid(i as u32)))
+                .collect();
+            if n > 20_000 {
+                // Too slow to build; only check the arithmetic is sane.
+                let (h, p) = BPlusTree::bulk_geometry(n);
+                assert!(h >= 3 && p as usize >= n / BULK_FILL);
+                continue;
+            }
+            let tree = BPlusTree::bulk_load(&mut disk, entries).unwrap();
+            let (h, p) = BPlusTree::bulk_geometry(n);
+            assert_eq!((h, p), (tree.height(), tree.num_pages()), "n={n}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod btree;
 mod bufpool;
 mod error;
 mod heap;
+pub mod keyenc;
 mod page;
 pub mod stats;
 mod tuple;

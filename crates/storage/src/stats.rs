@@ -89,9 +89,18 @@ impl Histogram {
                 frac += 1.0;
                 continue;
             }
-            // v is in (lo, hi]: interpolate.
+            // v is in (lo, hi]: interpolate. Degenerate buckets (equal
+            // bounds, NULLs, NaN floats) fall back to the bucket middle so
+            // the estimate stays finite.
             let within = match (datum_position(lo), datum_position(hi), datum_position(v)) {
-                (Some(l), Some(h), Some(x)) if h > l => ((x - l) / (h - l)).clamp(0.0, 1.0),
+                (Some(l), Some(h), Some(x)) if h > l => {
+                    let t = (x - l) / (h - l);
+                    if t.is_finite() {
+                        t.clamp(0.0, 1.0)
+                    } else {
+                        0.5
+                    }
+                }
                 _ => 0.5,
             };
             frac += within;
@@ -318,6 +327,94 @@ mod tests {
         let h = Histogram::build(vec![Datum::Int(7); 100], 10).unwrap();
         assert_eq!(h.fraction_below(&Datum::Int(7)), 0.0);
         assert_eq!(h.fraction_below(&Datum::Int(8)), 1.0);
+    }
+
+    /// Every estimate a column's stats can produce, checked finite and in
+    /// `[0, 1]` against a probe set bracketing the data.
+    fn assert_bounded(stats: &TableStats, probes: &[Datum]) {
+        for c in &stats.columns {
+            let eq = c.eq_selectivity();
+            assert!(eq.is_finite() && (0.0..=1.0).contains(&eq), "eq {eq}");
+            assert!(
+                c.null_frac.is_finite() && (0.0..=1.0).contains(&c.null_frac),
+                "null_frac {}",
+                c.null_frac
+            );
+            let Some(h) = &c.histogram else { continue };
+            for p in probes {
+                let f = h.fraction_below(p);
+                assert!(f.is_finite() && (0.0..=1.0).contains(&f), "below {f}");
+            }
+            for lo in probes {
+                for hi in probes {
+                    let s = h.range_selectivity(Some(lo), Some(hi));
+                    assert!(s.is_finite() && (0.0..=1.0).contains(&s), "range {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_column_estimates_stay_bounded() {
+        // Every bucket bound is the same value: within-bucket interpolation
+        // has zero width everywhere.
+        let stats = analyze(int_tuples(&[42; 500]).iter(), 1, 3);
+        assert_eq!(stats.columns[0].n_distinct, 1);
+        assert_eq!(stats.columns[0].eq_selectivity(), 1.0);
+        let probes = [Datum::Int(41), Datum::Int(42), Datum::Int(43)];
+        assert_bounded(&stats, &probes);
+    }
+
+    #[test]
+    fn single_row_table_estimates_stay_bounded() {
+        let stats = analyze(int_tuples(&[7]).iter(), 1, 1);
+        assert_eq!(stats.n_rows, 1);
+        assert_eq!(stats.columns[0].n_distinct, 1);
+        let h = stats.columns[0].histogram.as_ref().unwrap();
+        assert_eq!(h.num_buckets(), 1);
+        let probes = [Datum::Int(6), Datum::Int(7), Datum::Int(8)];
+        assert_bounded(&stats, &probes);
+        assert_eq!(stats.rows_per_page(), 1.0);
+    }
+
+    #[test]
+    fn null_heavy_column_estimates_stay_bounded() {
+        // 90% NULL: the non-null tail still gets a histogram, and the
+        // equality estimate is scaled by the null fraction.
+        let mut tuples: Vec<Tuple> = (0..900).map(|_| Tuple::new(vec![Datum::Null])).collect();
+        tuples.extend((0..100).map(|i| Tuple::new(vec![Datum::Int(i)])));
+        let stats = analyze(tuples.iter(), 1, 5);
+        let c = &stats.columns[0];
+        assert!((c.null_frac - 0.9).abs() < 1e-12);
+        assert!((c.eq_selectivity() - 0.1 / 100.0).abs() < 1e-12);
+        let probes = [Datum::Int(-1), Datum::Int(50), Datum::Int(200), Datum::Null];
+        assert_bounded(&stats, &probes);
+
+        // All-NULL column: no histogram, nothing ever matches an equality.
+        let all_null: Vec<Tuple> = (0..10).map(|_| Tuple::new(vec![Datum::Null])).collect();
+        let stats = analyze(all_null.iter(), 1, 1);
+        assert_eq!(stats.columns[0].n_distinct, 0);
+        assert_eq!(stats.columns[0].eq_selectivity(), 0.0);
+        assert!(stats.columns[0].histogram.is_none());
+        assert_eq!(stats.columns[0].null_frac, 1.0);
+    }
+
+    #[test]
+    fn nan_floats_do_not_poison_fraction_below() {
+        let mut values: Vec<Datum> = (0..100).map(|i| Datum::Float(i as f64)).collect();
+        values.push(Datum::Float(f64::NAN));
+        let h = Histogram::build(values, 10).unwrap();
+        // NaN probes and NaN bucket bounds must still produce a finite,
+        // bounded estimate (total_cmp sorts NaN above every number).
+        for p in [
+            Datum::Float(f64::NAN),
+            Datum::Float(50.0),
+            Datum::Float(f64::INFINITY),
+            Datum::Float(f64::NEG_INFINITY),
+        ] {
+            let f = h.fraction_below(&p);
+            assert!(f.is_finite() && (0.0..=1.0).contains(&f), "got {f} for {p:?}");
+        }
     }
 
     #[test]

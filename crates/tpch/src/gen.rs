@@ -27,6 +27,10 @@ pub struct TpchConfig {
     pub scale: f64,
     /// RNG seed; the same seed always produces the same database.
     pub seed: u64,
+    /// Build the OSDB-style secondary index set (true by default).
+    /// `scan_only()` disables it, for scan-vs-index comparisons and for
+    /// handing the physical-design advisor a blank slate.
+    pub with_indexes: bool,
 }
 
 impl TpchConfig {
@@ -35,6 +39,7 @@ impl TpchConfig {
         TpchConfig {
             scale: 0.001,
             seed: 42,
+            with_indexes: true,
         }
     }
 
@@ -43,7 +48,14 @@ impl TpchConfig {
         TpchConfig {
             scale: 0.02,
             seed: 42,
+            with_indexes: true,
         }
+    }
+
+    /// The same database with no secondary indexes built.
+    pub fn scan_only(mut self) -> TpchConfig {
+        self.with_indexes = false;
+        self
     }
 
     fn customers(&self) -> i64 {
@@ -410,6 +422,40 @@ impl TpchDb {
 
         // The OSDB-style index set: primary keys, foreign keys, and the
         // date columns the workload predicates use.
+        if config.with_indexes {
+            Self::build_indexes(
+                &mut db, region, nation, supplier, customer, part, partsupp, orders, lineitem,
+            )?;
+        }
+
+        db.analyze_all()?;
+
+        Ok(TpchDb {
+            db,
+            region,
+            nation,
+            supplier,
+            customer,
+            part,
+            partsupp,
+            orders,
+            lineitem,
+            config,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_indexes(
+        db: &mut Database,
+        region: TableId,
+        nation: TableId,
+        supplier: TableId,
+        customer: TableId,
+        part: TableId,
+        partsupp: TableId,
+        orders: TableId,
+        lineitem: TableId,
+    ) -> Result<(), StorageError> {
         db.create_index("region_pk", region, crate::col::region::REGIONKEY)?;
         db.create_index("nation_pk", nation, crate::col::nation::NATIONKEY)?;
         db.create_index("nation_region_fk", nation, crate::col::nation::REGIONKEY)?;
@@ -441,21 +487,7 @@ impl TpchDb {
             lineitem,
             crate::col::lineitem::SHIPDATE,
         )?;
-
-        db.analyze_all()?;
-
-        Ok(TpchDb {
-            db,
-            region,
-            nation,
-            supplier,
-            customer,
-            part,
-            partsupp,
-            orders,
-            lineitem,
-            config,
-        })
+        Ok(())
     }
 }
 

@@ -1,15 +1,17 @@
-//! Logical plans for the TPC-H query subset.
+//! SQL text for the TPC-H query subset.
 //!
 //! Q4 and Q13 are the queries the paper's Figures 4 and 5 are built on:
 //! Q4 is I/O-bound (a date-windowed semi-join counting orders with late
 //! lineitems), Q13 is CPU-bound (a `NOT LIKE` filter over every order
 //! comment feeding a two-level aggregation). The remaining queries give
 //! the search experiments a spread of resource profiles.
+//!
+//! Every query is SQL, compiled through the full parser → binder →
+//! optimizer pipeline ([`TpchQuery::plan`] → [`dbvirt_sql::parse_query`]).
+//! There are no hand-built plans.
 
-use crate::col::{customer, lineitem, nation, orders, part, region, supplier};
-use crate::{date, TpchDb};
-use dbvirt_engine::{AggExpr, AggFunc, Expr, JoinType, SortKey};
-use dbvirt_optimizer::{JoinCondition, LogicalPlan};
+use crate::TpchDb;
+use dbvirt_optimizer::LogicalPlan;
 use std::fmt;
 
 /// The implemented TPC-H queries.
@@ -53,19 +55,114 @@ impl TpchQuery {
         ]
     }
 
-    /// Builds this query's logical plan against a generated database.
-    pub fn plan(self, t: &TpchDb) -> LogicalPlan {
+    /// The SQL text of this query (parameters inlined at the spec's
+    /// validation values, dates pre-resolved).
+    pub fn sql(self) -> &'static str {
         match self {
-            TpchQuery::Q1 => q1(t),
-            TpchQuery::Q3 => q3(t),
-            TpchQuery::Q4 => q4(t),
-            TpchQuery::Q5 => q5(t),
-            TpchQuery::Q6 => q6(t),
-            TpchQuery::Q10 => q10(t),
-            TpchQuery::Q13 => q13(t),
-            TpchQuery::Q14 => q14(t),
-            TpchQuery::Q18 => q18(t),
+            // 1998-12-01 minus 90 days.
+            TpchQuery::Q1 => {
+                "SELECT l_returnflag, l_linestatus, \
+                 SUM(l_quantity) AS sum_qty, \
+                 SUM(l_extendedprice) AS sum_base_price, \
+                 SUM(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, \
+                 SUM(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) AS sum_charge, \
+                 AVG(l_quantity) AS avg_qty, \
+                 AVG(l_extendedprice) AS avg_price, \
+                 AVG(l_discount) AS avg_disc, \
+                 COUNT(*) AS count_order \
+                 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+                 GROUP BY l_returnflag, l_linestatus \
+                 ORDER BY l_returnflag, l_linestatus"
+            }
+            TpchQuery::Q3 => {
+                "SELECT o_orderkey, o_orderdate, o_shippriority, \
+                 SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+                 FROM customer, orders, lineitem \
+                 WHERE c_mktsegment = 'BUILDING' \
+                 AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+                 AND o_orderdate < DATE '1995-03-15' \
+                 AND l_shipdate > DATE '1995-03-15' \
+                 GROUP BY o_orderkey, o_orderdate, o_shippriority \
+                 ORDER BY revenue DESC, o_orderdate LIMIT 10"
+            }
+            TpchQuery::Q4 => {
+                "SELECT o_orderpriority, COUNT(*) AS order_count \
+                 FROM orders \
+                 WHERE o_orderdate >= DATE '1993-07-01' \
+                 AND o_orderdate < DATE '1993-10-01' \
+                 AND EXISTS (SELECT * FROM lineitem \
+                 WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) \
+                 GROUP BY o_orderpriority ORDER BY o_orderpriority"
+            }
+            TpchQuery::Q5 => {
+                "SELECT n_name, SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+                 FROM customer \
+                 JOIN orders ON c_custkey = o_custkey \
+                 JOIN lineitem ON o_orderkey = l_orderkey \
+                 JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey \
+                 JOIN nation ON s_nationkey = n_nationkey \
+                 JOIN region ON n_regionkey = r_regionkey \
+                 WHERE r_name = 'ASIA' \
+                 AND o_orderdate >= DATE '1994-01-01' \
+                 AND o_orderdate < DATE '1995-01-01' \
+                 GROUP BY n_name ORDER BY revenue DESC"
+            }
+            TpchQuery::Q6 => {
+                "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+                 FROM lineitem \
+                 WHERE l_shipdate >= DATE '1994-01-01' \
+                 AND l_shipdate < DATE '1995-01-01' \
+                 AND l_discount BETWEEN 0.05 AND 0.07 \
+                 AND l_quantity < 24"
+            }
+            TpchQuery::Q10 => {
+                "SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment, \
+                 SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+                 FROM customer \
+                 JOIN orders ON c_custkey = o_custkey \
+                 JOIN lineitem ON o_orderkey = l_orderkey \
+                 JOIN nation ON c_nationkey = n_nationkey \
+                 WHERE o_orderdate >= DATE '1993-10-01' \
+                 AND o_orderdate < DATE '1994-01-01' \
+                 AND l_returnflag = 'R' \
+                 GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+                 ORDER BY revenue DESC LIMIT 20"
+            }
+            TpchQuery::Q13 => {
+                "SELECT c_count, COUNT(*) AS custdist FROM \
+                 (SELECT c_custkey, COUNT(o_orderkey) AS c_count \
+                 FROM customer LEFT JOIN orders \
+                 ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%' \
+                 GROUP BY c_custkey) c_orders \
+                 GROUP BY c_count ORDER BY custdist DESC, c_count DESC"
+            }
+            TpchQuery::Q14 => {
+                "SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%' \
+                 THEN l_extendedprice * (1.0 - l_discount) ELSE 0.0 END) \
+                 / SUM(l_extendedprice * (1.0 - l_discount)) AS promo_revenue \
+                 FROM lineitem JOIN part ON l_partkey = p_partkey \
+                 WHERE l_shipdate >= DATE '1995-09-01' \
+                 AND l_shipdate < DATE '1995-10-01'"
+            }
+            TpchQuery::Q18 => {
+                "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+                 SUM(l_quantity) AS sum_qty \
+                 FROM customer \
+                 JOIN orders ON c_custkey = o_custkey \
+                 JOIN lineitem ON o_orderkey = l_orderkey \
+                 WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem \
+                 GROUP BY l_orderkey HAVING SUM(l_quantity) > 250) \
+                 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+                 ORDER BY o_totalprice DESC, o_orderdate LIMIT 100"
+            }
         }
+    }
+
+    /// Compiles this query's SQL against a generated database: the full
+    /// parser → binder pipeline, no hand-built plans.
+    pub fn plan(self, t: &TpchDb) -> LogicalPlan {
+        dbvirt_sql::parse_query(self.sql(), &t.db)
+            .unwrap_or_else(|e| panic!("{self} failed to compile: {e}"))
     }
 }
 
@@ -75,379 +172,10 @@ impl fmt::Display for TpchQuery {
     }
 }
 
-fn on(left_col: usize, right_col: usize) -> JoinCondition {
-    JoinCondition {
-        left_col,
-        right_col,
-    }
-}
-
-/// `l_extendedprice * (1 - l_discount)` at a given column offset.
-fn revenue_expr(offset: usize) -> Expr {
-    Expr::mul(
-        Expr::col(offset + lineitem::EXTENDEDPRICE),
-        Expr::sub(Expr::float(1.0), Expr::col(offset + lineitem::DISCOUNT)),
-    )
-}
-
-/// Q1: pricing summary report.
-fn q1(t: &TpchDb) -> LogicalPlan {
-    let cutoff = date(1998, 12, 1) - 90;
-    LogicalPlan::scan_filtered(
-        t.lineitem,
-        Expr::le(Expr::col(lineitem::SHIPDATE), Expr::date(cutoff)),
-    )
-    .aggregate(
-        vec![lineitem::RETURNFLAG, lineitem::LINESTATUS],
-        vec![
-            AggExpr::new(AggFunc::Sum, Expr::col(lineitem::QUANTITY), "sum_qty"),
-            AggExpr::new(
-                AggFunc::Sum,
-                Expr::col(lineitem::EXTENDEDPRICE),
-                "sum_base_price",
-            ),
-            AggExpr::new(AggFunc::Sum, revenue_expr(0), "sum_disc_price"),
-            AggExpr::new(
-                AggFunc::Sum,
-                Expr::mul(
-                    revenue_expr(0),
-                    Expr::add(Expr::float(1.0), Expr::col(lineitem::TAX)),
-                ),
-                "sum_charge",
-            ),
-            AggExpr::new(AggFunc::Avg, Expr::col(lineitem::QUANTITY), "avg_qty"),
-            AggExpr::new(
-                AggFunc::Avg,
-                Expr::col(lineitem::EXTENDEDPRICE),
-                "avg_price",
-            ),
-            AggExpr::new(AggFunc::Avg, Expr::col(lineitem::DISCOUNT), "avg_disc"),
-            AggExpr::count_star("count_order"),
-        ],
-    )
-    .sort(vec![SortKey::asc(0), SortKey::asc(1)])
-}
-
-/// Q3: shipping priority.
-fn q3(t: &TpchDb) -> LogicalPlan {
-    let d = date(1995, 3, 15);
-    let cust_arity = 8;
-    let orders_off = cust_arity;
-    let line_off = orders_off + 8;
-    LogicalPlan::scan_filtered(
-        t.customer,
-        Expr::eq(Expr::col(customer::MKTSEGMENT), Expr::str("BUILDING")),
-    )
-    .join(
-        LogicalPlan::scan_filtered(
-            t.orders,
-            Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(d)),
-        ),
-        vec![on(customer::CUSTKEY, orders::CUSTKEY)],
-    )
-    .join(
-        LogicalPlan::scan_filtered(
-            t.lineitem,
-            Expr::gt(Expr::col(lineitem::SHIPDATE), Expr::date(d)),
-        ),
-        vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
-    )
-    .aggregate(
-        vec![
-            orders_off + orders::ORDERKEY,
-            orders_off + orders::ORDERDATE,
-            orders_off + orders::SHIPPRIORITY,
-        ],
-        vec![AggExpr::new(
-            AggFunc::Sum,
-            revenue_expr(line_off),
-            "revenue",
-        )],
-    )
-    .sort(vec![SortKey::desc(3), SortKey::asc(1)])
-    .limit(10)
-}
-
-/// Q4: order priority checking — the paper's I/O-bound query.
-fn q4(t: &TpchDb) -> LogicalPlan {
-    let lo = date(1993, 7, 1);
-    let hi = date(1993, 10, 1);
-    LogicalPlan::scan_filtered(
-        t.orders,
-        Expr::and(
-            Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
-            Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
-        ),
-    )
-    .join_as(
-        LogicalPlan::scan_filtered(
-            t.lineitem,
-            Expr::lt(
-                Expr::col(lineitem::COMMITDATE),
-                Expr::col(lineitem::RECEIPTDATE),
-            ),
-        ),
-        vec![on(orders::ORDERKEY, lineitem::ORDERKEY)],
-        JoinType::Semi,
-    )
-    .aggregate(
-        vec![orders::ORDERPRIORITY],
-        vec![AggExpr::count_star("order_count")],
-    )
-    .sort(vec![SortKey::asc(0)])
-}
-
-/// Q5: local supplier volume.
-fn q5(t: &TpchDb) -> LogicalPlan {
-    let lo = date(1994, 1, 1);
-    let hi = date(1995, 1, 1);
-    let orders_off = 8;
-    let line_off = orders_off + 8; // 16
-    let supp_off = line_off + 13; // 29
-    let nation_off = supp_off + 4; // 33
-    LogicalPlan::scan(t.customer)
-        .join(
-            LogicalPlan::scan_filtered(
-                t.orders,
-                Expr::and(
-                    Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
-                    Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
-                ),
-            ),
-            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
-        )
-        .join(
-            LogicalPlan::scan(t.lineitem),
-            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
-        )
-        .join(
-            LogicalPlan::scan(t.supplier),
-            vec![
-                on(line_off + lineitem::SUPPKEY, supplier::SUPPKEY),
-                on(customer::NATIONKEY, supplier::NATIONKEY),
-            ],
-        )
-        .join(
-            LogicalPlan::scan(t.nation),
-            vec![on(supp_off + supplier::NATIONKEY, nation::NATIONKEY)],
-        )
-        .join(
-            LogicalPlan::scan_filtered(
-                t.region,
-                Expr::eq(Expr::col(region::NAME), Expr::str("ASIA")),
-            ),
-            vec![on(nation_off + nation::REGIONKEY, region::REGIONKEY)],
-        )
-        .aggregate(
-            vec![nation_off + nation::NAME],
-            vec![AggExpr::new(
-                AggFunc::Sum,
-                revenue_expr(line_off),
-                "revenue",
-            )],
-        )
-        .sort(vec![SortKey::desc(1)])
-}
-
-/// Q6: forecasting revenue change.
-fn q6(t: &TpchDb) -> LogicalPlan {
-    let lo = date(1994, 1, 1);
-    let hi = date(1995, 1, 1);
-    LogicalPlan::scan_filtered(
-        t.lineitem,
-        Expr::and_all(vec![
-            Expr::ge(Expr::col(lineitem::SHIPDATE), Expr::date(lo)),
-            Expr::lt(Expr::col(lineitem::SHIPDATE), Expr::date(hi)),
-            Expr::between(
-                Expr::col(lineitem::DISCOUNT),
-                dbvirt_storage::Datum::Float(0.05),
-                dbvirt_storage::Datum::Float(0.07),
-            ),
-            Expr::lt(Expr::col(lineitem::QUANTITY), Expr::int(24)),
-        ]),
-    )
-    .aggregate(
-        vec![],
-        vec![AggExpr::new(
-            AggFunc::Sum,
-            Expr::mul(
-                Expr::col(lineitem::EXTENDEDPRICE),
-                Expr::col(lineitem::DISCOUNT),
-            ),
-            "revenue",
-        )],
-    )
-}
-
-/// Q10: returned item reporting.
-fn q10(t: &TpchDb) -> LogicalPlan {
-    let lo = date(1993, 10, 1);
-    let hi = date(1994, 1, 1);
-    let orders_off = 8;
-    let line_off = orders_off + 8; // 16
-    let nation_off = line_off + 13; // 29
-    LogicalPlan::scan(t.customer)
-        .join(
-            LogicalPlan::scan_filtered(
-                t.orders,
-                Expr::and(
-                    Expr::ge(Expr::col(orders::ORDERDATE), Expr::date(lo)),
-                    Expr::lt(Expr::col(orders::ORDERDATE), Expr::date(hi)),
-                ),
-            ),
-            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
-        )
-        .join(
-            LogicalPlan::scan_filtered(
-                t.lineitem,
-                Expr::eq(Expr::col(lineitem::RETURNFLAG), Expr::str("R")),
-            ),
-            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
-        )
-        .join(
-            LogicalPlan::scan(t.nation),
-            vec![on(customer::NATIONKEY, nation::NATIONKEY)],
-        )
-        .aggregate(
-            vec![
-                customer::CUSTKEY,
-                customer::NAME,
-                customer::ACCTBAL,
-                customer::PHONE,
-                nation_off + nation::NAME,
-                customer::ADDRESS,
-                customer::COMMENT,
-            ],
-            vec![AggExpr::new(
-                AggFunc::Sum,
-                revenue_expr(line_off),
-                "revenue",
-            )],
-        )
-        .sort(vec![SortKey::desc(7)])
-        .limit(20)
-}
-
-/// Q13: customer distribution — the paper's CPU-bound query.
-fn q13(t: &TpchDb) -> LogicalPlan {
-    let orders_off = 8;
-    LogicalPlan::scan(t.customer)
-        .join_as(
-            LogicalPlan::scan_filtered(
-                t.orders,
-                Expr::not_like(Expr::col(orders::COMMENT), "%special%requests%"),
-            ),
-            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
-            JoinType::Left,
-        )
-        // c_orders: count of non-null order keys per customer.
-        .aggregate(
-            vec![customer::CUSTKEY],
-            vec![AggExpr::new(
-                AggFunc::Count,
-                Expr::col(orders_off + orders::ORDERKEY),
-                "c_count",
-            )],
-        )
-        // custdist: how many customers have each order count.
-        .aggregate(vec![1], vec![AggExpr::count_star("custdist")])
-        .sort(vec![SortKey::desc(1), SortKey::desc(0)])
-}
-
-/// Q14: promotion effect.
-fn q14(t: &TpchDb) -> LogicalPlan {
-    let lo = date(1995, 9, 1);
-    let hi = date(1995, 10, 1);
-    let part_off = 13;
-    LogicalPlan::scan_filtered(
-        t.lineitem,
-        Expr::and(
-            Expr::ge(Expr::col(lineitem::SHIPDATE), Expr::date(lo)),
-            Expr::lt(Expr::col(lineitem::SHIPDATE), Expr::date(hi)),
-        ),
-    )
-    .join(
-        LogicalPlan::scan(t.part),
-        vec![on(lineitem::PARTKEY, part::PARTKEY)],
-    )
-    .aggregate(
-        vec![],
-        vec![
-            AggExpr::new(
-                AggFunc::Sum,
-                Expr::Case {
-                    branches: vec![(
-                        Expr::like(Expr::col(part_off + part::TYPE), "PROMO%"),
-                        revenue_expr(0),
-                    )],
-                    else_expr: Some(Box::new(Expr::float(0.0))),
-                },
-                "promo",
-            ),
-            AggExpr::new(AggFunc::Sum, revenue_expr(0), "total"),
-        ],
-    )
-    .project(vec![(
-        Expr::arith(
-            dbvirt_engine::BinOp::Div,
-            Expr::mul(Expr::float(100.0), Expr::col(0)),
-            Expr::col(1),
-        ),
-        "promo_revenue".to_string(),
-    )])
-}
-
-/// Q18: large volume customer. The `HAVING SUM(l_quantity) > 250` inner
-/// aggregate becomes a semi-join filter on orders.
-fn q18(t: &TpchDb) -> LogicalPlan {
-    let big_orders = LogicalPlan::scan(t.lineitem)
-        .aggregate(
-            vec![lineitem::ORDERKEY],
-            vec![AggExpr::new(
-                AggFunc::Sum,
-                Expr::col(lineitem::QUANTITY),
-                "sum_qty",
-            )],
-        )
-        .filter(Expr::gt(Expr::col(1), Expr::int(250)));
-
-    let orders_off = 8;
-    let line_off = orders_off + 8;
-    LogicalPlan::scan(t.customer)
-        .join(
-            LogicalPlan::scan(t.orders).join_as(
-                big_orders,
-                vec![on(orders::ORDERKEY, 0)],
-                JoinType::Semi,
-            ),
-            vec![on(customer::CUSTKEY, orders::CUSTKEY)],
-        )
-        .join(
-            LogicalPlan::scan(t.lineitem),
-            vec![on(orders_off + orders::ORDERKEY, lineitem::ORDERKEY)],
-        )
-        .aggregate(
-            vec![
-                customer::NAME,
-                customer::CUSTKEY,
-                orders_off + orders::ORDERKEY,
-                orders_off + orders::ORDERDATE,
-                orders_off + orders::TOTALPRICE,
-            ],
-            vec![AggExpr::new(
-                AggFunc::Sum,
-                Expr::col(line_off + lineitem::QUANTITY),
-                "sum_qty",
-            )],
-        )
-        .sort(vec![SortKey::desc(4), SortKey::asc(3)])
-        .limit(100)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TpchConfig;
+    use crate::{TpchConfig, TpchDb};
     use dbvirt_engine::{run_plan, CpuCosts};
     use dbvirt_optimizer::{plan_query, OptimizerParams};
     use dbvirt_storage::BufferPool;
@@ -624,6 +352,33 @@ mod tests {
             )
             .unwrap_or_else(|e| panic!("{q} failed to execute: {e}"));
             assert!(out.demand.cpu_cycles > 0.0, "{q} did no work");
+        }
+    }
+
+    /// The acceptance contract: for every query, the plan chosen over the
+    /// indexed database returns results bit-identical to the plan chosen
+    /// over the scan-only database.
+    #[test]
+    fn indexed_results_bit_identical_to_scan_only() {
+        let run_on = |cfg: TpchConfig, q: TpchQuery| {
+            let mut t = TpchDb::generate(cfg).unwrap();
+            let logical = q.plan(&t);
+            let planned = plan_query(&t.db, &logical, &OptimizerParams::default()).unwrap();
+            let mut pool = BufferPool::new(4096);
+            let out = run_plan(
+                &mut t.db,
+                &mut pool,
+                &planned.physical,
+                4 << 20,
+                CpuCosts::default(),
+            )
+            .unwrap();
+            out.rows
+        };
+        for q in TpchQuery::all() {
+            let indexed = run_on(TpchConfig::tiny(), q);
+            let scan_only = run_on(TpchConfig::tiny().scan_only(), q);
+            assert_eq!(indexed, scan_only, "{q} differs between index and scan");
         }
     }
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Physical-design gate: run the joint index-selection + allocation
+# experiment (`ext_design`) twice and hold it to its contract — the
+# binary's own assertions must pass (joint strictly beats index-only and
+# allocation-only on the pinned `duo` scenario, the Lagrangian bound
+# certifies every answer within a 25% optimality gap, a zero storage
+# budget degenerates to the allocation-only answer bit-for-bit,
+# recommendations identical at pre-warm parallelism 1 and 0), the
+# per-scenario DESIGN_FINGERPRINT lines must be identical across the two
+# processes, and the BENCH_design.json artifact must be written.
+#
+# Runs as part of `scripts/tier1.sh`, or directly. Artifacts land in
+# DESIGN_DIR (default: a throwaway temp directory; set DESIGN_DIR=. to
+# keep BENCH_design.json in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root="$PWD"
+
+out_dir="${DESIGN_DIR:-$(mktemp -d)}"
+cleanup() {
+  if [[ -z "${DESIGN_DIR:-}" ]]; then rm -rf "$out_dir"; fi
+}
+trap cleanup EXIT
+
+cargo build --release -p dbvirt-bench --bin ext_design
+
+(cd "$out_dir" && "$repo_root/target/release/ext_design" | tee run_a.log)
+(cd "$out_dir" && "$repo_root/target/release/ext_design" > run_b.log)
+
+# Cross-process determinism: the recommendation fingerprints of two
+# independent runs must match line for line.
+grep '^DESIGN_FINGERPRINT' "$out_dir/run_a.log" > "$out_dir/fp_a.txt"
+grep '^DESIGN_FINGERPRINT' "$out_dir/run_b.log" > "$out_dir/fp_b.txt"
+if [[ ! -s "$out_dir/fp_a.txt" ]]; then
+  echo "FAIL: ext_design printed no fingerprint lines" >&2
+  exit 1
+fi
+if ! diff -u "$out_dir/fp_a.txt" "$out_dir/fp_b.txt"; then
+  echo "FAIL: design recommendations diverged between two identical runs" >&2
+  exit 1
+fi
+
+if [[ ! -s "$out_dir/BENCH_design.json" ]]; then
+  echo "FAIL: ext_design did not write BENCH_design.json" >&2
+  exit 1
+fi
+echo "design gate OK: every pin held, recommendations replayed bit-identically"

@@ -35,6 +35,14 @@ scripts/sched.sh
 # scripts/fleet.sh).
 scripts/fleet.sh
 
+# Physical-design gate: the joint index-selection + allocation advisor
+# must hold its pins — joint strictly beats both marginals on the pinned
+# `duo` scenario, LP-certified gaps <= 25% on every answer, zero budget
+# degenerates to allocation-only bit-for-bit, and recommendations replay
+# bit-identically across processes and pre-warm parallelism (see
+# scripts/design.sh).
+scripts/design.sh
+
 # Opt-in chaos gate: CHAOS=1 additionally replays the calibration pipeline
 # under a sweep of fault-injection seeds/intensities (see scripts/chaos.sh).
 if [[ "${CHAOS:-0}" == "1" ]]; then

@@ -22,7 +22,10 @@
 //!   written as the paper writes them: "a sequence of SQL statements";
 //! * [`fleet`] — datacenter-scale placement: `N` VMs across `M`
 //!   heterogeneous machines (greedy bin-pack → local search → LP
-//!   optimality bound), served from a shared warm what-if cache.
+//!   optimality bound), served from a shared warm what-if cache;
+//! * [`design`] — a physical-design advisor that chooses secondary
+//!   indexes *jointly* with resource shares: alternating co-optimization
+//!   with CoPhy-style what-if pricing and an LP-certified optimality gap.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@
 
 pub use dbvirt_calibrate as calibrate;
 pub use dbvirt_core as core;
+pub use dbvirt_design as design;
 pub use dbvirt_engine as engine;
 pub use dbvirt_fleet as fleet;
 pub use dbvirt_optimizer as optimizer;
