@@ -173,6 +173,19 @@ fn main() {
         if shape.name == "m1" {
             assert_m1_matches_core_dp(&report, &problem, &model_small, cfg);
         }
+        // Pin: the capacity-forced xl shape must actually search — moves
+        // are structurally impossible there (every machine is full), so
+        // the seeded swap sampler is what keeps candidates flowing.
+        if shape.name == "xl" {
+            assert!(
+                report.local_search.candidates_evaluated > 0,
+                "xl: local search evaluated no candidates (sampler broken?)"
+            );
+            assert!(
+                report.local_search.swap_candidates_sampled > 0,
+                "xl: swap sampler drew no candidates"
+            );
+        }
 
         println!(
             "FLEET_FINGERPRINT {}={:016x}",
@@ -215,6 +228,10 @@ fn main() {
                 .int(
                     "swaps_enumerated",
                     report.local_search.swaps_enumerated as u64,
+                )
+                .int(
+                    "ls_swaps_sampled",
+                    report.local_search.swap_candidates_sampled as u64,
                 )
                 .int("prewarm_cells", report.prewarm_cells as u64)
                 .int("dp_solves", report.solves as u64)

@@ -1,11 +1,21 @@
 //! The fleet-level warm cost cache.
 //!
-//! One sharded [`CostCache`] per machine *class*, with cells keyed by the
+//! One store per machine *class*, each **sharded by VM index** across
+//! [`VM_SHARDS`] independent [`CostCache`]s, with cells keyed by the
 //! VM's **global index** (`(vm, cpu units, mem units)`), since a cell's
 //! cost depends only on the VM's workload, the machine class, and the
 //! shares — never on which co-residents it has or which concrete machine
 //! of the class hosts it (the disk share is a fixed per-VM policy, see
 //! [`crate::FleetConfig::disk_share`]).
+//!
+//! The VM sharding is what lets the pre-warm sweep scale past a handful
+//! of worker threads: pre-warm tasks are `(class, vm)` pairs, so two
+//! workers touch the same shard only when their VMs collide modulo
+//! [`VM_SHARDS`] — multiplied by the [`CostCache`]'s own internal hash
+//! shards, thousand-VM fleets warm with effectively no lock contention.
+//! Sharding is invisible to correctness: cached values are pure in
+//! `(class, vm, cell)` and each `(vm, cell)` key lives in exactly one
+//! shard, so lookups are bitwise identical at any worker count.
 //!
 //! Per-machine solves run through `run_search_cached`, whose cache keys
 //! are *local* workload indices within that machine's `DesignProblem`.
@@ -16,21 +26,28 @@
 //! sound because cached costs are pure functions of `(class, vm, cell)`.
 
 use dbvirt_core::search::CostCache;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Shared warm cost store for one fleet advisor: a [`CostCache`] per
+/// VM shards per class store. Each shard is a full [`CostCache`] (which
+/// is itself internally hash-sharded), so the effective lock partition is
+/// `VM_SHARDS ×` the cache's internal shard count.
+const VM_SHARDS: usize = 16;
+
+/// Shared warm cost store for one fleet advisor: a VM-sharded store per
 /// machine class. Thread-safe; concurrent placement requests drain and
 /// fill it together.
 pub struct FleetCostCache {
-    per_class: Vec<Arc<CostCache>>,
+    /// `per_class[class][vm % VM_SHARDS]` holds VM `vm`'s cells.
+    per_class: Vec<Vec<Arc<CostCache>>>,
 }
 
 impl FleetCostCache {
     /// An empty cache covering `n_classes` machine classes.
     pub fn new(n_classes: usize) -> FleetCostCache {
         FleetCostCache {
-            per_class: (0..n_classes).map(|_| Arc::new(CostCache::new())).collect(),
+            per_class: (0..n_classes)
+                .map(|_| (0..VM_SHARDS).map(|_| Arc::new(CostCache::new())).collect())
+                .collect(),
         }
     }
 
@@ -39,43 +56,66 @@ impl FleetCostCache {
         self.per_class.len()
     }
 
+    /// The shard holding VM `vm`'s cells for `class`.
+    fn shard(&self, class: usize, vm: usize) -> &CostCache {
+        &self.per_class[class][vm % VM_SHARDS]
+    }
+
     /// The cached unweighted cost of `(class, vm, cpu, mem)`, if present.
     pub fn get(&self, class: usize, vm: usize, cpu: u32, mem: u32) -> Option<f64> {
-        self.per_class[class].get(&(vm, cpu, mem))
+        self.shard(class, vm).get(&(vm, cpu, mem))
     }
 
     /// Inserts a freshly evaluated cell. Returns `true` if it was new.
     pub fn insert(&self, class: usize, vm: usize, cpu: u32, mem: u32, cost: f64) -> bool {
-        self.per_class[class].insert((vm, cpu, mem), cost)
+        self.shard(class, vm).insert((vm, cpu, mem), cost)
     }
 
     /// Total distinct cells evaluated into this cache so far.
     pub fn evaluations(&self) -> usize {
-        self.per_class.iter().map(|c| c.evaluations()).sum()
+        self.per_class
+            .iter()
+            .flatten()
+            .map(|c| c.evaluations())
+            .sum()
     }
 
     /// A deterministic per-VM snapshot of one class's cells, used to seed
     /// local solve caches without re-walking the sharded store per solve.
+    /// The snapshot is dense — indexed by VM, O(1) per lookup — so
+    /// thousand-VM solves never hash.
     pub fn snapshot_class(&self, class: usize) -> ClassSnapshot {
-        let mut by_vm: HashMap<usize, Vec<(u32, u32, f64)>> = HashMap::new();
-        for ((vm, c, m), cost) in self.per_class[class].entries() {
-            by_vm.entry(vm).or_default().push((c, m, cost));
+        let shards = &self.per_class[class];
+        let num_vms = shards
+            .iter()
+            .flat_map(|s| s.entries())
+            .map(|((vm, _, _), _)| vm + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_vm: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); num_vms];
+        // Each VM's cells live in exactly one shard, and `entries()` is
+        // sorted by `(vm, cpu, mem)` — so every per-VM list comes out
+        // sorted, which `cell_cost`'s binary search relies on.
+        for shard in shards {
+            for ((vm, c, m), cost) in shard.entries() {
+                by_vm[vm].push((c, m, cost));
+            }
         }
         ClassSnapshot { by_vm }
     }
 }
 
-/// An immutable snapshot of one class's cached cells, grouped by VM.
-/// `CostCache::entries()` returns cells in sorted key order, so each VM's
-/// cell list is deterministic.
+/// An immutable snapshot of one class's cached cells, dense by VM index.
+/// Each VM's cell list is sorted by `(cpu, mem)` (see
+/// [`FleetCostCache::snapshot_class`]).
 pub struct ClassSnapshot {
-    by_vm: HashMap<usize, Vec<(u32, u32, f64)>>,
+    by_vm: Vec<Vec<(u32, u32, f64)>>,
 }
 
 impl ClassSnapshot {
     /// The cached cells of one VM (empty slice if none).
     pub fn cells(&self, vm: usize) -> &[(u32, u32, f64)] {
-        self.by_vm.get(&vm).map(Vec::as_slice).unwrap_or(&[])
+        self.by_vm.get(vm).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Builds a fresh local [`CostCache`] for a per-machine solve over
@@ -115,5 +155,32 @@ mod tests {
         // Subset ordering defines the local index.
         let local = snap.seed_local(&[9]);
         assert_eq!(local.get(&(0, 1, 2)), Some(3.0));
+    }
+
+    #[test]
+    fn vm_sharding_is_invisible_to_lookups_and_snapshots() {
+        // VMs that collide modulo VM_SHARDS and VMs that don't: every key
+        // resolves to its own value, and snapshots stay per-VM sorted.
+        let cache = FleetCostCache::new(1);
+        let vms = [0, 1, 15, 16, 17, 31, 32, 1000];
+        for (i, &vm) in vms.iter().enumerate() {
+            assert!(cache.insert(0, vm, 2, 1, i as f64));
+            assert!(cache.insert(0, vm, 1, 1, 100.0 + i as f64));
+        }
+        assert_eq!(cache.evaluations(), 2 * vms.len());
+        for (i, &vm) in vms.iter().enumerate() {
+            assert_eq!(cache.get(0, vm, 2, 1), Some(i as f64));
+            assert_eq!(cache.get(0, vm, 1, 1), Some(100.0 + i as f64));
+        }
+        let snap = cache.snapshot_class(0);
+        for (i, &vm) in vms.iter().enumerate() {
+            // Sorted by (cpu, mem): the (1,1) cell precedes (2,1).
+            assert_eq!(
+                snap.cells(vm),
+                &[(1, 1, 100.0 + i as f64), (2, 1, i as f64)]
+            );
+        }
+        assert_eq!(snap.cells(999), &[]); // never warmed, dense hole
+        assert_eq!(snap.cells(5000), &[]); // beyond the snapshot
     }
 }

@@ -36,9 +36,12 @@ pub struct FleetConfig {
     pub lp_iterations: usize,
     /// Local-search round cap (each round applies at most one move/swap).
     pub max_rounds: usize,
-    /// Swaps are enumerated only while `N x M` does not exceed this
-    /// budget; beyond it the neighborhood is moves-only (reported in
-    /// [`crate::LocalSearchStats::swaps_enumerated`], never silently).
+    /// Swaps are enumerated exhaustively only while `N x M` does not
+    /// exceed this budget; beyond it each round *samples* up to this many
+    /// swap pairs from a seeded deterministic stream (reported in
+    /// [`crate::LocalSearchStats::swaps_enumerated`] and
+    /// [`crate::LocalSearchStats::swap_candidates_sampled`], never
+    /// silently).
     pub swap_candidate_budget: usize,
 }
 

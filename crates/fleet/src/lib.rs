@@ -38,6 +38,7 @@ mod lp;
 mod migrate;
 mod placement;
 mod problem;
+mod sim;
 mod solver;
 
 pub use advisor::{FleetAdvisor, FleetReport};
@@ -49,3 +50,4 @@ pub use local_search::LocalSearchStats;
 pub use lp::LpBound;
 pub use placement::Placement;
 pub use problem::{CurrentPlacement, FleetProblem, FleetVm, MachineClasses};
+pub use sim::{simulate_placement, FleetSimReport};

@@ -8,9 +8,17 @@
 //! machines with the exact per-machine dynamic program, so shares are
 //! always jointly optimal for the assignment being scored.
 //!
-//! Determinism: candidates are enumerated in a fixed order and accepted
-//! only on strict improvement, so ties resolve to the earliest candidate;
-//! accepted placements are rebuilt from scratch through
+//! Above the budget the swap neighborhood is **sampled**, not skipped: a
+//! seeded splitmix64 stream draws up to `swap_candidate_budget` swap
+//! pairs per round, in a fixed deterministic order. This matters at
+//! capacity-forced shapes (every machine full) where moves are
+//! structurally impossible — without sampled swaps, large fleets would do
+//! no local search at all.
+//!
+//! Determinism: candidates are enumerated (or sampled — the seed depends
+//! only on the fleet shape and the round index) in a fixed order and
+//! accepted only on strict improvement, so ties resolve to the earliest
+//! candidate; accepted placements are rebuilt from scratch through
 //! [`crate::placement::build`], so candidate-delta float drift never
 //! accumulates into the incumbent.
 
@@ -31,10 +39,14 @@ pub struct LocalSearchStats {
     pub swaps_applied: usize,
     /// Candidate placements priced across all rounds.
     pub candidates_evaluated: usize,
-    /// Whether the swap neighborhood was enumerated at all. `false` means
-    /// `N x M` exceeded [`crate::FleetConfig::swap_candidate_budget`] and
-    /// the search was moves-only.
+    /// Whether the swap neighborhood was enumerated *exhaustively*.
+    /// `false` means `N x M` exceeded
+    /// [`crate::FleetConfig::swap_candidate_budget`] and swaps were
+    /// sampled instead (see `swap_candidates_sampled`).
     pub swaps_enumerated: bool,
+    /// Swap candidates drawn by the seeded sampler, summed over rounds
+    /// (0 when the neighborhood was enumerated exhaustively).
+    pub swap_candidates_sampled: usize,
 }
 
 /// One candidate step.
@@ -77,6 +89,22 @@ fn remove_sorted(v: &[usize], i: usize) -> Vec<usize> {
     v.iter().copied().filter(|&x| x != i).collect()
 }
 
+/// Deterministic splitmix64 stream for swap sampling. The seed is a pure
+/// function of the fleet shape and the round index, so the sampled
+/// neighborhood is identical across runs, machines, and parallelism
+/// settings.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// Improves `start` until no candidate strictly lowers the priced total
 /// (or the round cap is hit). Never returns a worse placement than
 /// `start`.
@@ -96,6 +124,7 @@ pub(crate) fn improve(
         swaps_applied: 0,
         candidates_evaluated: 0,
         swaps_enumerated,
+        swap_candidates_sampled: 0,
     };
     let mut incumbent = start;
 
@@ -171,6 +200,35 @@ pub(crate) fn improve(
                     consider(Step::Swap { a, b }, &mut stats, &mut best)?;
                 }
             }
+        } else if n >= 2 {
+            // Budgeted seeded sampling of the swap neighborhood. At
+            // capacity-forced shapes every machine is full, so moves are
+            // all skipped above and swaps are the *only* candidates —
+            // skipping them entirely (the old behavior) meant the xl
+            // shape did no local search at all. The seed depends only on
+            // `(n, m_count, round)`, never on wall clock or thread
+            // scheduling, so sampled rounds are bit-reproducible.
+            let budget = solver.cfg.swap_candidate_budget;
+            let mut rng = Mix(
+                0x5157_4c45_4554_00d5 ^ ((n as u64) << 40) ^ ((m_count as u64) << 20)
+                    ^ stats.rounds as u64,
+            );
+            let mut sampled = 0;
+            let mut attempts = 0;
+            // Attempt cap: degenerate fleets (everything on one machine)
+            // must not spin forever looking for a cross-machine pair.
+            while sampled < budget && attempts < 4 * budget {
+                attempts += 1;
+                let a = (rng.next() % n as u64) as usize;
+                let b = (rng.next() % n as u64) as usize;
+                let (a, b) = (a.min(b), a.max(b));
+                if a == b || incumbent.machine_of[a] == incumbent.machine_of[b] {
+                    continue;
+                }
+                sampled += 1;
+                consider(Step::Swap { a, b }, &mut stats, &mut best)?;
+            }
+            stats.swap_candidates_sampled += sampled;
         }
 
         let Some((_, step)) = best else { break };

@@ -17,7 +17,11 @@
 //! * **exporters** ([`Snapshot::to_json`], [`Snapshot::to_chrome_trace`])
 //!   — a self-contained JSON dump and the Chrome `chrome://tracing` /
 //!   Perfetto trace-event format, plus [`Snapshot::validate`], the
-//!   structural validator the CI smoke gate runs.
+//!   structural validator the CI smoke gate runs;
+//! * **persistent sink** ([`SinkConfig`], [`Registry::attach_sink`]) —
+//!   bounded ring-buffer span retention with periodic whole-file flushes
+//!   in the same JSON format, so day-long simulation runs stay
+//!   profilable after the fact without unbounded memory; off by default.
 //!
 //! ## The zero-cost disabled contract
 //!
@@ -55,10 +59,12 @@
 mod export;
 mod hist;
 mod registry;
+mod sink;
 mod span;
 
 pub use hist::{bucket_index, bucket_lower_bound, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{AttrValue, CounterCell, GaugeCell, HistCell, Registry, Snapshot, SpanRecord};
+pub use sink::{SinkConfig, SinkStats};
 pub use span::SpanGuard;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -155,6 +161,26 @@ pub fn advance_virtual_secs(secs: f64) {
 /// Takes a consistent snapshot of the global registry.
 pub fn snapshot() -> Snapshot {
     global().snapshot()
+}
+
+/// Attaches a persistent sink to the global registry (see
+/// [`Registry::attach_sink`]). Independent of the enable switch: the
+/// sink only sees spans that are recorded at all, so while disabled it
+/// simply stays empty.
+pub fn attach_sink(cfg: SinkConfig) {
+    global().attach_sink(cfg);
+}
+
+/// Final-flushes and detaches the global registry's sink, returning its
+/// stats (`None` if no sink was attached).
+pub fn detach_sink() -> Option<SinkStats> {
+    global().detach_sink()
+}
+
+/// Forces a flush of the global registry's sink now (`None` if no sink
+/// is attached).
+pub fn flush_sink() -> Option<SinkStats> {
+    global().flush_sink()
 }
 
 /// A named counter bound to the global registry, cacheable in a `static`

@@ -1,6 +1,7 @@
 //! The thread-safe telemetry registry and its snapshot type.
 
 use crate::hist::{Hist, HistogramSnapshot};
+use crate::sink::{SinkConfig, SinkState, SinkStats};
 use crate::span::{self, Active, SpanGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -197,6 +198,12 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
     gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
     hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    /// Optional persistent sink (see [`crate::SinkConfig`]). While
+    /// attached, finished spans route into its bounded ring instead of
+    /// the unbounded `spans` vector. Lock discipline: the sink mutex is
+    /// never held while taking any other registry lock (flushes clone
+    /// the ring out first), so no ordering cycle exists.
+    sink: Mutex<Option<SinkState>>,
 }
 
 impl Default for Registry {
@@ -218,6 +225,7 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
         }
     }
 
@@ -273,8 +281,77 @@ impl Registry {
     pub(crate) fn finish_span(&self, mut rec: SpanRecord) {
         rec.end_ns = self.now_ns().max(rec.start_ns);
         rec.vend_us = self.vclock_us.load(Ordering::Relaxed).max(rec.vstart_us);
-        self.spans.lock().unwrap().push(rec);
+        let flush_due = {
+            let mut sink = self.sink.lock().unwrap();
+            match sink.as_mut() {
+                Some(state) => {
+                    let due = state.push(rec);
+                    if due {
+                        // Claim the flush under the lock so concurrent
+                        // finishers don't all write the same period.
+                        state.since_flush = 0;
+                    }
+                    due
+                }
+                None => {
+                    drop(sink);
+                    self.spans.lock().unwrap().push(rec);
+                    false
+                }
+            }
+        };
         self.open_spans.fetch_sub(1, Ordering::Relaxed);
+        if flush_due {
+            self.flush_sink();
+        }
+    }
+
+    /// Attaches a persistent sink: from now on finished spans are
+    /// retained in a bounded ring and flushed periodically to
+    /// `cfg.path` as a version-1 snapshot JSON document. Spans already
+    /// recorded stay where they are and appear in every flush and
+    /// snapshot alongside the ring. Replaces any previously attached
+    /// sink (without a final flush of the old one).
+    pub fn attach_sink(&self, cfg: SinkConfig) {
+        *self.sink.lock().unwrap() = Some(SinkState::new(cfg));
+    }
+
+    /// Detaches the sink after one final flush, folding the retained
+    /// ring back into the registry's span store — snapshots keep every
+    /// span that survived retention. Returns the sink's final stats, or
+    /// `None` if no sink was attached.
+    pub fn detach_sink(&self) -> Option<SinkStats> {
+        self.flush_sink()?;
+        let state = self.sink.lock().unwrap().take()?;
+        let stats = state.stats();
+        self.spans.lock().unwrap().extend(state.ring);
+        Some(stats)
+    }
+
+    /// Forces a flush now (also used for the periodic flushes). The
+    /// document is a full [`Snapshot::to_json`]: retained spans plus
+    /// current counters, gauges, and histograms. Write failures are
+    /// recorded in [`SinkStats`], never propagated. Returns the stats
+    /// after the attempt, or `None` if no sink is attached.
+    pub fn flush_sink(&self) -> Option<SinkStats> {
+        let path = self.sink.lock().unwrap().as_ref()?.cfg.path.clone();
+        let json = self.snapshot().to_json();
+        let result = std::fs::write(&path, json);
+        let mut sink = self.sink.lock().unwrap();
+        let state = sink.as_mut()?;
+        match result {
+            Ok(()) => state.flushes += 1,
+            Err(e) => {
+                state.write_errors += 1;
+                state.last_error = Some(format!("{}: {e}", path.display()));
+            }
+        }
+        Some(state.stats())
+    }
+
+    /// The attached sink's current stats (`None` when no sink).
+    pub fn sink_stats(&self) -> Option<SinkStats> {
+        self.sink.lock().unwrap().as_ref().map(SinkState::stats)
     }
 
     /// Advances the registry's virtual (simulated) clock.
@@ -335,6 +412,10 @@ impl Registry {
     /// Open-span and id counters are preserved.
     pub fn reset(&self) {
         self.spans.lock().unwrap().clear();
+        if let Some(state) = self.sink.lock().unwrap().as_mut() {
+            state.ring.clear();
+            state.since_flush = 0;
+        }
         for c in self.counters.lock().unwrap().values() {
             c.reset();
         }
@@ -351,6 +432,9 @@ impl Registry {
     /// included; [`Snapshot::open_spans`] reports how many are missing).
     pub fn snapshot(&self) -> Snapshot {
         let mut spans = self.spans.lock().unwrap().clone();
+        if let Some(state) = self.sink.lock().unwrap().as_ref() {
+            spans.extend(state.ring.iter().cloned());
+        }
         spans.sort_by_key(|s| s.id);
         let counters = self
             .counters

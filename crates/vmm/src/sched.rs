@@ -35,11 +35,15 @@ use crate::{
     VirtualMachine, VmmError,
 };
 
+mod calendar;
+mod event_core;
 mod fluid;
 mod incremental;
+mod multi;
 mod reference;
 
 pub use incremental::SchedStats;
+pub use multi::{co_schedule_fleet, MachineRun, MachineSim};
 
 /// How unclaimed resource capacity is treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +53,33 @@ pub enum SchedMode {
     /// Unclaimed capacity is shared among demanding VMs in proportion to
     /// their configured shares (Xen `weight`).
     WorkConserving,
+}
+
+/// Which event structure drives the incremental scheduler. Selected
+/// automatically per mode by [`SchedCore::for_mode`]; the explicit choice
+/// exists for differential tests and benchmarks, which pin all cores
+/// bit-identical on the same inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedCore {
+    /// Binary min-heap with lazy invalidation: O(log V) operations, stale
+    /// entries accumulate on re-key. Best when re-keys are rare.
+    Heap,
+    /// Calendar queue with per-VM handles: O(1) insert/re-key, no stale
+    /// entries. Built for the work-conserving regime, where most events
+    /// re-key every member of the changed resource classes.
+    Calendar,
+}
+
+impl SchedCore {
+    /// The production core for a mode: capped events never re-key (the
+    /// heap's best case), work-conserving adversarial mixes re-key
+    /// everybody (the calendar's reason to exist).
+    pub fn for_mode(mode: SchedMode) -> SchedCore {
+        match mode {
+            SchedMode::Capped => SchedCore::Heap,
+            SchedMode::WorkConserving => SchedCore::Calendar,
+        }
+    }
 }
 
 /// One VM's job: execute `queries` in order under `shares`.
@@ -111,7 +142,8 @@ pub fn co_schedule(
     mode: SchedMode,
 ) -> Result<Vec<VmOutcome>, VmmError> {
     let shares = validate_inputs(&spec, allocation, jobs)?;
-    incremental::run(&spec, mode, &shares, jobs).map(|(outcomes, _)| outcomes)
+    incremental::run(&spec, mode, &shares, jobs, SchedCore::for_mode(mode))
+        .map(|(outcomes, _)| outcomes)
 }
 
 /// [`co_schedule`], additionally returning the scheduler's work counters
@@ -124,7 +156,22 @@ pub fn co_schedule_with_stats(
     mode: SchedMode,
 ) -> Result<(Vec<VmOutcome>, SchedStats), VmmError> {
     let shares = validate_inputs(&spec, allocation, jobs)?;
-    incremental::run(&spec, mode, &shares, jobs)
+    incremental::run(&spec, mode, &shares, jobs, SchedCore::for_mode(mode))
+}
+
+/// [`co_schedule_with_stats`] with an explicit event core instead of the
+/// mode-based default. Completions are bit-identical across cores (and to
+/// [`co_schedule_reference`]); the choice only moves wall clock, which is
+/// exactly what the differential suite and `ext_sched` pin.
+pub fn co_schedule_with_core(
+    spec: MachineSpec,
+    allocation: &AllocationMatrix,
+    jobs: &[VmJob],
+    mode: SchedMode,
+    core: SchedCore,
+) -> Result<(Vec<VmOutcome>, SchedStats), VmmError> {
+    let shares = validate_inputs(&spec, allocation, jobs)?;
+    incremental::run(&spec, mode, &shares, jobs, core)
 }
 
 /// The legacy whole-fleet rescan loop: identical semantics (and identical

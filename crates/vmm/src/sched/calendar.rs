@@ -1,0 +1,336 @@
+//! The calendar-queue event core for the work-conserving regime.
+//!
+//! In the adversarial class-flipping mix, nearly every event changes both
+//! resource classes' memberships, so the scheduler re-keys every member of
+//! both classes. Under the binary heap each of those re-keys is a push
+//! (O(log H) with H inflated by every previously superseded entry), and
+//! the abandoned entries pile up until they surface at the top — the heap
+//! spends its time sifting corpses. A calendar queue makes the same
+//! operations O(1): events live in time-bucketed vectors, every VM carries
+//! a handle `(bucket, index)` to its single live entry, and a re-key is a
+//! `swap_remove` plus a push. No entry is ever stale.
+//!
+//! **Bucket mapping.** Keys are projected completion instants in f64
+//! microseconds, compared as IEEE bits (which orders the non-negative
+//! instants numerically). The bucket width is a power of two `2^e` µs, so
+//! the *window index* `floor(t · 2⁻ᵉ)` is exact — multiplying an f64 by a
+//! power of two shifts the exponent without touching the mantissa, and
+//! the cast to `u128` floors exactly. A key with window `w` lives in
+//! bucket `w mod nbuckets`; a monotone cursor walks windows in increasing
+//! order. Because the window function is monotone in `t`, the smallest
+//! key in the first non-empty window is the global minimum, and
+//! bit-equal keys necessarily share a window (and therefore a bucket), so
+//! a simultaneous batch is collected from a single bucket and sorted
+//! ascending by VM — exactly the batch order the heap produces.
+//!
+//! **Width priming.** The width is chosen once, at the first dequeue:
+//! the observed spread of the initial completion instants divided by
+//! their count, rounded to the nearest power of two. If later events
+//! drift far from that spacing the cursor walk is capped at one full lap
+//! (`nbuckets` windows); past it a direct scan over all live entries
+//! finds the minimum and re-seats the cursor. The fallback keeps every
+//! dequeue correct at any width — the width only decides how often the
+//! O(live) scan happens instead of the O(1) bucket hit.
+
+use super::event_core::EventCore;
+
+/// Sentinel: the VM has no live entry.
+const NO_SLOT: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// A calendar queue with per-VM entry handles. See the module docs for
+/// the bucket mapping and the correctness argument.
+pub(super) struct CalendarCore {
+    /// `buckets[b]` holds `(key bits, vm)` entries, unordered within.
+    buckets: Vec<Vec<(u64, u32)>>,
+    /// `slot[vm]` = `(bucket, index)` of the VM's live entry.
+    slot: Vec<(u32, u32)>,
+    /// `nbuckets - 1` (bucket count is a power of two).
+    mask: u64,
+    /// `2^-e` where the bucket width is `2^e` µs; 0.0 until primed, which
+    /// maps every key to window 0 (bucket 0).
+    inv_width: f64,
+    /// The window the dequeue cursor is parked on.
+    cur_win: u128,
+    primed: bool,
+    live: usize,
+    pushes: u64,
+    peak: usize,
+}
+
+impl CalendarCore {
+    /// The window index of a key: `floor(t / 2^e)`, exact (see module
+    /// docs). Monotone non-decreasing in `t`.
+    #[inline]
+    fn window(&self, key_bits: u64) -> u128 {
+        (f64::from_bits(key_bits) * self.inv_width) as u128
+    }
+
+    /// The bucket a key lives in.
+    #[inline]
+    fn bucket_of(&self, key_bits: u64) -> usize {
+        (self.window(key_bits) as u64 & self.mask) as usize
+    }
+
+    /// Removes `vm`'s live entry via its handle, fixing the handle of the
+    /// entry `swap_remove` relocates.
+    fn remove(&mut self, vm: usize) {
+        debug_assert!(self.slot[vm] != NO_SLOT, "remove of a VM with no live entry");
+        let (b, idx) = self.slot[vm];
+        let bucket = &mut self.buckets[b as usize];
+        bucket.swap_remove(idx as usize);
+        if let Some(&(_, moved)) = bucket.get(idx as usize) {
+            self.slot[moved as usize] = (b, idx);
+        }
+        self.slot[vm] = NO_SLOT;
+        self.live -= 1;
+    }
+
+    /// Chooses the bucket width from the initial key population and
+    /// redistributes bucket 0 (where every pre-prime insert landed).
+    fn prime(&mut self) {
+        self.primed = true;
+        let seed: Vec<(u64, u32)> = std::mem::take(&mut self.buckets[0]);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(bits, _) in &seed {
+            let t = f64::from_bits(bits);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let span = hi - lo;
+        let ideal = span / seed.len().max(1) as f64;
+        let exp = if ideal.is_finite() && ideal > 0.0 {
+            ideal.log2().round().clamp(-20.0, 63.0) as i32
+        } else {
+            0
+        };
+        self.inv_width = 2.0f64.powi(-exp);
+        for (bits, vm) in seed {
+            let b = self.bucket_of(bits);
+            self.buckets[b].push((bits, vm));
+            self.slot[vm as usize] = (b as u32, (self.buckets[b].len() - 1) as u32);
+        }
+        self.cur_win = if lo.is_finite() { (lo * self.inv_width) as u128 } else { 0 };
+    }
+
+    /// Collects every entry of `bucket` whose key is bit-equal to
+    /// `min_bits` into `batch` (ascending VM order), consuming them.
+    fn collect_batch(&mut self, bucket: usize, min_bits: u64, batch: &mut Vec<usize>) {
+        let entries = &mut self.buckets[bucket];
+        let mut i = 0;
+        while i < entries.len() {
+            if entries[i].0 == min_bits {
+                let (_, vm) = entries.swap_remove(i);
+                if let Some(&(_, moved)) = entries.get(i) {
+                    self.slot[moved as usize] = (bucket as u32, i as u32);
+                }
+                self.slot[vm as usize] = NO_SLOT;
+                self.live -= 1;
+                batch.push(vm as usize);
+                // Do not advance: `swap_remove` moved a new entry into `i`.
+            } else {
+                i += 1;
+            }
+        }
+        batch.sort_unstable();
+    }
+
+    /// Direct O(live) scan for the minimal key, used when the cursor walk
+    /// exhausts a full lap without a hit (events far sparser than the
+    /// primed width). Ties need no resolution here — all bit-equal
+    /// minima share one bucket.
+    fn scan_min(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        for bucket in &self.buckets {
+            for &(bits, _) in bucket {
+                // Non-negative f64 bit patterns order numerically.
+                if min.map_or(true, |m| bits < m) {
+                    min = Some(bits);
+                }
+            }
+        }
+        min
+    }
+}
+
+impl EventCore for CalendarCore {
+    fn new(n: usize) -> CalendarCore {
+        assert!(n < u32::MAX as usize, "calendar core addresses VMs as u32");
+        let nbuckets = (2 * n.max(1)).next_power_of_two().clamp(8, 1 << 16);
+        CalendarCore {
+            buckets: vec![Vec::new(); nbuckets],
+            slot: vec![NO_SLOT; n],
+            mask: (nbuckets - 1) as u64,
+            inv_width: 0.0,
+            cur_win: 0,
+            primed: false,
+            live: 0,
+            pushes: 0,
+            peak: 0,
+        }
+    }
+
+    fn insert(&mut self, vm: usize, key_bits: u64) {
+        debug_assert!(self.slot[vm] == NO_SLOT, "insert of a VM with a live entry");
+        let b = self.bucket_of(key_bits);
+        self.buckets[b].push((key_bits, vm as u32));
+        self.slot[vm] = (b as u32, (self.buckets[b].len() - 1) as u32);
+        self.live += 1;
+        self.pushes += 1;
+        self.peak = self.peak.max(self.live);
+    }
+
+    fn rekey(&mut self, vm: usize, key_bits: u64) {
+        self.remove(vm);
+        self.insert(vm, key_bits);
+    }
+
+    fn pop_min_batch(&mut self, batch: &mut Vec<usize>) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        if !self.primed {
+            self.prime();
+        }
+        // Walk windows from the cursor, at most one full lap. An entry
+        // qualifies for window `w` only if its own window is exactly `w`
+        // — same-bucket entries from later laps are skipped.
+        let nbuckets = self.buckets.len() as u128;
+        for step in 0..nbuckets {
+            let w = self.cur_win + step;
+            let b = (w as u64 & self.mask) as usize;
+            let mut min: Option<u64> = None;
+            for &(bits, _) in &self.buckets[b] {
+                if self.window(bits) == w && min.map_or(true, |m| bits < m) {
+                    min = Some(bits);
+                }
+            }
+            if let Some(min_bits) = min {
+                self.cur_win = w;
+                self.collect_batch(b, min_bits, batch);
+                return Some(min_bits);
+            }
+        }
+        // Sparse tail: one direct scan re-seats the cursor.
+        let min_bits = self.scan_min().expect("live > 0 implies a minimum exists");
+        self.cur_win = self.window(min_bits);
+        let b = self.bucket_of(min_bits);
+        self.collect_batch(b, min_bits, batch);
+        Some(min_bits)
+    }
+
+    fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    fn peak(&self) -> usize {
+        self.peak
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    fn drain(core: &mut CalendarCore) -> Vec<(f64, Vec<usize>)> {
+        let mut out = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(b) = core.pop_min_batch(&mut batch) {
+            out.push((f64::from_bits(b), std::mem::take(&mut batch)));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_key_order_with_ascending_vm_batches() {
+        let mut core = CalendarCore::new(5);
+        core.insert(3, bits(10.0));
+        core.insert(0, bits(30.0));
+        core.insert(1, bits(10.0));
+        core.insert(4, bits(20.0));
+        core.insert(2, bits(10.0));
+        assert_eq!(
+            drain(&mut core),
+            vec![
+                (10.0, vec![1, 2, 3]),
+                (20.0, vec![4]),
+                (30.0, vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn rekey_moves_the_single_live_entry() {
+        let mut core = CalendarCore::new(3);
+        core.insert(0, bits(5.0));
+        core.insert(1, bits(6.0));
+        core.insert(2, bits(7.0));
+        core.rekey(0, bits(9.0));
+        core.rekey(2, bits(6.0));
+        assert_eq!(core.len(), 3, "rekeys must not leave stale entries");
+        assert_eq!(
+            drain(&mut core),
+            vec![(6.0, vec![1, 2]), (9.0, vec![0])]
+        );
+    }
+
+    #[test]
+    fn sparse_tail_falls_back_to_direct_scan() {
+        // Events spaced ~1 µs prime a narrow width; the final event jumps
+        // nine orders of magnitude past the lap, exercising the fallback.
+        let mut core = CalendarCore::new(4);
+        core.insert(0, bits(1.0));
+        core.insert(1, bits(2.0));
+        core.insert(2, bits(3.0));
+        core.insert(3, bits(4.0));
+        let mut batch = Vec::new();
+        for want in [1.0, 2.0, 3.0] {
+            batch.clear();
+            assert_eq!(core.pop_min_batch(&mut batch), Some(bits(want)));
+        }
+        core.rekey(3, bits(4.0e9));
+        core.insert(0, bits(5.0e9));
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(4.0e9)));
+        assert_eq!(batch, vec![3]);
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(5.0e9)));
+        assert_eq!(batch, vec![0]);
+    }
+
+    #[test]
+    fn identical_keys_across_rekeys_form_one_batch() {
+        let mut core = CalendarCore::new(8);
+        for vm in 0..8 {
+            core.insert(vm, bits(100.0 + vm as f64));
+        }
+        let mut batch = Vec::new();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(100.0)));
+        // Re-key every survivor to one shared instant.
+        for vm in 1..8 {
+            core.rekey(vm, bits(250.0));
+        }
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(250.0)));
+        assert_eq!(batch, (1..8).collect::<Vec<_>>());
+        assert_eq!(core.len(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_live_entries_only() {
+        let mut core = CalendarCore::new(4);
+        core.insert(0, bits(1.0));
+        core.insert(1, bits(2.0));
+        core.rekey(0, bits(3.0));
+        core.rekey(1, bits(4.0));
+        assert_eq!(core.peak(), 2, "rekeys must not inflate the peak");
+        assert_eq!(core.pushes(), 4);
+    }
+}

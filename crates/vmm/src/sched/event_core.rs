@@ -1,0 +1,168 @@
+//! Pluggable event structures for the incremental scheduler.
+//!
+//! The incremental loop in [`super::incremental`] is generic over the
+//! structure that holds pending phase-completion events. Two cores
+//! implement the contract:
+//!
+//! * [`HeapCore`] — the original binary min-heap with lazy invalidation
+//!   via per-VM generation counters. O(log V) push/pop; stale entries
+//!   accumulate until they reach the top. Ideal for capped mode, where a
+//!   completion perturbs nobody and the heap never sees a re-key.
+//! * [`super::calendar::CalendarCore`] — a calendar queue with per-VM
+//!   entry handles: O(1) insert, O(1) *true* removal (no stale entries),
+//!   monotone bucket-walking dequeue. Built for the work-conserving
+//!   regime, where nearly every event re-keys every member of the
+//!   changed resource classes and lazy invalidation degenerates into a
+//!   heap full of corpses.
+//!
+//! The **contract** every core must honour, because batch order is what
+//! makes completions bit-identical to the reference loop:
+//!
+//! 1. At most one *live* entry per VM; [`EventCore::insert`] requires the
+//!    VM has none, [`EventCore::rekey`] replaces the existing one.
+//! 2. [`EventCore::pop_min_batch`] returns the minimal key (compared as
+//!    IEEE bits, which orders the non-negative completion instants
+//!    numerically) and appends **every** VM whose live key is bit-equal
+//!    to it, in **ascending VM order**, consuming those entries.
+//! 3. Keys never decrease: a key passed to `insert`/`rekey` is `>=` the
+//!    last key returned by `pop_min_batch` (the scheduler projects
+//!    completions forward from the event being processed).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The event-structure contract of the incremental scheduler (see the
+/// module docs for the three rules).
+pub(super) trait EventCore {
+    /// An empty core for `n` VMs.
+    fn new(n: usize) -> Self;
+    /// Adds a completion event for `vm`, which must have no live entry.
+    fn insert(&mut self, vm: usize, key_bits: u64);
+    /// Replaces `vm`'s live entry with a new key.
+    fn rekey(&mut self, vm: usize, key_bits: u64);
+    /// Pops the minimal key and appends every VM whose live key is
+    /// bit-equal, in ascending VM order. Returns the key bits, or `None`
+    /// when no live entries remain.
+    fn pop_min_batch(&mut self, batch: &mut Vec<usize>) -> Option<u64>;
+    /// Entries pushed over the core's lifetime (the `heap_pushes` stat).
+    fn pushes(&self) -> u64;
+    /// Peak entry population (stale entries included for the heap).
+    fn peak(&self) -> usize;
+    /// Current entry population (stale entries included for the heap).
+    fn len(&self) -> usize;
+}
+
+/// One heap entry: (projected completion instant as IEEE bits, VM index,
+/// generation). Wrapped in `Reverse` for a min-heap.
+type Event = Reverse<(u64, usize, u64)>;
+
+/// The original binary-heap event core with lazy invalidation: a re-key
+/// bumps the VM's generation and pushes a fresh entry; superseded entries
+/// stay in the heap and are discarded when popped.
+pub(super) struct HeapCore {
+    heap: BinaryHeap<Event>,
+    gens: Vec<u64>,
+    pushes: u64,
+    peak: usize,
+}
+
+impl EventCore for HeapCore {
+    fn new(n: usize) -> HeapCore {
+        HeapCore {
+            heap: BinaryHeap::with_capacity(n + 1),
+            gens: vec![0; n],
+            pushes: 0,
+            peak: 0,
+        }
+    }
+
+    fn insert(&mut self, vm: usize, key_bits: u64) {
+        self.heap.push(Reverse((key_bits, vm, self.gens[vm])));
+        self.pushes += 1;
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    fn rekey(&mut self, vm: usize, key_bits: u64) {
+        self.gens[vm] += 1; // invalidate the live entry
+        self.insert(vm, key_bits);
+    }
+
+    fn pop_min_batch(&mut self, batch: &mut Vec<usize>) -> Option<u64> {
+        loop {
+            let Reverse((bits, vm, gen)) = self.heap.pop()?;
+            if gen != self.gens[vm] {
+                continue; // stale key, superseded by a re-key
+            }
+            batch.push(vm);
+            self.gens[vm] += 1; // consume: later re-activations get a fresh gen
+            // Gather the whole simultaneous batch: every live entry whose
+            // key is bit-equal to the minimum. Equal keys pop in ascending
+            // VM order (the heap tuple is `(key bits, vm, generation)`).
+            while let Some(&Reverse((b2, v2, g2))) = self.heap.peek() {
+                if b2 != bits {
+                    break;
+                }
+                self.heap.pop();
+                if g2 == self.gens[v2] {
+                    batch.push(v2);
+                    self.gens[v2] += 1;
+                }
+            }
+            return Some(bits);
+        }
+    }
+
+    fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    fn peak(&self) -> usize {
+        self.peak
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn heap_core_pops_equal_keys_in_ascending_vm_order() {
+        let mut core = HeapCore::new(4);
+        core.insert(2, bits(5.0));
+        core.insert(0, bits(5.0));
+        core.insert(3, bits(7.0));
+        core.insert(1, bits(5.0));
+        let mut batch = Vec::new();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(5.0)));
+        assert_eq!(batch, vec![0, 1, 2]);
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(7.0)));
+        assert_eq!(batch, vec![3]);
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), None);
+    }
+
+    #[test]
+    fn heap_core_rekey_supersedes_the_old_entry() {
+        let mut core = HeapCore::new(2);
+        core.insert(0, bits(1.0));
+        core.insert(1, bits(2.0));
+        core.rekey(0, bits(3.0)); // old entry at 1.0 is now stale
+        let mut batch = Vec::new();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(2.0)));
+        assert_eq!(batch, vec![1]);
+        batch.clear();
+        assert_eq!(core.pop_min_batch(&mut batch), Some(bits(3.0)));
+        assert_eq!(batch, vec![0]);
+        assert_eq!(core.pushes(), 3);
+        assert_eq!(core.peak(), 3); // the stale entry counts
+    }
+}

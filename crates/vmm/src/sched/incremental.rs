@@ -8,11 +8,16 @@
 //!   recomputed only when a class's membership actually changes. In
 //!   capped mode rates depend on nothing but the VM's own configured
 //!   share, so no set or total is maintained at all;
-//! * a **binary event heap** keyed by each VM's projected phase-completion
+//! * an **event structure** keyed by each VM's projected phase-completion
 //!   instant (the f64 microsecond value from
 //!   [`super::fluid::ActivePhase::completion_us`], compared by IEEE bit
-//!   pattern, which orders non-negative floats numerically), with lazy
-//!   invalidation via per-VM generation counters.
+//!   pattern, which orders non-negative floats numerically). The loop is
+//!   generic over the structure ([`EventCore`]): capped mode uses the
+//!   binary heap with lazy invalidation ([`super::event_core::HeapCore`]),
+//!   work-conserving mode the calendar queue
+//!   ([`super::calendar::CalendarCore`]) whose O(1) re-keys survive the
+//!   adversarial class-flipping regime — see [`super::SchedCore`] for the
+//!   mode-based selection and the override hook.
 //!
 //! Per event it touches only the VMs whose effective rate can have
 //! changed: in [`SchedMode::Capped`] a completion perturbs nobody else,
@@ -22,36 +27,35 @@
 //! construction — a VM's work is integrated in closed form from its
 //! anchor, never stepped through other VMs' events.
 //!
-//! **Heap invariants** (checked by `debug_assert`s and the differential
-//! suite):
+//! **Event-structure invariants** (checked by `debug_assert`s and the
+//! differential suite):
 //!
-//! 1. Every VM with an in-flight phase has exactly one heap entry carrying
-//!    its current generation; all other entries for that VM are stale and
-//!    skipped on pop.
+//! 1. Every VM with an in-flight phase has exactly one live entry; a
+//!    re-key replaces it (heap: generation bump, calendar: handle-based
+//!    removal).
 //! 2. Keys never decrease: a pushed key is `>=` the instant of the event
 //!    being processed (phases project completions forward from their
 //!    anchor).
-//! 3. Entries with equal keys pop in ascending VM order (the heap tuple is
-//!    `(key bits, vm, generation)`), which is exactly the order the
-//!    reference loop completes a simultaneous batch in.
+//! 3. Entries with equal keys pop in ascending VM order, which is exactly
+//!    the order the reference loop completes a simultaneous batch in.
 //!
 //! The determinism contract — completions bit-identical to
-//! [`super::co_schedule_reference`] — holds because every f64 this module
-//! produces (rates, class totals, anchors, projected completions) is
-//! computed by the same [`super::fluid`] primitive over the same operands
-//! in the same order as the reference loop; the two differ only in *which*
-//! VMs they can prove unaffected and therefore skip.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! [`super::co_schedule_reference`] *and across event cores* — holds
+//! because every f64 this module produces (rates, class totals, anchors,
+//! projected completions) is computed by the same [`super::fluid`]
+//! primitive over the same operands in the same order regardless of the
+//! core; the cores differ only in how they store and surface the
+//! identical event sequence.
 
 use crate::{MachineSpec, ResourceVector, VmmError};
 
+use super::calendar::CalendarCore;
+use super::event_core::{EventCore, HeapCore};
 use super::fluid::{
     checked_event_us, class_total, rate_of, report_instant, PhaseSpec, ResClass, VmState,
     NUM_CLASSES,
 };
-use super::{SchedMode, VmJob, VmOutcome};
+use super::{SchedCore, SchedMode, VmJob, VmOutcome};
 
 use dbvirt_telemetry as telemetry;
 
@@ -77,15 +81,26 @@ pub struct SchedStats {
     /// activations + re-anchors). `vms_touched / events` is the per-event
     /// locality the rewrite exists to minimise.
     pub vms_touched: u64,
-    /// Entries pushed onto the event heap.
+    /// Entries pushed into the event structure (named for the original
+    /// heap; the calendar core counts its inserts here).
     pub heap_pushes: u64,
-    /// Largest heap population observed (stale entries included).
+    /// Largest event-structure population observed (stale entries included
+    /// for the heap core; the calendar core has none).
     pub heap_peak: usize,
 }
 
-/// One heap entry: (projected completion instant as IEEE bits, VM index,
-/// generation). Wrapped in `Reverse` for a min-heap.
-type Event = Reverse<(u64, usize, u64)>;
+impl SchedStats {
+    /// Accumulates another run's counters (peak is a max, the rest sum) —
+    /// how the multi-machine driver folds per-machine stats into a fleet
+    /// total.
+    pub fn absorb(&mut self, other: &SchedStats) {
+        self.events += other.events;
+        self.phase_completions += other.phase_completions;
+        self.vms_touched += other.vms_touched;
+        self.heap_pushes += other.heap_pushes;
+        self.heap_peak = self.heap_peak.max(other.heap_peak);
+    }
+}
 
 /// Inserts `i` into a sorted ascending member list.
 fn insert_member(set: &mut Vec<usize>, i: usize) {
@@ -101,9 +116,24 @@ fn remove_member(set: &mut Vec<usize>, i: usize) {
     }
 }
 
-/// Runs the incremental scheduler. Inputs are pre-validated by the public
-/// wrappers.
+/// Runs the incremental scheduler with the given event core. Inputs are
+/// pre-validated by the public wrappers.
 pub(super) fn run(
+    spec: &MachineSpec,
+    mode: SchedMode,
+    shares: &[ResourceVector],
+    jobs: &[VmJob],
+    core: SchedCore,
+) -> Result<(Vec<VmOutcome>, SchedStats), VmmError> {
+    match core {
+        SchedCore::Heap => run_loop::<HeapCore>(spec, mode, shares, jobs),
+        SchedCore::Calendar => run_loop::<CalendarCore>(spec, mode, shares, jobs),
+    }
+}
+
+/// The event loop, monomorphized per core. Every fluid computation — and
+/// therefore every completion — is independent of `C` by construction.
+fn run_loop<C: EventCore>(
     spec: &MachineSpec,
     mode: SchedMode,
     shares: &[ResourceVector],
@@ -119,8 +149,7 @@ pub(super) fn run(
     // the O(V)-per-event work this scheduler exists to avoid.
     let mut members: [Vec<usize>; NUM_CLASSES] = [Vec::new(), Vec::new()];
     let mut totals = [0.0f64; NUM_CLASSES];
-    let mut gens: Vec<u64> = vec![0; n];
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n + 1);
+    let mut events = C::new(n);
     let mut stats = SchedStats::default();
 
     // Initial activations: seed memberships, then totals, then rates — the
@@ -143,43 +172,16 @@ pub(super) fn run(
     }
     for i in 0..n {
         if let Some(phase_spec) = to_activate[i].take() {
-            activate(
-                spec,
-                mode,
-                shares,
-                &mut states,
-                &totals,
-                &mut heap,
-                &mut gens,
-                &mut stats,
-                i,
-                phase_spec,
-                0.0,
-            )?;
+            activate(spec, mode, shares, &mut states, &totals, &mut events, i, phase_spec, 0.0)?;
         }
     }
 
     let mut batch: Vec<usize> = Vec::with_capacity(n);
-    while let Some(Reverse((bits, vm, gen))) = heap.pop() {
-        if gen != gens[vm] {
-            continue; // stale key, superseded by a re-anchor
-        }
-        let t_next = f64::from_bits(bits);
-
-        // Gather the whole simultaneous batch: every valid entry whose key
-        // is bit-equal to the minimum. Equal keys pop in ascending VM
-        // order (heap invariant 3).
+    while let Some(bits) = {
         batch.clear();
-        batch.push(vm);
-        while let Some(&Reverse((b2, v2, g2))) = heap.peek() {
-            if b2 != bits {
-                break;
-            }
-            heap.pop();
-            if g2 == gens[v2] {
-                batch.push(v2);
-            }
-        }
+        events.pop_min_batch(&mut batch)
+    } {
+        let t_next = f64::from_bits(bits);
         let now = report_instant(t_next);
 
         // 1. Retire completed phases; in work-conserving mode also track
@@ -190,13 +192,12 @@ pub(super) fn run(
                 states[i]
                     .active
                     .as_ref()
-                    .expect("a live heap entry implies an in-flight phase")
+                    .expect("a live event entry implies an in-flight phase")
                     .kind
                     .class()
             } else {
                 ResClass::Cpu // unused
             };
-            gens[i] += 1; // invalidate any duplicate entry for this VM
             let next = states[i].complete_active(now);
             stats.phase_completions += 1;
             match next {
@@ -251,9 +252,7 @@ pub(super) fn run(
                         phase.reanchor(t_next, rate);
                         let key = checked_event_us(phase.completion_us())?;
                         debug_assert!(key >= t_next, "re-keyed events must not move backwards");
-                        gens[i] += 1;
-                        heap.push(Reverse((key.to_bits(), i, gens[i])));
-                        stats.heap_pushes += 1;
+                        events.rekey(i, key.to_bits());
                         touched += 1;
                     }
                 }
@@ -269,9 +268,7 @@ pub(super) fn run(
                     shares,
                     &mut states,
                     &totals,
-                    &mut heap,
-                    &mut gens,
-                    &mut stats,
+                    &mut events,
                     i,
                     phase_spec,
                     t_next,
@@ -281,9 +278,8 @@ pub(super) fn run(
 
         stats.events += 1;
         stats.vms_touched += touched;
-        stats.heap_peak = stats.heap_peak.max(heap.len());
         TM_TOUCHED_HIST.record_micros(touched);
-        TM_HEAP_HIST.record_micros(heap.len() as u64);
+        TM_HEAP_HIST.record_micros(events.len() as u64);
     }
 
     if !states.iter().all(|s| s.done) {
@@ -291,6 +287,8 @@ pub(super) fn run(
             reason: "no VM can make progress".to_string(),
         });
     }
+    stats.heap_pushes = events.pushes();
+    stats.heap_peak = events.peak();
 
     TM_EVENTS.add(stats.events);
     TM_PHASES.add(stats.phase_completions);
@@ -308,15 +306,13 @@ pub(super) fn run(
 /// Anchors a fresh phase for VM `i` at `now_us` under the current totals
 /// and pushes its completion event. Shared by setup and the event loop.
 #[allow(clippy::too_many_arguments)]
-fn activate(
+fn activate<C: EventCore>(
     spec: &MachineSpec,
     mode: SchedMode,
     shares: &[ResourceVector],
     states: &mut [VmState],
     totals: &[f64; NUM_CLASSES],
-    heap: &mut BinaryHeap<Event>,
-    gens: &mut [u64],
-    stats: &mut SchedStats,
+    events: &mut C,
     i: usize,
     phase_spec: PhaseSpec,
     now_us: f64,
@@ -337,8 +333,6 @@ fn activate(
     let key = checked_event_us(phase.completion_us())?;
     debug_assert!(key >= now_us, "activations must not project into the past");
     states[i].active = Some(phase);
-    heap.push(Reverse((key.to_bits(), i, gens[i])));
-    stats.heap_pushes += 1;
-    stats.heap_peak = stats.heap_peak.max(heap.len());
+    events.insert(i, key.to_bits());
     Ok(())
 }

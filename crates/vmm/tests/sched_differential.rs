@@ -1,16 +1,24 @@
 //! Differential suite for the incremental event-driven scheduler.
 //!
 //! Pins the determinism contract of `crates/vmm/src/sched`: for every
-//! input, [`co_schedule`] (incremental, event-heap) and
-//! [`co_schedule_reference`] (whole-fleet rescan) report **identical**
-//! completions — the reported `SimTime`s compare equal, which at the
-//! microsecond clock's integer representation means bit-identical — across
-//! random fleets, both scheduling modes, zero-demand queries, exactly
-//! simultaneous completions, and hostile demands (which must yield the same
-//! typed error from both paths, never a panic).
+//! input, **all three event cores** report **identical** completions — the
+//! reported `SimTime`s compare equal, which at the microsecond clock's
+//! integer representation means bit-identical:
+//!
+//! * [`co_schedule_reference`] — the whole-fleet rescan baseline,
+//! * [`SchedCore::Heap`] — the binary heap with lazy invalidation,
+//! * [`SchedCore::Calendar`] — the calendar queue with per-VM handles,
+//!
+//! across random fleets, both scheduling modes, the class-flipping
+//! adversarial mix (every query alternates resource class, so
+//! work-conserving events re-key whole classes — the calendar core's
+//! stress case), zero-demand queries, exactly simultaneous completions,
+//! and hostile demands (which must yield the same typed error from every
+//! path, never a panic).
 
 use dbvirt_vmm::sched::{
-    co_schedule, co_schedule_reference, co_schedule_with_stats, SchedMode, VmJob, VmOutcome,
+    co_schedule, co_schedule_reference, co_schedule_with_core, co_schedule_with_stats, SchedCore,
+    SchedMode, VmJob, VmOutcome,
 };
 use dbvirt_vmm::{
     AllocationMatrix, MachineSpec, ResourceDemand, ResourceVector, SimTime, VmmError,
@@ -18,6 +26,7 @@ use dbvirt_vmm::{
 use proptest::prelude::*;
 
 const MODES: [SchedMode; 2] = [SchedMode::Capped, SchedMode::WorkConserving];
+const CORES: [SchedCore; 2] = [SchedCore::Heap, SchedCore::Calendar];
 
 /// A fleet description: per-VM share fractions and query lists.
 #[derive(Debug, Clone)]
@@ -87,8 +96,10 @@ fn arb_fleet() -> impl Strategy<Value = Fleet> {
     })
 }
 
-/// Runs both implementations and asserts the determinism contract plus the
-/// per-VM structural invariants; returns the shared outcome.
+/// Runs every implementation — the reference rescan loop, the
+/// mode-selected production core, and both explicit event cores — and
+/// asserts the determinism contract plus the per-VM structural
+/// invariants; returns the shared outcome.
 fn assert_identical(spec: MachineSpec, fleet: &Fleet, mode: SchedMode) -> Vec<VmOutcome> {
     let alloc = AllocationMatrix::new(fleet.rows.clone()).unwrap();
     let incr = co_schedule(spec, &alloc, &fleet.jobs, mode).unwrap();
@@ -97,6 +108,10 @@ fn assert_identical(spec: MachineSpec, fleet: &Fleet, mode: SchedMode) -> Vec<Vm
         incr, refr,
         "incremental vs reference diverged in mode {mode:?}"
     );
+    for core in CORES {
+        let (out, _) = co_schedule_with_core(spec, &alloc, &fleet.jobs, mode, core).unwrap();
+        assert_eq!(out, refr, "{core:?} core vs reference diverged in mode {mode:?}");
+    }
     for (i, (o, job)) in incr.iter().zip(&fleet.jobs).enumerate() {
         assert_eq!(
             o.query_completions.len(),
@@ -114,12 +129,70 @@ fn assert_identical(spec: MachineSpec, fleet: &Fleet, mode: SchedMode) -> Vec<Vm
     incr
 }
 
+/// Class-flipping adversarial fleets: every VM's queries alternate
+/// between a pure-CPU class and a pure-disk class, so in work-conserving
+/// mode each phase completion changes the membership of *both* resource
+/// classes and re-keys every VM in them — the maximal-re-key regime the
+/// calendar core was built for (and the heap's worst case for stale
+/// entries). Same shape as `ext_sched`'s benchmark mix, but with random
+/// magnitudes instead of a fixed stream.
+fn arb_flipping_fleet() -> impl Strategy<Value = Fleet> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((1u64..2_000_000_000, 1u64..1_200), 2..8),
+            0.05f64..1.0,
+            0.05f64..1.0,
+        ),
+        2..33,
+    )
+    .prop_map(|vms| {
+        let n = vms.len() as f64;
+        let scale = 1.0 / (n * 1.001);
+        let rows = vms
+            .iter()
+            .map(|(_, cpu, disk)| {
+                ResourceVector::from_fractions(cpu * scale, 0.5 * scale, disk * scale).unwrap()
+            })
+            .collect();
+        let jobs = vms
+            .into_iter()
+            .map(|(queries, _, _)| {
+                VmJob::new(
+                    queries
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, (cpu, pages))| {
+                            if k % 2 == 0 {
+                                demand(cpu as f64, 0, 0, 0)
+                            } else {
+                                demand(0.0, pages, pages / 16, 0)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Fleet { rows, jobs }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The core contract: arbitrary fleets, both modes, identical reports.
     #[test]
     fn prop_incremental_matches_reference(fleet in arb_fleet()) {
+        let spec = MachineSpec::paper_testbed();
+        for mode in MODES {
+            assert_identical(spec, &fleet, mode);
+        }
+    }
+
+    /// The class-flipping adversarial mix — the work-conserving regime's
+    /// whole-class re-key storm — stays bit-identical across the
+    /// reference loop and both event cores, in both modes.
+    #[test]
+    fn prop_class_flipping_mix_stays_identical(fleet in arb_flipping_fleet()) {
         let spec = MachineSpec::paper_testbed();
         for mode in MODES {
             assert_identical(spec, &fleet, mode);
@@ -172,6 +245,18 @@ proptest! {
                     other => panic!("hostile demand {hostile} must be a typed error, got {other:?}"),
                 }
             }
+            for core in CORES {
+                match co_schedule_with_core(
+                    MachineSpec::paper_testbed(), &alloc, &fleet.jobs, mode, core,
+                ) {
+                    Err(VmmError::InvalidSchedule { reason }) => {
+                        assert!(reason.contains("cpu_cycles"), "unexpected error reason: {reason}");
+                    }
+                    other => panic!(
+                        "hostile demand {hostile} must be a typed error from {core:?}, got {other:?}"
+                    ),
+                }
+            }
         }
     }
 
@@ -189,6 +274,17 @@ proptest! {
                 prop_assert!(
                     matches!(res, Err(VmmError::InvalidSchedule { .. })),
                     "1e300 cycles must be a typed error, got {:?}",
+                    res
+                );
+            }
+            for core in CORES {
+                let res = co_schedule_with_core(
+                    MachineSpec::paper_testbed(), &alloc, &fleet.jobs, mode, core,
+                );
+                prop_assert!(
+                    matches!(res, Err(VmmError::InvalidSchedule { .. })),
+                    "1e300 cycles must be a typed error from {:?}, got {:?}",
+                    core,
                     res
                 );
             }

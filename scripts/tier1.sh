@@ -35,6 +35,13 @@ scripts/sched.sh
 # scripts/fleet.sh).
 scripts/fleet.sh
 
+# Fleet simulation gate: the thousand-VM end-to-end benchmark must place
+# and *execute* >= 1024 VMs across >= 32 machines, keep simulation
+# reports bit-identical between serial and per-core parallel machine
+# execution in both modes, and replay placement + simulation
+# fingerprints bit-identically across processes (see scripts/fleetsim.sh).
+scripts/fleetsim.sh
+
 # Physical-design gate: the joint index-selection + allocation advisor
 # must hold its pins — joint strictly beats both marginals on the pinned
 # `duo` scenario, LP-certified gaps <= 25% on every answer, zero budget
